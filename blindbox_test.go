@@ -1,0 +1,136 @@
+package blindbox_test
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	blindbox "repro"
+)
+
+// TestPublicAPIRoundTrip exercises the complete public surface the way the
+// package documentation advertises it: rule generator, middlebox, server,
+// client, alert delivery.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	rg, err := blindbox.NewRuleGenerator("APITestRG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := blindbox.ParseRules("api", `alert tcp any any -> any any (msg:"kw"; content:"public-api-attack"; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu     sync.Mutex
+		alerts []blindbox.Alert
+	)
+	mb, err := blindbox.NewMiddlebox(blindbox.MiddleboxConfig{
+		Ruleset:     rg.Sign(rs),
+		RGPublicKey: rg.PublicKey(),
+		OnAlert: func(a blindbox.Alert) {
+			mu.Lock()
+			alerts = append(alerts, a)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLn.Close()
+	mbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mbLn.Close()
+
+	cfg := blindbox.ConnConfig{
+		Core: blindbox.DefaultConfig(),
+		RG:   blindbox.RGMaterial{TagKey: rg.TagKey()},
+	}
+	go func() {
+		for {
+			raw, err := serverLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn, err := blindbox.Server(raw, cfg)
+				if err != nil {
+					raw.Close()
+					return
+				}
+				defer conn.Close()
+				data, err := io.ReadAll(conn)
+				if err != nil {
+					return
+				}
+				conn.Write(data)
+				conn.CloseWrite()
+			}()
+		}
+	}()
+	go mb.Serve(mbLn, serverLn.Addr().String())
+
+	conn, err := blindbox.Dial(mbLn.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if !conn.MBPresent() {
+		t.Fatal("middlebox not detected on path")
+	}
+	msg := []byte("request with public-api-attack keyword")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn.CloseWrite()
+	echoed, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(echoed) != string(msg) {
+		t.Fatalf("echo mismatch: %q", echoed)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		found := false
+		for _, a := range alerts {
+			if a.Event.Kind == blindbox.RuleMatch && a.Event.Rule.SID == 1 {
+				found = true
+			}
+		}
+		mu.Unlock()
+		if found {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("rule alert never delivered through the public API")
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := blindbox.DefaultConfig()
+	if cfg.Protocol != blindbox.ProtocolII || cfg.Mode != blindbox.DelimiterTokens {
+		t.Fatalf("DefaultConfig = %+v, want Protocol II + delimiter tokens", cfg)
+	}
+}
+
+func TestParseRuleExported(t *testing.T) {
+	r, err := blindbox.ParseRule(`alert tcp any any -> any any (content:"abc"; pcre:"/a.c/"; sid:2;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Protocol() != 3 {
+		t.Fatalf("protocol = %d", r.Protocol())
+	}
+}

@@ -1,0 +1,75 @@
+// Command bbclient opens a BlindBox HTTPS connection (through a bbmb
+// middlebox or directly to a bbserver), sends a request, and prints the
+// response, timing the handshake (which includes rule preparation when a
+// middlebox is on path) and the transfer separately — the two cost
+// components the paper's §7.2.2 separates.
+//
+// Usage:
+//
+//	bbclient -addr 127.0.0.1:8443 -rgconfig blindbox.endpoint.json [-data "GET / ..."] [-protocol 2] [-tokens delimiter]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	blindbox "repro"
+	"repro/internal/rgconfig"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8443", "middlebox or server address")
+	rgPath := flag.String("rgconfig", "", "endpoint RG configuration from bbrulegen (required)")
+	data := flag.String("data", "GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n", "request payload")
+	protocol := flag.Int("protocol", 2, "BlindBox protocol: 1, 2 or 3")
+	tokens := flag.String("tokens", "delimiter", "tokenization: window or delimiter")
+	flag.Parse()
+	if *rgPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	rg, err := rgconfig.LoadEndpoint(*rgPath)
+	if err != nil {
+		log.Fatalf("loading RG config: %v", err)
+	}
+
+	cfg := blindbox.ConnConfig{Core: blindbox.DefaultConfig(), RG: rg}
+	cfg.Core.Protocol = blindbox.Protocol(*protocol)
+	switch *tokens {
+	case "window":
+		cfg.Core.Mode = blindbox.WindowTokens
+	case "delimiter":
+		cfg.Core.Mode = blindbox.DelimiterTokens
+	default:
+		log.Fatalf("unknown tokenization %q", *tokens)
+	}
+
+	start := time.Now()
+	conn, err := blindbox.Dial(*addr, cfg)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	handshake := time.Since(start)
+	fmt.Printf("handshake: %v (middlebox on path: %v)\n", handshake, conn.MBPresent())
+
+	start = time.Now()
+	if _, err := conn.Write([]byte(*data)); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	if err := conn.CloseWrite(); err != nil {
+		log.Fatalf("close-write: %v", err)
+	}
+	resp, err := io.ReadAll(conn)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	fmt.Printf("transfer: %v, response %d bytes\n", time.Since(start), len(resp))
+	if len(resp) < 512 {
+		fmt.Printf("response: %q\n", resp)
+	}
+}

@@ -1,0 +1,73 @@
+// Command bbmb runs a BlindBox middlebox: it listens for BlindBox HTTPS
+// clients, proxies them to an upstream server, performs obfuscated rule
+// encryption with both endpoints, and inspects the encrypted token stream
+// against a ruleset.
+//
+// Usage:
+//
+//	bbmb -listen :8443 -forward server:9443 -rules rules.txt -rgconfig rg.json [-secondary]
+//
+// The ruleset and RG configuration are produced by bbrulegen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	blindbox "repro"
+	"repro/internal/middlebox"
+	"repro/internal/rgconfig"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8443", "address to accept BlindBox HTTPS clients on")
+	forward := flag.String("forward", "", "upstream server address (required)")
+	rulesPath := flag.String("rules", "", "signed ruleset file from bbrulegen (required)")
+	rgPath := flag.String("rgconfig", "", "rule-generator public configuration from bbrulegen (required)")
+	secondary := flag.Bool("secondary", false, "enable the Protocol III decryption element and secondary inspection")
+	flag.Parse()
+	if *forward == "" || *rulesPath == "" || *rgPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	signed, err := rgconfig.LoadSignedRuleset(*rulesPath)
+	if err != nil {
+		log.Fatalf("loading ruleset: %v", err)
+	}
+	pub, _, err := rgconfig.LoadPublic(*rgPath)
+	if err != nil {
+		log.Fatalf("loading RG config: %v", err)
+	}
+
+	mb, err := blindbox.NewMiddlebox(middlebox.Config{
+		Ruleset:     signed,
+		RGPublicKey: pub,
+		Secondary:   *secondary,
+		OnAlert: func(a blindbox.Alert) {
+			switch {
+			case a.Secondary:
+				log.Printf("ALERT conn=%d %s secondary rules=%v", a.ConnID, a.Direction, a.SecondarySIDs)
+			case a.Event.Kind == blindbox.RuleMatch:
+				log.Printf("ALERT conn=%d %s sid=%d msg=%q offset=%d action=%v",
+					a.ConnID, a.Direction, a.Event.Rule.SID, a.Event.Rule.Msg,
+					a.Event.Offset, a.Event.Rule.Action)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("middlebox: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1, p2, _ := signed.Ruleset.ProtocolBreakdown()
+	fmt.Printf("bbmb: %d rules (%.0f%% protocol I, %.0f%% <= II), listening on %s, forwarding to %s\n",
+		len(signed.Ruleset.Rules), p1*100, p2*100, ln.Addr(), *forward)
+	log.Fatal(mb.Serve(ln, *forward))
+}

@@ -1,0 +1,92 @@
+// Command bbrulegen plays the rule-generator (RG) role: it signs a
+// ruleset and emits the three artifacts of a BlindBox deployment —
+//
+//   - <out>.rules.json     signed ruleset + fragment tags (for bbmb)
+//   - <out>.rg.json        RG public identity (for bbmb)
+//   - <out>.endpoint.json  RG tag key + public key (install at endpoints)
+//
+// Rules come from a Snort-subset file (-in) or a synthetic dataset model
+// (-dataset, see internal/corpus for the Table 1 datasets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	blindbox "repro"
+	"repro/internal/corpus"
+	"repro/internal/rgconfig"
+	"repro/internal/rules"
+)
+
+func main() {
+	in := flag.String("in", "", "ruleset file in the Snort-compatible subset")
+	dataset := flag.String("dataset", "", `synthetic dataset name (e.g. "Snort Emerging Threats (HTTP)") — alternative to -in`)
+	numRules := flag.Int("n", 0, "override the synthetic dataset's rule count")
+	seed := flag.Int64("seed", 1, "synthetic generation seed")
+	name := flag.String("name", "LocalRG", "rule generator name")
+	out := flag.String("out", "blindbox", "output file prefix")
+	list := flag.Bool("list", false, "list available synthetic datasets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, d := range corpus.Datasets {
+			fmt.Printf("%-32q %5d rules  P1=%.1f%% P2=%.1f%%\n", d.Name, d.NumRules, d.P1Frac*100, d.P2Frac*100)
+		}
+		return
+	}
+
+	var (
+		rs  *rules.Ruleset
+		err error
+	)
+	switch {
+	case *in != "":
+		data, rerr := os.ReadFile(*in)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		rs, err = blindbox.ParseRules(*in, string(data))
+	case *dataset != "":
+		spec, ok := corpus.DatasetByName(*dataset)
+		if !ok {
+			log.Fatalf("unknown dataset %q (use -list)", *dataset)
+		}
+		if *numRules > 0 {
+			spec.NumRules = *numRules
+		}
+		rs, err = spec.Generate(*seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("building ruleset: %v", err)
+	}
+
+	rg, err := blindbox.NewRuleGenerator(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	signed := rg.Sign(rs)
+
+	rulesPath := *out + ".rules.json"
+	rgPath := *out + ".rg.json"
+	epPath := *out + ".endpoint.json"
+	if err := rgconfig.SaveSignedRuleset(rulesPath, signed); err != nil {
+		log.Fatal(err)
+	}
+	if err := rgconfig.SavePublic(rgPath, *name, rg.PublicKey()); err != nil {
+		log.Fatal(err)
+	}
+	if err := rgconfig.SaveEndpoint(epPath, *name, rg.PublicKey(), rg.TagKey()); err != nil {
+		log.Fatal(err)
+	}
+
+	p1, p2, _ := rs.ProtocolBreakdown()
+	fmt.Printf("signed %d rules (%.1f%% protocol I, %.1f%% <= II; %d distinct keywords)\n",
+		len(rs.Rules), p1*100, p2*100, len(rs.Keywords()))
+	fmt.Printf("wrote %s (middlebox), %s (middlebox), %s (endpoints)\n", rulesPath, rgPath, epPath)
+}

@@ -1,0 +1,78 @@
+// Command bbserver is a BlindBox HTTPS server: it accepts connections
+// (typically proxied through a bbmb middlebox) and serves either an echo
+// of the request or a synthetic page body.
+//
+// Usage:
+//
+//	bbserver -listen :9443 -rgconfig blindbox.endpoint.json [-mode echo|page] [-bytes 65536]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+
+	blindbox "repro"
+	"repro/internal/corpus"
+	"repro/internal/rgconfig"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9443", "listen address")
+	rgPath := flag.String("rgconfig", "", "endpoint RG configuration from bbrulegen (required)")
+	mode := flag.String("mode", "echo", "echo: return the request; page: return a synthetic page")
+	pageBytes := flag.Int("bytes", 64<<10, "synthetic page size for -mode page")
+	flag.Parse()
+	if *rgPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	rg, err := rgconfig.LoadEndpoint(*rgPath)
+	if err != nil {
+		log.Fatalf("loading RG config: %v", err)
+	}
+	cfg := blindbox.ConnConfig{Core: blindbox.DefaultConfig(), RG: rg}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bbserver (%s) listening on %s\n", *mode, ln.Addr())
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go handle(raw, cfg, *mode, *pageBytes)
+	}
+}
+
+func handle(raw net.Conn, cfg blindbox.ConnConfig, mode string, pageBytes int) {
+	conn, err := blindbox.Server(raw, cfg)
+	if err != nil {
+		raw.Close()
+		log.Printf("handshake: %v", err)
+		return
+	}
+	defer conn.Close()
+	req, err := io.ReadAll(conn)
+	if err != nil {
+		log.Printf("read: %v", err)
+		return
+	}
+	log.Printf("request: %d bytes (mb on path: %v)", len(req), conn.MBPresent())
+	switch mode {
+	case "page":
+		body := corpus.SynthesizeText(rand.New(rand.NewSource(int64(len(req)))), pageBytes)
+		header := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", len(body))
+		conn.Write([]byte(header))
+		conn.Write(body)
+	default:
+		conn.Write(req)
+	}
+	conn.CloseWrite()
+}

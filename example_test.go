@@ -1,0 +1,84 @@
+package blindbox_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	blindbox "repro"
+)
+
+// Example demonstrates a complete BlindBox deployment: a rule generator
+// signs a ruleset, a middlebox inspects encrypted traffic for it, and a
+// client/server pair speaks BlindBox HTTPS through the middlebox. The
+// middlebox detects the attack keyword without ever holding the session
+// key.
+func Example() {
+	// Rule generator (RG).
+	rg, err := blindbox.NewRuleGenerator("ExampleRG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := blindbox.ParseRules("example",
+		`alert tcp any any -> any any (msg:"demo keyword"; content:"exploit-kw-77"; sid:1;)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Middlebox.
+	alerts := make(chan blindbox.Alert, 8)
+	mb, err := blindbox.NewMiddlebox(blindbox.MiddleboxConfig{
+		Ruleset:     rg.Sign(rs),
+		RGPublicKey: rg.PublicKey(),
+		OnAlert:     func(a blindbox.Alert) { alerts <- a },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverLn, _ := net.Listen("tcp", "127.0.0.1:0")
+	mbLn, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer serverLn.Close()
+	defer mbLn.Close()
+
+	cfg := blindbox.ConnConfig{
+		Core: blindbox.DefaultConfig(),
+		RG:   blindbox.RGMaterial{TagKey: rg.TagKey()},
+	}
+
+	// Server: drains each request.
+	go func() {
+		raw, err := serverLn.Accept()
+		if err != nil {
+			return
+		}
+		conn, err := blindbox.Server(raw, cfg)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+		conn.Write([]byte("ok"))
+		conn.CloseWrite()
+	}()
+	go mb.Serve(mbLn, serverLn.Addr().String())
+
+	// Client.
+	conn, err := blindbox.Dial(mbLn.Addr().String(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("GET /?q=exploit-kw-77 HTTP/1.1\r\n\r\n"))
+	conn.CloseWrite()
+	io.ReadAll(conn)
+
+	for a := range alerts {
+		if a.Event.Kind == blindbox.RuleMatch {
+			fmt.Printf("alert: rule %d (%s)\n", a.Event.Rule.SID, a.Event.Rule.Msg)
+			break
+		}
+	}
+	// Output:
+	// alert: rule 1 (demo keyword)
+}

@@ -1,0 +1,150 @@
+// Exfiltration detection via document watermarking (the paper's §1 and
+// §7.1 "data exfiltration" application, after Silowash et al.): an
+// enterprise plants confidentiality watermarks in sensitive documents and
+// the egress middlebox blocks any encrypted upload that carries one —
+// without being able to read anything else the employees send.
+//
+// This is a Protocol I workload: each watermark is a single keyword, so
+// the simplest BlindBox protocol suffices (Table 1, row 1: 100% of
+// watermarking rules are Protocol I).
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+
+	blindbox "repro"
+)
+
+// watermarks the enterprise embeds in confidential documents. The unique
+// part leads: under delimiter tokenization an undelimited keyword is
+// matched by its first 8-byte fragment, so watermarks sharing a long
+// common prefix (e.g. "CONF-MARK-<id>") would all fire whenever any one
+// of them appears.
+var watermarks = []string{
+	"ab12f9-CONF-MARK",
+	"77e0c3-CONF-MARK",
+	"d4491b-CONF-MARK",
+}
+
+func main() {
+	rg, err := blindbox.NewRuleGenerator("EnterpriseDLP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rules []string
+	for i, wm := range watermarks {
+		rules = append(rules, fmt.Sprintf(
+			`drop tcp $HOME_NET any -> $EXTERNAL_NET any (msg:"confidential watermark %d"; content:"%s"; sid:%d;)`,
+			i, wm, 9000+i))
+	}
+	ruleset, err := blindbox.ParseRules("watermarks", strings.Join(rules, "\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ruleset.Rules {
+		if r.Protocol() != 1 {
+			log.Fatalf("watermark rule %d needs protocol %d; expected Protocol I", r.SID, r.Protocol())
+		}
+	}
+
+	mb, err := blindbox.NewMiddlebox(blindbox.MiddleboxConfig{
+		Ruleset:     rg.Sign(ruleset),
+		RGPublicKey: rg.PublicKey(),
+		OnAlert: func(a blindbox.Alert) {
+			if a.Event.Kind == blindbox.RuleMatch {
+				fmt.Printf("DLP: blocking upload — %s (offset %d)\n", a.Event.Rule.Msg, a.Event.Offset)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	uploadLn := mustListen()
+	mbLn := mustListen()
+	go acceptUploads(uploadLn, rg)
+	go mb.Serve(mbLn, uploadLn.Addr().String())
+
+	cfg := blindbox.ConnConfig{
+		// Protocol I with delimiter tokens: the watermark is a single
+		// delimiter-bounded keyword.
+		Core: blindbox.Config{Protocol: blindbox.ProtocolI, Mode: blindbox.DelimiterTokens},
+		RG:   blindbox.RGMaterial{TagKey: rg.TagKey()},
+	}
+
+	// An innocent upload passes.
+	ok, err := upload(mbLn.Addr().String(), cfg,
+		"quarterly weather report: it rained, then it did not, attached are charts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("innocent upload delivered: %v\n", ok)
+
+	// An upload of a watermarked document is severed mid-flight.
+	leaked := "EMPLOYEE attaches wrong file: ... " + watermarks[1] + " ... salaries and board minutes"
+	ok, _ = upload(mbLn.Addr().String(), cfg, leaked)
+	fmt.Printf("watermarked upload delivered: %v (want false)\n", ok)
+	fmt.Printf("middlebox stats: %+v\n", mb.Stats())
+}
+
+// upload sends a document through the middlebox and reports whether the
+// server acknowledged the complete document.
+func upload(addr string, cfg blindbox.ConnConfig, doc string) (bool, error) {
+	conn, err := blindbox.Dial(addr, cfg)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(doc)); err != nil {
+		return false, nil // severed while writing: blocked
+	}
+	if err := conn.CloseWrite(); err != nil {
+		return false, nil
+	}
+	ack, err := io.ReadAll(conn)
+	if err != nil {
+		return false, nil // severed before the ack: blocked
+	}
+	return string(ack) == fmt.Sprintf("received %d bytes", len(doc)), nil
+}
+
+func mustListen() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ln
+}
+
+// acceptUploads is the outside file-sharing service: it acknowledges each
+// received document.
+func acceptUploads(ln net.Listener, rg *blindbox.RuleGenerator) {
+	cfg := blindbox.ConnConfig{
+		Core: blindbox.Config{Protocol: blindbox.ProtocolI, Mode: blindbox.DelimiterTokens},
+		RG:   blindbox.RGMaterial{TagKey: rg.TagKey()},
+	}
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			conn, err := blindbox.Server(raw, cfg)
+			if err != nil {
+				raw.Close()
+				return
+			}
+			defer conn.Close()
+			doc, err := io.ReadAll(conn)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(conn, "received %d bytes", len(doc))
+			conn.CloseWrite()
+		}()
+	}
+}

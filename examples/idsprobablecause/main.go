@@ -1,0 +1,122 @@
+// Full IDS with probable-cause privacy (Protocol III, §5 of the paper):
+// rules may carry regular expressions, which exact-match detection cannot
+// evaluate. The flow stays encrypted until a suspicious keyword matches;
+// only then can the middlebox recover kSSL from the token stream, decrypt
+// the flow, and run the full rule (pcre included) over the plaintext —
+// privacy is given up only with cause.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	blindbox "repro"
+)
+
+func main() {
+	rg, err := blindbox.NewRuleGenerator("UniversityIDS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A classic shellcode-ish rule: a selective keyword gates an expensive
+	// regexp, exactly the structure the Snort manual urges (§2.2.3).
+	ruleset, err := blindbox.ParseRules("campus", `
+alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"cmd injection"; content:"exec-cmd"; pcre:"/exec-cmd=[a-f0-9]{8,}/"; sid:4242;)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ruleset.Rules[0].Protocol() != 3 {
+		log.Fatalf("expected a Protocol III rule, got %d", ruleset.Rules[0].Protocol())
+	}
+
+	mb, err := blindbox.NewMiddlebox(blindbox.MiddleboxConfig{
+		Ruleset:     rg.Sign(ruleset),
+		RGPublicKey: rg.PublicKey(),
+		Secondary:   true, // enable the decryption element + full-rule inspection
+		OnAlert: func(a blindbox.Alert) {
+			switch {
+			case a.Secondary:
+				fmt.Printf("secondary IDS (decrypted flow): rules %v confirmed by regexp\n", a.SecondarySIDs)
+			case a.Event.HasSSLKey:
+				fmt.Printf("probable cause at offset %d: kSSL recovered, flow handed to decryption element\n",
+					a.Event.Offset)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srvLn := mustListen()
+	mbLn := mustListen()
+	go serveEcho(srvLn, rg)
+	go mb.Serve(mbLn, srvLn.Addr().String())
+
+	cfg := blindbox.ConnConfig{
+		// Protocol III: every token carries the paired ciphertext that
+		// embeds kSSL (c2 = Enc*(salt,t) XOR kSSL).
+		Core: blindbox.Config{Protocol: blindbox.ProtocolIII, Mode: blindbox.WindowTokens},
+		RG:   blindbox.RGMaterial{TagKey: rg.TagKey()},
+	}
+
+	send := func(label, payload string) {
+		conn, err := blindbox.Dial(mbLn.Addr().String(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		conn.Write([]byte(payload))
+		conn.CloseWrite()
+		io.ReadAll(conn)
+		fmt.Printf("--- %s sent (%d bytes)\n", label, len(payload))
+	}
+
+	// Innocent flow: stays encrypted end to end; the middlebox learns
+	// nothing (KeysRecovered stays 0 so far).
+	send("innocent flow", "GET /lecture-notes HTTP/1.1\r\nHost: cs.example\r\n\r\nprivate study notes")
+	fmt.Printf("after innocent flow: keys recovered = %d (want 0)\n", mb.Stats().KeysRecovered)
+
+	// Suspicious flow: the keyword matches, kSSL is recovered, and the
+	// decrypted flow passes the regexp -> secondary alert.
+	send("attack flow", "POST /run HTTP/1.1\r\nHost: victim.example\r\n\r\nexec-cmd=deadbeef99 && rm -rf /")
+	fmt.Printf("after attack flow: keys recovered = %d (want > 0)\n", mb.Stats().KeysRecovered)
+	fmt.Printf("middlebox stats: %+v\n", mb.Stats())
+}
+
+func mustListen() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ln
+}
+
+func serveEcho(ln net.Listener, rg *blindbox.RuleGenerator) {
+	cfg := blindbox.ConnConfig{
+		Core: blindbox.Config{Protocol: blindbox.ProtocolIII, Mode: blindbox.WindowTokens},
+		RG:   blindbox.RGMaterial{TagKey: rg.TagKey()},
+	}
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			conn, err := blindbox.Server(raw, cfg)
+			if err != nil {
+				raw.Close()
+				return
+			}
+			defer conn.Close()
+			data, err := io.ReadAll(conn)
+			if err != nil {
+				return
+			}
+			conn.Write(data)
+			conn.CloseWrite()
+		}()
+	}
+}

@@ -1,0 +1,129 @@
+// Parental filtering (the paper's §2.1 Example #2): Bob registers for
+// filtering with his ISP, but installs the Electronic Filtering
+// Foundation's BlindBox configuration so the ISP's middlebox can scan only
+// for the EFF's blocklist — it cannot read his traffic or sell it to
+// marketers.
+//
+// Like watermarking, this is a pure Protocol I workload (Table 1, row 2).
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+
+	blindbox "repro"
+)
+
+// blocklist is the filtering ruleset: domains and terms. (The University
+// of Toulouse blacklists the paper uses are lists of exactly this shape.)
+var blocklist = []string{
+	"gambling-palace.example",
+	"adult-content.example",
+	"violent-games.example",
+}
+
+func main() {
+	eff, err := blindbox.NewRuleGenerator("ElectronicFilteringFoundation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lines []string
+	for i, domain := range blocklist {
+		lines = append(lines, fmt.Sprintf(
+			`drop tcp $HOME_NET any -> $EXTERNAL_NET any (msg:"filtered: %s"; content:"%s"; sid:%d;)`,
+			domain, domain, 5000+i))
+	}
+	ruleset, err := blindbox.ParseRules("eff-filter", strings.Join(lines, "\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1, _, _ := ruleset.ProtocolBreakdown()
+	fmt.Printf("blocklist rules supported by Protocol I: %.0f%% (paper Table 1: 100%%)\n", p1*100)
+
+	var blockedCount int
+	mb, err := blindbox.NewMiddlebox(blindbox.MiddleboxConfig{
+		Ruleset:     eff.Sign(ruleset),
+		RGPublicKey: eff.PublicKey(),
+		OnAlert: func(a blindbox.Alert) {
+			if a.Event.Kind == blindbox.RuleMatch {
+				blockedCount++
+				fmt.Printf("ISP filter: %s\n", a.Event.Rule.Msg)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	webLn := mustListen()
+	ispLn := mustListen()
+	go serveWeb(webLn, eff)
+	go mb.Serve(ispLn, webLn.Addr().String())
+
+	cfg := blindbox.ConnConfig{
+		Core: blindbox.Config{Protocol: blindbox.ProtocolI, Mode: blindbox.DelimiterTokens},
+		RG:   blindbox.RGMaterial{TagKey: eff.TagKey()},
+	}
+
+	browse := func(host string) {
+		conn, err := blindbox.Dial(ispLn.Addr().String(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		req := fmt.Sprintf("GET / HTTP/1.1\r\nHost: %s\r\n\r\n", host)
+		if _, err := conn.Write([]byte(req)); err != nil {
+			fmt.Printf("browse %s: connection severed\n", host)
+			return
+		}
+		conn.CloseWrite()
+		body, err := io.ReadAll(conn)
+		if err != nil || len(body) == 0 {
+			fmt.Printf("browse %s: blocked\n", host)
+			return
+		}
+		fmt.Printf("browse %s: %d bytes (private from the ISP)\n", host, len(body))
+	}
+
+	browse("homework-help.example")
+	browse("encyclopedia.example")
+	browse("gambling-palace.example")
+	fmt.Printf("pages blocked: %d (want 1)\n", blockedCount)
+}
+
+func mustListen() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ln
+}
+
+func serveWeb(ln net.Listener, rg *blindbox.RuleGenerator) {
+	cfg := blindbox.ConnConfig{
+		Core: blindbox.Config{Protocol: blindbox.ProtocolI, Mode: blindbox.DelimiterTokens},
+		RG:   blindbox.RGMaterial{TagKey: rg.TagKey()},
+	}
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			conn, err := blindbox.Server(raw, cfg)
+			if err != nil {
+				raw.Close()
+				return
+			}
+			defer conn.Close()
+			if _, err := io.ReadAll(conn); err != nil {
+				return
+			}
+			conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n<html>a page</html>"))
+			conn.CloseWrite()
+		}()
+	}
+}

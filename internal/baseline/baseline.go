@@ -1,0 +1,152 @@
+// Package baseline implements a plaintext Snort-like IDS: Aho–Corasick
+// multi-pattern search over cleartext payloads plus full rule evaluation
+// (offsets, relative constraints and pcre). The paper benchmarks BlindBox's
+// middlebox against exactly such a system (§7.2.3, "when running Snort over
+// the same traffic...") and uses it as ground truth for the §7.1
+// detection-accuracy experiment.
+package baseline
+
+import (
+	"repro/internal/ahocorasick"
+	"repro/internal/rules"
+)
+
+// IDS is a compiled plaintext intrusion detection engine.
+type IDS struct {
+	rs *rules.Ruleset
+	ac *ahocorasick.Automaton
+	// patRefs maps automaton pattern index -> (rule index, content index).
+	patRefs []patRef
+}
+
+type patRef struct {
+	rule    int
+	content int
+}
+
+// New compiles the ruleset into a plaintext IDS.
+func New(rs *rules.Ruleset) *IDS {
+	ids := &IDS{rs: rs}
+	var patterns [][]byte
+	for ri, r := range rs.Rules {
+		for ci := range r.Contents {
+			patterns = append(patterns, r.Contents[ci].Pattern)
+			ids.patRefs = append(ids.patRefs, patRef{rule: ri, content: ci})
+		}
+	}
+	ids.ac = ahocorasick.New(patterns)
+	return ids
+}
+
+// Result reports which rules and keywords matched a payload.
+type Result struct {
+	// RuleSIDs lists the SIDs of fully matched rules.
+	RuleSIDs []int
+	// KeywordMatches counts (rule, content) pairs with at least one match.
+	KeywordMatches int
+	// KeywordOffsets records, per rule index, per content index, the match
+	// start offsets (bounded).
+	KeywordOffsets map[int]map[int][]int
+}
+
+const maxOffsetsPerKeyword = 64
+
+// Inspect evaluates the full payload against all rules.
+func (ids *IDS) Inspect(payload []byte) Result {
+	res := Result{KeywordOffsets: make(map[int]map[int][]int)}
+	for _, m := range ids.ac.FindAll(payload) {
+		ref := ids.patRefs[m.Pattern]
+		perRule := res.KeywordOffsets[ref.rule]
+		if perRule == nil {
+			perRule = make(map[int][]int)
+			res.KeywordOffsets[ref.rule] = perRule
+		}
+		if len(perRule[ref.content]) < maxOffsetsPerKeyword {
+			start := m.End - len(ids.rs.Rules[ref.rule].Contents[ref.content].Pattern)
+			perRule[ref.content] = append(perRule[ref.content], start)
+		}
+	}
+	for ri, perRule := range res.KeywordOffsets {
+		res.KeywordMatches += len(perRule)
+		rule := ids.rs.Rules[ri]
+		if len(perRule) != len(rule.Contents) {
+			continue
+		}
+		if !satisfies(rule, perRule) {
+			continue
+		}
+		if rule.Pcre != "" {
+			re := rule.Regexp()
+			// Rules whose pcre does not compile under RE2 fall back to
+			// content-only evaluation (documented approximation).
+			if re != nil && !re.Match(payload) {
+				continue
+			}
+		}
+		res.RuleSIDs = append(res.RuleSIDs, rule.SID)
+	}
+	// Pure-pcre rules (no contents) are evaluated directly.
+	for _, rule := range ids.rs.Rules {
+		if len(rule.Contents) == 0 && rule.Regexp() != nil && rule.Regexp().Match(payload) {
+			res.RuleSIDs = append(res.RuleSIDs, rule.SID)
+		}
+	}
+	return res
+}
+
+// satisfies checks the rule's positional constraints with a backtracking
+// assignment over recorded match offsets, mirroring detect.assign so the
+// encrypted and plaintext engines agree on semantics.
+func satisfies(rule *rules.Rule, perRule map[int][]int) bool {
+	return assign(rule, perRule, 0, -1)
+}
+
+func assign(rule *rules.Rule, perRule map[int][]int, i, prevEnd int) bool {
+	if i == len(rule.Contents) {
+		return true
+	}
+	c := &rule.Contents[i]
+	for _, start := range perRule[i] {
+		if start < c.Offset {
+			continue
+		}
+		if c.Depth >= 0 && start+len(c.Pattern) > c.Offset+c.Depth {
+			continue
+		}
+		if prevEnd >= 0 && (c.Distance >= 0 || c.Within >= 0) {
+			gap := start - prevEnd
+			if gap < 0 {
+				continue
+			}
+			if c.Distance >= 0 && gap < c.Distance {
+				continue
+			}
+			if c.Within >= 0 && gap+len(c.Pattern) > c.Within {
+				continue
+			}
+		}
+		if assign(rule, perRule, i+1, start+len(c.Pattern)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Throughput helpers: a streaming scanner with rule evaluation deferred,
+// used by throughput benchmarks where only the search cost matters.
+type Scanner struct {
+	ids *IDS
+	sc  *ahocorasick.Scanner
+	// Hits counts raw pattern hits.
+	Hits int
+}
+
+// NewScanner returns a streaming scanner over one flow.
+func (ids *IDS) NewScanner() *Scanner {
+	return &Scanner{ids: ids, sc: ids.ac.NewScanner()}
+}
+
+// Scan consumes a chunk, counting pattern hits.
+func (s *Scanner) Scan(data []byte) {
+	s.Hits += len(s.sc.Scan(data))
+}

@@ -1,0 +1,217 @@
+// Package bbcrypto provides the low-level cryptographic primitives shared by
+// the rest of the BlindBox implementation: HKDF key derivation, an AES-CTR
+// pseudorandom generator (used to derive the common randomness seeded by
+// krand, §2.3 of the paper), the fixed-key AES hash used by the garbling
+// scheme (JustGarble-style), and small helpers for AES block operations.
+//
+// Everything in this package is built on the Go standard library only.
+package bbcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// BlockSize is the AES block size in bytes. All BlindBox token keys and
+// garbled-circuit wire labels are one AES block long.
+const BlockSize = aes.BlockSize
+
+// Block is a single 16-byte AES block. Wire labels, token keys and DPIEnc
+// intermediate values are all Blocks.
+type Block [BlockSize]byte
+
+// XOR returns the bitwise XOR of b and o.
+func (b Block) XOR(o Block) Block {
+	var r Block
+	for i := range b {
+		r[i] = b[i] ^ o[i]
+	}
+	return r
+}
+
+// Double multiplies the block by x in GF(2^128) with the canonical
+// polynomial x^128 + x^7 + x^2 + x + 1. It is used for the 2A ⊕ 4B tweakable
+// hash of the garbling scheme.
+func (b Block) Double() Block {
+	var r Block
+	carry := b[0] >> 7
+	for i := 0; i < BlockSize-1; i++ {
+		r[i] = b[i]<<1 | b[i+1]>>7
+	}
+	r[BlockSize-1] = b[BlockSize-1] << 1
+	if carry == 1 {
+		r[BlockSize-1] ^= 0x87
+	}
+	return r
+}
+
+// LSB reports the least significant bit of the block (the last bit of the
+// last byte), used as the point-and-permute colour bit.
+func (b Block) LSB() int { return int(b[BlockSize-1] & 1) }
+
+// RandomBlock returns a uniformly random block from crypto/rand.
+func RandomBlock() Block {
+	var b Block
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("bbcrypto: crypto/rand failed: %v", err))
+	}
+	return b
+}
+
+// NewAES returns an AES cipher for the given 16-byte key. It panics on
+// failure, which can only happen for invalid key sizes (a programming error).
+func NewAES(key Block) cipher.Block {
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(fmt.Sprintf("bbcrypto: aes.NewCipher: %v", err))
+	}
+	return c
+}
+
+// EncryptBlock encrypts one block under key and returns the result.
+func EncryptBlock(key, pt Block) Block {
+	var ct Block
+	NewAES(key).Encrypt(ct[:], pt[:])
+	return ct
+}
+
+// FixedKeyHash is the JustGarble-style hash built from a single fixed-key
+// AES permutation π: H(A, B, T) = π(K) ⊕ K where K = 2A ⊕ 4B ⊕ T.
+// Because the key never changes, the AES key schedule is computed once and
+// each hash costs exactly one AES block encryption.
+type FixedKeyHash struct {
+	pi cipher.Block
+}
+
+// NewFixedKeyHash creates a hash with the given fixed key. All parties in a
+// garbling session must use the same fixed key; it need not be secret.
+func NewFixedKeyHash(key Block) *FixedKeyHash {
+	return &FixedKeyHash{pi: NewAES(key)}
+}
+
+// Hash computes H(a, b, tweak).
+func (h *FixedKeyHash) Hash(a, b Block, tweak uint64) Block {
+	k := a.Double().XOR(b.Double().Double())
+	binary.BigEndian.PutUint64(k[8:], binary.BigEndian.Uint64(k[8:])^tweak)
+	var out Block
+	h.pi.Encrypt(out[:], k[:])
+	return out.XOR(k)
+}
+
+// Hash1 computes the single-input variant H(a, T) = π(K) ⊕ K with K = 2a ⊕ T,
+// used for garbling unary gates and output decoding.
+func (h *FixedKeyHash) Hash1(a Block, tweak uint64) Block {
+	k := a.Double()
+	binary.BigEndian.PutUint64(k[8:], binary.BigEndian.Uint64(k[8:])^tweak)
+	var out Block
+	h.pi.Encrypt(out[:], k[:])
+	return out.XOR(k)
+}
+
+// PRG is a deterministic pseudorandom generator implemented as AES-CTR with
+// a zero IV. Both BlindBox endpoints seed a PRG with krand so they produce
+// identical garbled circuits (§3.3: "use randomness based on krand").
+type PRG struct {
+	stream cipher.Stream
+}
+
+// NewPRG creates a PRG seeded with the 16-byte seed.
+func NewPRG(seed Block) *PRG {
+	var iv [BlockSize]byte
+	return &PRG{stream: cipher.NewCTR(NewAES(seed), iv[:])}
+}
+
+// Read fills p with pseudorandom bytes. It never fails; the error is part of
+// the io.Reader contract.
+func (g *PRG) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	g.stream.XORKeyStream(p, p)
+	return len(p), nil
+}
+
+// Block returns the next pseudorandom block from the generator.
+func (g *PRG) Block() Block {
+	var b Block
+	g.stream.XORKeyStream(b[:], b[:])
+	return b
+}
+
+var _ io.Reader = (*PRG)(nil)
+
+// HKDF derives n bytes of key material from the input secret, salt and
+// info label using HKDF-SHA256 (RFC 5869). It is used by the BlindBox HTTPS
+// handshake to derive kSSL, k and krand from the master secret k0 (§2.3).
+func HKDF(secret, salt, info []byte, n int) []byte {
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+
+	var (
+		out  []byte
+		prev []byte
+	)
+	for counter := byte(1); len(out) < n; counter++ {
+		exp := hmac.New(sha256.New, prk)
+		exp.Write(prev)
+		exp.Write(info)
+		exp.Write([]byte{counter})
+		prev = exp.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:n]
+}
+
+// DeriveBlock derives a single named 16-byte key from a secret via HKDF.
+func DeriveBlock(secret []byte, label string) Block {
+	var b Block
+	copy(b[:], HKDF(secret, nil, []byte(label), BlockSize))
+	return b
+}
+
+// SessionKeys holds the three keys every BlindBox HTTPS connection derives
+// from the handshake master secret k0 (§2.3):
+//
+//   - KSSL encrypts the primary SSL stream,
+//   - K keys the DPIEnc detection scheme, and
+//   - KRand seeds the common randomness used for garbling.
+type SessionKeys struct {
+	KSSL  Block
+	K     Block
+	KRand Block
+}
+
+// DeriveSessionKeys expands the master secret k0 into the three session keys.
+func DeriveSessionKeys(k0 []byte) SessionKeys {
+	return SessionKeys{
+		KSSL:  DeriveBlock(k0, "blindbox kssl"),
+		K:     DeriveBlock(k0, "blindbox k"),
+		KRand: DeriveBlock(k0, "blindbox krand"),
+	}
+}
+
+// NewGCM returns an AES-GCM AEAD under the given key, used by the record
+// layer of the primary SSL channel.
+func NewGCM(key Block) cipher.AEAD {
+	aead, err := cipher.NewGCM(NewAES(key))
+	if err != nil {
+		panic(fmt.Sprintf("bbcrypto: cipher.NewGCM: %v", err))
+	}
+	return aead
+}
+
+// MAC computes the single-block AES MAC used by the obfuscated rule
+// encryption check: tag = AES_k(pad(m)) for messages of at most one block.
+// For the fixed-length 16-byte inputs BlindBox feeds it (padded rule
+// keywords), a single AES call is a secure PRF and hence a secure MAC.
+func MAC(key Block, m Block) Block { return EncryptBlock(key, m) }

@@ -1,0 +1,372 @@
+// AES-128 as a boolean circuit, plus the obfuscated-rule-encryption
+// function F of §3.3. Bytes are represented as 8 wire references, least
+// significant bit first.
+
+package circuit
+
+import "math/bits"
+
+// SBoxImpl selects the S-box circuit construction — a design ablation
+// (DESIGN.md): the GF(2^8)-inverse construction needs ~4x fewer AND gates
+// than the multiplexer tree.
+type SBoxImpl int
+
+const (
+	// SBoxGF computes the S-box as inversion in GF(2^8) via the addition
+	// chain x^254 (four multiplications; squarings are linear and free)
+	// followed by the free affine transform.
+	SBoxGF SBoxImpl = iota
+	// SBoxMux computes each S-box output bit as an 8-level multiplexer
+	// tree over the 256-entry table (with constant folding).
+	SBoxMux
+)
+
+func (s SBoxImpl) String() string {
+	if s == SBoxMux {
+		return "mux"
+	}
+	return "gf"
+}
+
+// sbox is the AES S-box, generated (rather than transcribed) to avoid
+// typos: multiplicative inverse in GF(2^8) followed by the affine map.
+var sbox = func() [256]byte {
+	var sb [256]byte
+	// Walk the multiplicative group: p runs over generator-3 powers while q
+	// runs over inverse powers, so q = p^-1 throughout.
+	p, q := byte(1), byte(1)
+	for {
+		// p *= 3 (i.e. p = p ^ xtime(p)).
+		xt := p << 1
+		if p&0x80 != 0 {
+			xt ^= 0x1B
+		}
+		p ^= xt
+		// q /= 3.
+		q ^= q << 1
+		q ^= q << 2
+		q ^= q << 4
+		if q&0x80 != 0 {
+			q ^= 0x09
+		}
+		sb[p] = affine(q)
+		if p == 1 {
+			break
+		}
+	}
+	sb[0] = affine(0)
+	return sb
+}()
+
+func affine(q byte) byte {
+	return q ^ bits.RotateLeft8(q, 1) ^ bits.RotateLeft8(q, 2) ^
+		bits.RotateLeft8(q, 3) ^ bits.RotateLeft8(q, 4) ^ 0x63
+}
+
+// SBoxTable exposes the generated S-box for tests and the plaintext
+// baseline.
+func SBoxTable() [256]byte { return sbox }
+
+// cbyte is a circuit byte: 8 refs, LSB first.
+type cbyte [8]Ref
+
+// gfSquare squares in GF(2^8): bit spreading followed by linear reduction —
+// entirely XOR, hence free to garble.
+func gfSquare(b *Builder, x cbyte) cbyte {
+	var c [15]Ref
+	for i := range c {
+		c[i] = Const(false)
+	}
+	for i := 0; i < 8; i++ {
+		c[2*i] = x[i]
+	}
+	return gfReduce(b, c)
+}
+
+// gfMul multiplies in GF(2^8) with 64 AND gates (schoolbook partial
+// products) and a free reduction.
+func gfMul(b *Builder, x, y cbyte) cbyte {
+	var c [15]Ref
+	for i := range c {
+		c[i] = Const(false)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			c[i+j] = b.XOR(c[i+j], b.AND(x[i], y[j]))
+		}
+	}
+	return gfReduce(b, c)
+}
+
+// gfReduce reduces a 15-term polynomial modulo x^8 + x^4 + x^3 + x + 1.
+func gfReduce(b *Builder, c [15]Ref) cbyte {
+	for k := 14; k >= 8; k-- {
+		for _, off := range [4]int{0, 1, 3, 4} {
+			c[k-8+off] = b.XOR(c[k-8+off], c[k])
+		}
+	}
+	var out cbyte
+	copy(out[:], c[:8])
+	return out
+}
+
+// gfInverse computes x^254 = x^-1 (with 0 -> 0) using four multiplications.
+func gfInverse(b *Builder, x cbyte) cbyte {
+	x2 := gfSquare(b, x)                                            // x^2
+	x3 := gfMul(b, x2, x)                                           // x^3
+	x12 := gfSquare(b, gfSquare(b, x3))                             // x^12
+	x15 := gfMul(b, x12, x3)                                        // x^15
+	x240 := gfSquare(b, gfSquare(b, gfSquare(b, gfSquare(b, x15)))) // x^240
+	x252 := gfMul(b, x240, x12)                                     // x^252
+	return gfMul(b, x252, x2)                                       // x^254
+}
+
+// sboxGF builds the S-box from the field inverse plus the affine transform.
+func sboxGF(b *Builder, x cbyte) cbyte {
+	inv := gfInverse(b, x)
+	var out cbyte
+	for i := 0; i < 8; i++ {
+		// out_i = inv_i ^ inv_{(i+4)%8} ^ inv_{(i+5)%8} ^ inv_{(i+6)%8} ^
+		//         inv_{(i+7)%8} ^ const_i, the bit form of the affine map.
+		acc := inv[i]
+		for _, d := range [4]int{4, 5, 6, 7} {
+			acc = b.XOR(acc, inv[(i+d)%8])
+		}
+		if 0x63&(1<<uint(i)) != 0 {
+			acc = b.NOT(acc)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// sboxMux builds each S-box output bit as a multiplexer tree.
+func sboxMux(b *Builder, x cbyte) cbyte {
+	var out cbyte
+	for bit := 0; bit < 8; bit++ {
+		table := make([]bool, 256)
+		for v := 0; v < 256; v++ {
+			table[v] = sbox[v]&(1<<uint(bit)) != 0
+		}
+		out[bit] = b.MuxTree(x[:], table)
+	}
+	return out
+}
+
+func subByte(b *Builder, x cbyte, impl SBoxImpl) cbyte {
+	if impl == SBoxMux {
+		return sboxMux(b, x)
+	}
+	return sboxGF(b, x)
+}
+
+// xtimeC doubles a circuit byte in GF(2^8) — free.
+func xtimeC(b *Builder, x cbyte) cbyte {
+	var out cbyte
+	out[0] = x[7]
+	out[1] = b.XOR(x[0], x[7])
+	out[2] = x[1]
+	out[3] = b.XOR(x[2], x[7])
+	out[4] = b.XOR(x[3], x[7])
+	out[5] = x[4]
+	out[6] = x[5]
+	out[7] = x[6]
+	return out
+}
+
+func xorBytes(b *Builder, x, y cbyte) cbyte {
+	var out cbyte
+	for i := range out {
+		out[i] = b.XOR(x[i], y[i])
+	}
+	return out
+}
+
+func constByte(v byte) cbyte {
+	var out cbyte
+	for i := range out {
+		out[i] = Const(v&(1<<uint(i)) != 0)
+	}
+	return out
+}
+
+// AESEncrypt appends an AES-128 encryption to the builder: keyBits and
+// ptBits are 128 wire references each (byte order as in FIPS-197 input
+// blocks, LSB-first within each byte); the returned 128 refs are the
+// ciphertext bits.
+func AESEncrypt(b *Builder, keyBits, ptBits []Ref, impl SBoxImpl) []Ref {
+	if len(keyBits) != 128 || len(ptBits) != 128 {
+		panic("circuit: AESEncrypt wants 128+128 input bits")
+	}
+	toBytes := func(bits []Ref) []cbyte {
+		out := make([]cbyte, len(bits)/8)
+		for i := range out {
+			copy(out[i][:], bits[i*8:i*8+8])
+		}
+		return out
+	}
+	key := toBytes(keyBits)
+	state := toBytes(ptBits)
+
+	// Key schedule: 44 words of 4 bytes.
+	rcon := [10]byte{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}
+	w := make([][4]cbyte, 44)
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	for i := 4; i < 44; i++ {
+		temp := w[i-1]
+		if i%4 == 0 {
+			// RotWord then SubWord then Rcon.
+			temp = [4]cbyte{temp[1], temp[2], temp[3], temp[0]}
+			for j := range temp {
+				temp[j] = subByte(b, temp[j], impl)
+			}
+			temp[0] = xorBytes(b, temp[0], constByte(rcon[i/4-1]))
+		}
+		for j := range temp {
+			w[i][j] = xorBytes(b, w[i-4][j], temp[j])
+		}
+	}
+	roundKey := func(r int) []cbyte {
+		rk := make([]cbyte, 16)
+		for c := 0; c < 4; c++ {
+			for rr := 0; rr < 4; rr++ {
+				// State byte (row rr, column c) sits at flat index rr+4c
+				// and equals byte rr of word 4r+c.
+				rk[rr+4*c] = w[4*r+c][rr]
+			}
+		}
+		return rk
+	}
+	addRoundKey := func(st, rk []cbyte) {
+		for i := range st {
+			st[i] = xorBytes(b, st[i], rk[i])
+		}
+	}
+	subBytesAll := func(st []cbyte) {
+		for i := range st {
+			st[i] = subByte(b, st[i], impl)
+		}
+	}
+	shiftRows := func(st []cbyte) {
+		old := make([]cbyte, 16)
+		copy(old, st)
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				st[r+4*c] = old[r+4*((c+r)%4)]
+			}
+		}
+	}
+	mixColumns := func(st []cbyte) {
+		for c := 0; c < 4; c++ {
+			var a, d [4]cbyte
+			for r := 0; r < 4; r++ {
+				a[r] = st[r+4*c]
+				d[r] = xtimeC(b, a[r])
+			}
+			for r := 0; r < 4; r++ {
+				// 2*a[r] ^ 3*a[r+1] ^ a[r+2] ^ a[r+3]
+				out := d[r]
+				out = xorBytes(b, out, d[(r+1)%4])
+				out = xorBytes(b, out, a[(r+1)%4])
+				out = xorBytes(b, out, a[(r+2)%4])
+				out = xorBytes(b, out, a[(r+3)%4])
+				st[r+4*c] = out
+			}
+		}
+	}
+
+	addRoundKey(state, roundKey(0))
+	for round := 1; round <= 9; round++ {
+		subBytesAll(state)
+		shiftRows(state)
+		mixColumns(state)
+		addRoundKey(state, roundKey(round))
+	}
+	subBytesAll(state)
+	shiftRows(state)
+	addRoundKey(state, roundKey(10))
+
+	out := make([]Ref, 128)
+	for i, by := range state {
+		copy(out[i*8:], by[:])
+	}
+	return out
+}
+
+// BuildAES128 builds a standalone AES-128 circuit: inputs are 128 key bits
+// followed by 128 plaintext bits; outputs are the 128 ciphertext bits.
+func BuildAES128(impl SBoxImpl) *Circuit {
+	b := NewBuilder(256)
+	out := AESEncrypt(b, b.Inputs(0, 128), b.Inputs(128, 128), impl)
+	return b.Build(out)
+}
+
+// RuleEncryptInputs documents the input layout of BuildRuleEncrypt.
+const (
+	// RuleEncryptXOff is the offset of the keyword-fragment block x
+	// (middlebox input, obtained via oblivious transfer).
+	RuleEncryptXOff = 0
+	// RuleEncryptTagOff is the offset of RG's authorization tag for x
+	// (middlebox input, obtained via oblivious transfer).
+	RuleEncryptTagOff = 128
+	// RuleEncryptKOff is the offset of the session detection key k
+	// (endpoint input, labels handed to MB directly).
+	RuleEncryptKOff = 256
+	// RuleEncryptKRGOff is the offset of RG's tag key (endpoint input).
+	RuleEncryptKRGOff = 384
+	// RuleEncryptNInputs is the total input width.
+	RuleEncryptNInputs = 512
+)
+
+// BuildRuleEncrypt builds the obfuscated-rule-encryption function F of
+// §3.3: on input [x, tag] (middlebox) and [k, kRG] (endpoints),
+//
+//	F = AES_k(x)   if tag == AES_kRG(x)   (x is RG-authorized)
+//	F = 0          otherwise
+//
+// The paper's F verifies RG's signature on x; a public-key verification
+// circuit is infeasible to garble, so BlindBox-style deployments use a
+// symmetric authorization check (DESIGN.md substitution #3): RG's tag key
+// is installed at the endpoints, RG hands tags to the middlebox, and the
+// circuit releases AES_k(x) only for tagged inputs.
+func BuildRuleEncrypt(impl SBoxImpl) *Circuit {
+	b := NewBuilder(RuleEncryptNInputs)
+	x := b.Inputs(RuleEncryptXOff, 128)
+	tag := b.Inputs(RuleEncryptTagOff, 128)
+	k := b.Inputs(RuleEncryptKOff, 128)
+	krg := b.Inputs(RuleEncryptKRGOff, 128)
+
+	mac := AESEncrypt(b, krg, x, impl)
+	ok := b.Equal(mac, tag)
+	enc := AESEncrypt(b, k, x, impl)
+	out := make([]Ref, 128)
+	for i := range out {
+		out[i] = b.AND(ok, enc[i])
+	}
+	return b.Build(out)
+}
+
+// BytesToBits expands bytes to bools, LSB-first within each byte — the bit
+// convention of every circuit in this package.
+func BytesToBits(data []byte) []bool {
+	out := make([]bool, len(data)*8)
+	for i, by := range data {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = by&(1<<uint(j)) != 0
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bools back into bytes, LSB-first within each byte.
+func BitsToBytes(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, v := range bits {
+		if v {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package circuit
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderConstantFolding(t *testing.T) {
+	b := NewBuilder(2)
+	x, y := b.Input(0), b.Input(1)
+	if r := b.XOR(Const(true), Const(true)); !r.IsConst || r.Val {
+		t.Fatal("const XOR const not folded")
+	}
+	if r := b.AND(Const(false), x); !r.IsConst || r.Val {
+		t.Fatal("AND with false not folded")
+	}
+	if r := b.AND(Const(true), x); r != x {
+		t.Fatal("AND with true not identity")
+	}
+	if r := b.XOR(x, x); !r.IsConst || r.Val {
+		t.Fatal("x XOR x not false")
+	}
+	if r := b.AND(x, b.NOT(x)); !r.IsConst || r.Val {
+		t.Fatal("x AND NOT x not false")
+	}
+	if r := b.AND(x, x); r != x {
+		t.Fatal("x AND x not x")
+	}
+	if len(b.gates) != 0 {
+		t.Fatalf("folding emitted %d gates", len(b.gates))
+	}
+	_ = y
+}
+
+func TestBuilderHashConsing(t *testing.T) {
+	b := NewBuilder(2)
+	x, y := b.Input(0), b.Input(1)
+	g1 := b.AND(x, y)
+	g2 := b.AND(y, x) // commuted: must reuse the same gate
+	if g1 != g2 {
+		t.Fatal("commuted AND not hash-consed")
+	}
+	x1 := b.XOR(x, y)
+	x2 := b.XOR(b.NOT(x), b.NOT(y)) // ¬x⊕¬y == x⊕y
+	if x1 != x2 {
+		t.Fatalf("XOR negation normalization failed: %+v vs %+v", x1, x2)
+	}
+	x3 := b.XOR(b.NOT(x), y) // == ¬(x⊕y)
+	if x3.ID != x1.ID || x3.Neg == x1.Neg {
+		t.Fatal("half-negated XOR must share the gate with flipped polarity")
+	}
+}
+
+func TestEvaluateTruthTables(t *testing.T) {
+	b := NewBuilder(2)
+	x, y := b.Input(0), b.Input(1)
+	c := b.Build([]Ref{
+		b.XOR(x, y), b.AND(x, y), b.OR(x, y), b.NOT(x),
+		b.MUX(x, y, b.NOT(y)),
+	})
+	for _, tc := range []struct {
+		in   [2]bool
+		want [5]bool
+	}{
+		{[2]bool{false, false}, [5]bool{false, false, false, true, true}},
+		{[2]bool{false, true}, [5]bool{true, false, true, true, false}},
+		{[2]bool{true, false}, [5]bool{true, false, true, false, false}},
+		{[2]bool{true, true}, [5]bool{false, true, true, false, true}},
+	} {
+		got := c.Evaluate(tc.in[:])
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("in=%v out[%d]=%v want %v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestMuxTreeMatchesTable(t *testing.T) {
+	table := make([]bool, 256)
+	for i := range table {
+		table[i] = (i*37+11)%3 == 0
+	}
+	b := NewBuilder(8)
+	out := b.MuxTree(b.Inputs(0, 8), table)
+	c := b.Build([]Ref{out})
+	for v := 0; v < 256; v++ {
+		in := make([]bool, 8)
+		for j := 0; j < 8; j++ {
+			in[j] = v&(1<<uint(j)) != 0
+		}
+		if got := c.Evaluate(in)[0]; got != table[v] {
+			t.Fatalf("MuxTree(%d) = %v, want %v", v, got, table[v])
+		}
+	}
+}
+
+func TestEqualConstAndEqual(t *testing.T) {
+	b := NewBuilder(8)
+	xs := b.Inputs(0, 4)
+	ys := b.Inputs(4, 4)
+	c := b.Build([]Ref{
+		b.EqualConst(xs, []bool{true, false, true, false}),
+		b.Equal(xs, ys),
+	})
+	in := []bool{true, false, true, false, true, false, true, false}
+	got := c.Evaluate(in)
+	if !got[0] || !got[1] {
+		t.Fatalf("expected both equalities true, got %v", got)
+	}
+	in[0] = false
+	got = c.Evaluate(in)
+	if got[0] || got[1] {
+		t.Fatalf("expected both equalities false, got %v", got)
+	}
+}
+
+func TestSBoxGeneration(t *testing.T) {
+	sb := SBoxTable()
+	// Known values from FIPS-197.
+	known := map[int]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0x10: 0xca}
+	for in, want := range known {
+		if sb[in] != want {
+			t.Fatalf("sbox[%#x] = %#x, want %#x", in, sb[in], want)
+		}
+	}
+	// The S-box must be a permutation.
+	var seen [256]bool
+	for _, v := range sb {
+		if seen[v] {
+			t.Fatal("sbox is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSBoxCircuitsExhaustive(t *testing.T) {
+	sb := SBoxTable()
+	for _, impl := range []SBoxImpl{SBoxGF, SBoxMux} {
+		b := NewBuilder(8)
+		var in cbyte
+		copy(in[:], b.Inputs(0, 8))
+		out := subByte(b, in, impl)
+		c := b.Build(out[:])
+		for v := 0; v < 256; v++ {
+			bits := make([]bool, 8)
+			for j := 0; j < 8; j++ {
+				bits[j] = v&(1<<uint(j)) != 0
+			}
+			got := BitsToBytes(c.Evaluate(bits))[0]
+			if got != sb[v] {
+				t.Fatalf("impl %v: sbox(%#x) = %#x, want %#x", impl, v, got, sb[v])
+			}
+		}
+	}
+}
+
+func TestGFMulMatchesReference(t *testing.T) {
+	// Reference GF(2^8) multiply.
+	ref := func(a, y byte) byte {
+		var p byte
+		for i := 0; i < 8; i++ {
+			if y&1 != 0 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1B
+			}
+			y >>= 1
+		}
+		return p
+	}
+	b := NewBuilder(16)
+	var x, y cbyte
+	copy(x[:], b.Inputs(0, 8))
+	copy(y[:], b.Inputs(8, 8))
+	out := gfMul(b, x, y)
+	c := b.Build(out[:])
+	f := func(a, bb byte) bool {
+		in := BytesToBits([]byte{a, bb})
+		got := BitsToBytes(c.Evaluate(in))[0]
+		return got == ref(a, bb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAES128CircuitFIPS197Vector(t *testing.T) {
+	// FIPS-197 appendix C.1.
+	key := []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+		0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}
+	pt := []byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+		0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	want := []byte{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+		0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}
+	for _, impl := range []SBoxImpl{SBoxGF, SBoxMux} {
+		c := BuildAES128(impl)
+		in := append(BytesToBits(key), BytesToBits(pt)...)
+		got := BitsToBytes(c.Evaluate(in))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("impl %v: AES circuit = %x, want %x", impl, got, want)
+		}
+	}
+}
+
+func TestAES128CircuitMatchesStdlib(t *testing.T) {
+	c := BuildAES128(SBoxGF)
+	for i := 0; i < 10; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rand.Read(key)
+		rand.Read(pt)
+		blk, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 16)
+		blk.Encrypt(want, pt)
+		in := append(BytesToBits(key), BytesToBits(pt)...)
+		got := BitsToBytes(c.Evaluate(in))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key=%x pt=%x: circuit=%x stdlib=%x", key, pt, got, want)
+		}
+	}
+}
+
+func TestAESGateCountAblation(t *testing.T) {
+	gf := BuildAES128(SBoxGF)
+	mux := BuildAES128(SBoxMux)
+	if gf.NumAND() >= mux.NumAND() {
+		t.Fatalf("GF S-box (%d ANDs) not smaller than mux S-box (%d ANDs)",
+			gf.NumAND(), mux.NumAND())
+	}
+	// 200 S-boxes x 256 ANDs = 51200 plus nothing else costs ANDs.
+	if gf.NumAND() != 200*4*64 {
+		t.Fatalf("GF AES AND count = %d, want %d", gf.NumAND(), 200*4*64)
+	}
+	t.Logf("AES-128 AND gates: gf=%d mux=%d (total gates gf=%d mux=%d)",
+		gf.NumAND(), mux.NumAND(), len(gf.Gates), len(mux.Gates))
+}
+
+func TestRuleEncryptCircuit(t *testing.T) {
+	c := BuildRuleEncrypt(SBoxGF)
+
+	key := make([]byte, 16)
+	krg := make([]byte, 16)
+	x := make([]byte, 16)
+	rand.Read(key)
+	rand.Read(krg)
+	rand.Read(x)
+
+	aesOf := func(k, m []byte) []byte {
+		blk, _ := aes.NewCipher(k)
+		out := make([]byte, 16)
+		blk.Encrypt(out, m)
+		return out
+	}
+	tag := aesOf(krg, x)
+
+	in := make([]bool, RuleEncryptNInputs)
+	copy(in[RuleEncryptXOff:], BytesToBits(x))
+	copy(in[RuleEncryptTagOff:], BytesToBits(tag))
+	copy(in[RuleEncryptKOff:], BytesToBits(key))
+	copy(in[RuleEncryptKRGOff:], BytesToBits(krg))
+
+	got := BitsToBytes(c.Evaluate(in))
+	if !bytes.Equal(got, aesOf(key, x)) {
+		t.Fatalf("authorized input: F = %x, want AES_k(x) = %x", got, aesOf(key, x))
+	}
+
+	// Flip one tag bit: output must be all zeros (unauthorized).
+	in[RuleEncryptTagOff] = !in[RuleEncryptTagOff]
+	got = BitsToBytes(c.Evaluate(in))
+	for _, by := range got {
+		if by != 0 {
+			t.Fatalf("unauthorized input: F = %x, want zeros", got)
+		}
+	}
+}
+
+func TestBytesBitsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 64 {
+			return true
+		}
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateWrongInputCountPanics(t *testing.T) {
+	b := NewBuilder(2)
+	c := b.Build([]Ref{b.Input(0)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input count")
+		}
+	}()
+	c.Evaluate([]bool{true})
+}

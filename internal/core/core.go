@@ -1,0 +1,215 @@
+// Package core is the BlindBox protocol engine: it composes tokenization
+// (§3), DPIEnc encryption (§3.1), the receiver-side token validation
+// (§3.4) and the glue between signed rulesets, obfuscated rule encryption
+// and the detection engine. The transport package runs these pipelines over
+// real connections; examples and benchmarks can also drive them directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/detect"
+	"repro/internal/dpienc"
+	"repro/internal/ruleprep"
+	"repro/internal/rules"
+	"repro/internal/tokenize"
+)
+
+// Config fixes the per-connection protocol parameters both endpoints and
+// the middlebox must agree on.
+type Config struct {
+	// Protocol selects BlindBox Protocol I, II or III.
+	Protocol dpienc.Protocol
+	// Mode selects window- or delimiter-based tokenization.
+	Mode tokenize.Mode
+	// Salt0 is the initial DPIEnc salt.
+	Salt0 uint64
+}
+
+// DefaultConfig matches the paper's primary evaluation configuration:
+// Protocol II with delimiter tokenization.
+func DefaultConfig() Config {
+	return Config{Protocol: dpienc.ProtocolII, Mode: tokenize.Delimiter}
+}
+
+// SaltReset is emitted by the sender pipeline when its counter table
+// resets; the new Salt0 must reach the middlebox before later tokens.
+type SaltReset struct {
+	Salt0 uint64
+}
+
+// SenderPipeline turns outgoing plaintext into the encrypted token stream.
+// It owns a tokenizer and a DPIEnc sender whose state must see the traffic
+// in transmission order.
+type SenderPipeline struct {
+	cfg Config
+	tk  *tokenize.Tokenizer
+	enc *dpienc.Sender
+}
+
+// NewSenderPipeline creates the sender side of one connection direction.
+func NewSenderPipeline(keys bbcrypto.SessionKeys, cfg Config) *SenderPipeline {
+	return &SenderPipeline{
+		cfg: cfg,
+		tk:  tokenize.New(cfg.Mode),
+		enc: dpienc.NewSender(keys.K, keys.KSSL, cfg.Protocol, cfg.Salt0),
+	}
+}
+
+// ProcessText tokenizes and encrypts a chunk of inspectable (text) payload,
+// returning the encrypted tokens and, if the counter table reset, the salt
+// announcement. The reset is checked before encrypting, so an announced
+// salt always precedes the tokens that use it.
+func (p *SenderPipeline) ProcessText(data []byte) ([]dpienc.EncryptedToken, *SaltReset) {
+	reset := p.accountAndMaybeReset(len(data))
+	toks := p.tk.Append(data)
+	return p.enc.EncryptTokens(toks), reset
+}
+
+// ProcessBinary accounts for payload the IDS does not inspect (images,
+// video): no new tokens are formed, but stream offsets advance and
+// buffered text is finalized (possibly emitting its trailing tokens).
+func (p *SenderPipeline) ProcessBinary(n int) ([]dpienc.EncryptedToken, *SaltReset) {
+	reset := p.accountAndMaybeReset(n)
+	toks := p.tk.Skip(n)
+	return p.enc.EncryptTokens(toks), reset
+}
+
+// Flush finalizes the stream, returning the trailing tokens.
+func (p *SenderPipeline) Flush() []dpienc.EncryptedToken {
+	return p.enc.EncryptTokens(p.tk.Flush())
+}
+
+func (p *SenderPipeline) accountAndMaybeReset(n int) *SaltReset {
+	if salt0, reset := p.enc.AccountBytes(n); reset {
+		return &SaltReset{Salt0: salt0}
+	}
+	return nil
+}
+
+// Salt0 returns the current initial salt.
+func (p *SenderPipeline) Salt0() uint64 { return p.enc.Salt0() }
+
+// SetResetInterval overrides the counter-reset interval P.
+func (p *SenderPipeline) SetResetInterval(n int) { p.enc.SetResetInterval(n) }
+
+// ErrTokenMismatch is returned by the validator when the received token
+// stream differs from what an honest sender would have produced — evidence
+// that the sending endpoint tried to evade detection (§3.4).
+var ErrTokenMismatch = errors.New("core: encrypted token stream does not match payload")
+
+// Validator is the receiver-side check of §3.4: it re-tokenizes and
+// re-encrypts the decrypted SSL payload and compares the result against the
+// encrypted tokens forwarded by the middlebox.
+type Validator struct {
+	pipe *SenderPipeline
+	// pending holds received tokens not yet consumed by recomputation.
+	pending []dpienc.EncryptedToken
+}
+
+// NewValidator creates a validator; it must be given the same session keys
+// and config as the sender it checks.
+func NewValidator(keys bbcrypto.SessionKeys, cfg Config) *Validator {
+	return &Validator{pipe: NewSenderPipeline(keys, cfg)}
+}
+
+// ReceiveTokens buffers tokens forwarded by the middlebox.
+func (v *Validator) ReceiveTokens(toks []dpienc.EncryptedToken) {
+	v.pending = append(v.pending, toks...)
+}
+
+// ValidateText recomputes the tokens for a decrypted text chunk and checks
+// them against the buffered received tokens.
+func (v *Validator) ValidateText(data []byte) error {
+	toks, _ := v.pipe.ProcessText(data)
+	return v.consume(toks)
+}
+
+// ValidateBinary accounts for uninspected payload.
+func (v *Validator) ValidateBinary(n int) error {
+	toks, _ := v.pipe.ProcessBinary(n)
+	return v.consume(toks)
+}
+
+// Finish checks the trailing tokens and that no received tokens remain
+// unexplained.
+func (v *Validator) Finish() error {
+	if err := v.consume(v.pipe.Flush()); err != nil {
+		return err
+	}
+	if len(v.pending) != 0 {
+		return fmt.Errorf("%w: %d surplus tokens", ErrTokenMismatch, len(v.pending))
+	}
+	return nil
+}
+
+func (v *Validator) consume(want []dpienc.EncryptedToken) error {
+	if len(v.pending) < len(want) {
+		return fmt.Errorf("%w: missing %d tokens", ErrTokenMismatch, len(want)-len(v.pending))
+	}
+	for i, w := range want {
+		got := v.pending[i]
+		if got.C1 != w.C1 || got.Offset != w.Offset || got.C2 != w.C2 {
+			return fmt.Errorf("%w: token at stream offset %d", ErrTokenMismatch, w.Offset)
+		}
+	}
+	v.pending = v.pending[len(want):]
+	return nil
+}
+
+// BuildRequest converts a signed ruleset into the obfuscated-rule-
+// encryption request the middlebox runs against the endpoints: the
+// distinct fragments for the tokenization mode, paired with RG's tags.
+// Fragments without a tag (never issued by RG) are omitted — the circuit
+// would reject them anyway.
+func BuildRequest(sr *rules.SignedRuleset, mode tokenize.Mode) ruleprep.Request {
+	var req ruleprep.Request
+	for _, f := range sr.Ruleset.Fragments(mode) {
+		blk := rules.FragmentBlock(f)
+		tag, ok := sr.Tags[blk]
+		if !ok {
+			continue
+		}
+		req.Fragments = append(req.Fragments, blk)
+		req.Tags = append(req.Tags, tag)
+	}
+	return req
+}
+
+// TokenKeysFromPrep assembles the detection key map from a rule-preparation
+// result (nil entries — unauthorized fragments — are skipped).
+func TokenKeysFromPrep(req ruleprep.Request, keys []*dpienc.TokenKey) detect.TokenKeys {
+	out := make(detect.TokenKeys, len(keys))
+	for i, k := range keys {
+		if k != nil {
+			out[req.Fragments[i]] = *k
+		}
+	}
+	return out
+}
+
+// DirectTokenKeys computes the token keys directly from the session key —
+// the trusted-setup shortcut used by benchmarks and tests that exercise
+// detection without paying for garbling. Real connections use the
+// rule-preparation exchange instead.
+func DirectTokenKeys(k bbcrypto.Block, rs *rules.Ruleset, mode tokenize.Mode) detect.TokenKeys {
+	keys := make(detect.TokenKeys)
+	for _, f := range rs.Fragments(mode) {
+		var t [tokenize.TokenSize]byte
+		copy(t[:], f[:])
+		keys[rules.FragmentBlock(f)] = dpienc.ComputeTokenKey(k, t)
+	}
+	return keys
+}
+
+// NewDetectEngine builds the middlebox detection engine for a connection.
+func NewDetectEngine(rs *rules.Ruleset, keys detect.TokenKeys, cfg Config, idx detect.Index) *detect.Engine {
+	return detect.NewEngine(rs, keys, detect.Config{
+		Mode:     cfg.Mode,
+		Protocol: cfg.Protocol,
+		Salt0:    cfg.Salt0,
+		Index:    idx,
+	})
+}

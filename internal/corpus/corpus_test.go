@@ -1,0 +1,183 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/rules"
+	"repro/internal/tokenize"
+)
+
+func TestSynthesizeTextProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	text := SynthesizeText(rng, 50<<10)
+	if len(text) != 50<<10 {
+		t.Fatalf("length = %d", len(text))
+	}
+	delims := 0
+	for _, b := range text {
+		if tokenize.IsDelimiter(b) {
+			delims++
+		}
+	}
+	frac := float64(delims) / float64(len(text))
+	if frac < 0.10 || frac > 0.40 {
+		t.Fatalf("delimiter density %.2f outside web-typical range", frac)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := SynthesizeText(rand.New(rand.NewSource(5)), 1024)
+	b := SynthesizeText(rand.New(rand.NewSource(5)), 1024)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different text")
+	}
+}
+
+func TestSiteProfilesGenerate(t *testing.T) {
+	for _, sp := range Sites {
+		page := sp.Generate(42)
+		st := page.Stats()
+		if st.TotalBytes < sp.TotalBytes*9/10 || st.TotalBytes > sp.TotalBytes*11/10+4096 {
+			t.Errorf("%s: total %d, want ~%d", sp.Name, st.TotalBytes, sp.TotalBytes)
+		}
+		gotFrac := float64(st.TextBytes) / float64(st.TotalBytes)
+		if math.Abs(gotFrac-sp.TextFraction) > 0.10 {
+			t.Errorf("%s: text fraction %.2f, want ~%.2f", sp.Name, gotFrac, sp.TextFraction)
+		}
+		if len(page.Resources) == 0 || page.Resources[0].ContentType != "text/html" {
+			t.Errorf("%s: missing primary document", sp.Name)
+		}
+	}
+}
+
+func TestTop50Shape(t *testing.T) {
+	pages := Top50(7)
+	if len(pages) != 50 {
+		t.Fatalf("got %d pages", len(pages))
+	}
+	lowText, highText := 0, 0
+	for _, p := range pages {
+		st := p.Stats()
+		frac := float64(st.TextBytes) / float64(st.TotalBytes)
+		if frac < 0.15 {
+			lowText++
+		}
+		if frac > 0.85 {
+			highText++
+		}
+	}
+	if lowText == 0 || highText == 0 {
+		t.Fatalf("top-50 lacks extremes: %d video-like, %d text-like", lowText, highText)
+	}
+}
+
+func TestDatasetRulesetsMatchTable1Fractions(t *testing.T) {
+	for _, spec := range Datasets {
+		rs, err := spec.Generate(11)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(rs.Rules) < spec.NumRules*95/100 {
+			t.Fatalf("%s: only %d rules generated", spec.Name, len(rs.Rules))
+		}
+		p1, p2, p3 := rs.ProtocolBreakdown()
+		if math.Abs(p1-spec.P1Frac) > 0.02 {
+			t.Errorf("%s: P1 = %.3f, want %.3f", spec.Name, p1, spec.P1Frac)
+		}
+		if math.Abs(p2-spec.P2Frac) > 0.02 {
+			t.Errorf("%s: P2 = %.3f, want %.3f", spec.Name, p2, spec.P2Frac)
+		}
+		if p3 != 1.0 {
+			t.Errorf("%s: P3 = %.3f", spec.Name, p3)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	if _, ok := DatasetByName("Lastline"); !ok {
+		t.Fatal("Lastline not found")
+	}
+	if _, ok := DatasetByName("nope"); ok {
+		t.Fatal("bogus dataset found")
+	}
+}
+
+func TestGeneratedKeywordsAreUnique(t *testing.T) {
+	spec := Datasets[3] // ET, the largest
+	rs, err := spec.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, kw := range rs.Keywords() {
+		if seen[string(kw)] {
+			t.Fatalf("duplicate keyword %q", kw)
+		}
+		seen[string(kw)] = true
+	}
+}
+
+func TestAttackTraceDetectableByBaseline(t *testing.T) {
+	spec := RulesetSpec{Name: "trace-test", NumRules: 60, P1Frac: 0.3, P2Frac: 0.8, AvgKeywords: 3}
+	rs, err := spec.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTraceConfig()
+	cfg.Flows = 40
+	cfg.MisalignFraction = 0
+	flows := AttackTrace(21, rs, cfg)
+	ids := baseline.New(rs)
+	detected, injected := 0, 0
+	for _, f := range flows {
+		injected += len(f.InjectedSIDs)
+		res := ids.Inspect(f.Payload)
+		detected += len(res.RuleSIDs)
+	}
+	if injected == 0 {
+		t.Fatal("no attacks injected")
+	}
+	// The plaintext baseline should confirm the majority of injections
+	// (some rules carry offset constraints the injector only satisfies by
+	// luck; those are excluded from accuracy scoring by construction).
+	if float64(detected) < 0.6*float64(injected) {
+		t.Fatalf("baseline confirmed %d of %d injections", detected, injected)
+	}
+}
+
+func TestAttackTraceCleanWithoutAttacks(t *testing.T) {
+	spec := RulesetSpec{Name: "clean", NumRules: 40, P1Frac: 1, P2Frac: 1, AvgKeywords: 1}
+	rs, err := spec.Generate(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TraceConfig{Flows: 20, FlowBytes: 4 << 10, AttacksPerFlow: 0}
+	flows := AttackTrace(5, rs, cfg)
+	ids := baseline.New(rs)
+	for i, f := range flows {
+		if len(f.InjectedSIDs) != 0 {
+			t.Fatalf("flow %d has injections", i)
+		}
+		if res := ids.Inspect(f.Payload); len(res.RuleSIDs) != 0 {
+			t.Fatalf("flow %d: benign payload matched rules %v", i, res.RuleSIDs)
+		}
+	}
+}
+
+func TestGeneratedRulesRoundTripThroughParser(t *testing.T) {
+	// Every generated rule must parse and re-classify consistently.
+	for _, spec := range Datasets[:3] {
+		rs, err := spec.Generate(17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs.Rules {
+			if _, err := rules.ParseRule(r.Raw); err != nil {
+				t.Fatalf("%s: generated rule does not reparse: %v", spec.Name, err)
+			}
+		}
+	}
+}

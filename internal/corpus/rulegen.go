@@ -1,0 +1,173 @@
+// Synthetic ruleset generation modeled on the Table 1 datasets.
+
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// RulesetSpec statistically describes one Table 1 dataset: the fraction of
+// rules implementable by Protocol I (single keyword, no positions) and by
+// Protocol II (multiple keywords/positions); the remainder requires
+// Protocol III (regexps or scripting).
+type RulesetSpec struct {
+	Name string
+	// NumRules is the generated ruleset size.
+	NumRules int
+	// P1Frac and P2Frac are the Table 1 cumulative fractions.
+	P1Frac, P2Frac float64
+	// AvgKeywords is the mean keyword count of multi-keyword rules (the
+	// paper's industrial dataset averages three).
+	AvgKeywords float64
+	// MinKeywordLen, when positive, suppresses keywords shorter than this
+	// many bytes (the §7.1 accuracy experiment uses 8 so window-mode
+	// detection is not limited by sub-window keywords).
+	MinKeywordLen int
+}
+
+// Datasets mirrors Table 1 of the paper. NumRules approximates each
+// dataset's scale while staying benchmark-friendly; the *fractions* are
+// what the experiment reproduces.
+var Datasets = []RulesetSpec{
+	{Name: "Document watermarking", NumRules: 50, P1Frac: 1.00, P2Frac: 1.00, AvgKeywords: 1},
+	{Name: "Parental filtering", NumRules: 400, P1Frac: 1.00, P2Frac: 1.00, AvgKeywords: 1},
+	{Name: "Snort Community (HTTP)", NumRules: 600, P1Frac: 0.03, P2Frac: 0.67, AvgKeywords: 3},
+	{Name: "Snort Emerging Threats (HTTP)", NumRules: 1000, P1Frac: 0.016, P2Frac: 0.42, AvgKeywords: 3},
+	{Name: "McAfee Stonesoft IDS", NumRules: 500, P1Frac: 0.05, P2Frac: 0.40, AvgKeywords: 3},
+	{Name: "Lastline", NumRules: 400, P1Frac: 0.00, P2Frac: 0.291, AvgKeywords: 3},
+}
+
+// DatasetByName returns the named spec.
+func DatasetByName(name string) (RulesetSpec, bool) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return RulesetSpec{}, false
+}
+
+// keywordShapes produce realistic rule keywords. Each keyword's unique id
+// sits inside its *first delimiter-mode fragment* (the first TokenSize
+// bytes after a word start): under delimiter tokenization a long keyword
+// with no internal word starts is matched only by its leading fragment, so
+// a dictionary-word prefix would make thousands of rules fire on benign
+// prose — the prefix-matching caveat tokenize.SplitKeyword documents.
+var keywordShapes = []func(rng *rand.Rand, id string) string{
+	func(rng *rand.Rand, id string) string { // plain long word
+		return words[rng.Intn(len(words))][:3] + id + "xploit"
+	},
+	func(rng *rand.Rand, id string) string { // path
+		// The id is fused into every word-start fragment: a rule keyword
+		// containing a bare dictionary word as its own delimiter-bounded
+		// fragment would fire on all benign prose.
+		return "/cgi-bin/x" + id + words[rng.Intn(len(words))] + ".php"
+	},
+	func(rng *rand.Rand, id string) string { // query fragment
+		return "?cmd=" + id + words[rng.Intn(len(words))]
+	},
+	func(rng *rand.Rand, id string) string { // header
+		return "X-" + strings.Title(words[rng.Intn(len(words))]) + ": ev" + id
+	},
+	func(rng *rand.Rand, id string) string { // user agent fragment
+		return "Agent/" + id + "." + "v" + id + words[rng.Intn(len(words))]
+	},
+	func(rng *rand.Rand, id string) string { // short word (padded-token class)
+		return "w" + id
+	},
+}
+
+// keyword generates the n-th keyword of a ruleset. Keywords shorter than
+// minLen bytes use only the longer shapes (window-mode tokenization cannot
+// match sub-window keywords at all).
+func keyword(rng *rand.Rand, n, minLen int) string {
+	id := fmt.Sprintf("%05x", n)
+	for {
+		kw := keywordShapes[rng.Intn(len(keywordShapes))](rng, id)
+		if len(kw) >= minLen {
+			return kw
+		}
+	}
+}
+
+func escapePattern(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, `;`, `\;`)
+	return s
+}
+
+// Generate synthesizes a ruleset with the spec's protocol mix. Rule SIDs
+// start at 1000.
+func (spec RulesetSpec) Generate(seed int64) (*rules.Ruleset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		lines []string
+		kwSeq int
+	)
+	nextKw := func() string {
+		kwSeq++
+		return keyword(rng, kwSeq, spec.MinKeywordLen)
+	}
+	n1 := int(spec.P1Frac * float64(spec.NumRules))
+	n2 := int(spec.P2Frac*float64(spec.NumRules)) - n1
+	if n2 < 0 {
+		n2 = 0
+	}
+	n3 := spec.NumRules - n1 - n2
+	sid := 1000
+
+	for i := 0; i < n1; i++ {
+		sid++
+		lines = append(lines, fmt.Sprintf(
+			`alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"%s P1 rule %d"; content:"%s"; sid:%d;)`,
+			spec.Name, i, escapePattern(nextKw()), sid))
+	}
+	for i := 0; i < n2; i++ {
+		sid++
+		nk := keywordCount(rng, spec.AvgKeywords)
+		var opts []string
+		opts = append(opts, fmt.Sprintf(`msg:"%s P2 rule %d"`, spec.Name, i))
+		for j := 0; j < nk; j++ {
+			opts = append(opts, fmt.Sprintf(`content:"%s"`, escapePattern(nextKw())))
+			if j == 0 && rng.Intn(3) == 0 {
+				opts = append(opts, fmt.Sprintf("offset:%d", rng.Intn(32)), fmt.Sprintf("depth:%d", 64+rng.Intn(512)))
+			}
+		}
+		opts = append(opts, fmt.Sprintf("sid:%d", sid))
+		lines = append(lines, fmt.Sprintf(
+			`alert tcp $EXTERNAL_NET any -> $HOME_NET any (%s;)`, strings.Join(opts, "; ")))
+	}
+	for i := 0; i < n3; i++ {
+		sid++
+		kw := nextKw()
+		lines = append(lines, fmt.Sprintf(
+			`alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"%s P3 rule %d"; content:"%s"; pcre:"/%s[0-9a-f]{2,8}/"; sid:%d;)`,
+			spec.Name, i, escapePattern(kw), pcreEscape(kw), sid))
+	}
+	return rules.Parse(spec.Name, strings.Join(lines, "\n"))
+}
+
+// keywordCount draws the keyword count of one multi-keyword rule with the
+// requested mean (at least 2).
+func keywordCount(rng *rand.Rand, avg float64) int {
+	n := 2 + rng.Intn(int(2*avg)-2)
+	return n
+}
+
+var pcreMeta = "\\.+*?()|[]{}^$/"
+
+func pcreEscape(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		if strings.ContainsRune(pcreMeta, c) {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,378 @@
+// Package detect implements the BlindBox Detect protocol (§3.2) and the
+// rule-evaluation layers on top of it: Protocol I single-keyword matching,
+// Protocol II multi-keyword rules with offset constraints (§4), and
+// Protocol III probable-cause SSL-key recovery (§5).
+//
+// The engine's per-token work is a single search-structure lookup, the same
+// cost as inspecting unencrypted traffic; per-rule-fragment counters make
+// the implicit counter salts of the sender reproducible at the middlebox.
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/dpienc"
+	"repro/internal/rules"
+	"repro/internal/tokenize"
+)
+
+// TokenKeys maps padded fragment blocks to AES_k(fragment). The middlebox
+// obtains this map via obfuscated rule encryption (internal/ruleprep); it
+// never holds k itself.
+type TokenKeys map[bbcrypto.Block]dpienc.TokenKey
+
+// EventKind distinguishes the two detection events the engine reports.
+type EventKind int
+
+const (
+	// KeywordMatch fires when all fragments of one rule keyword have been
+	// observed at consistent offsets. The middlebox learns keyword matches
+	// even when the enclosing rule does not fully match (§4, security
+	// guarantee is per keyword).
+	KeywordMatch EventKind = iota
+	// RuleMatch fires when every keyword of a rule has matched and the
+	// rule's offset constraints are satisfiable.
+	RuleMatch
+)
+
+// Event is one detection result.
+type Event struct {
+	Kind EventKind
+	// Rule is the matched rule.
+	Rule *rules.Rule
+	// KeywordIndex identifies which content of the rule matched (for
+	// KeywordMatch events).
+	KeywordIndex int
+	// Offset is the stream offset of the (keyword) match.
+	Offset int
+	// SSLKey is the recovered kSSL under Protocol III (zero otherwise).
+	SSLKey bbcrypto.Block
+	// HasSSLKey reports whether SSLKey is valid.
+	HasSSLKey bool
+}
+
+// entry is the per-fragment detection state: the §3.2 counter ct* and the
+// precomputed encryption under the current expected salt.
+type entry struct {
+	frag bbcrypto.Block
+	tk   dpienc.TokenKey
+	ct   uint64
+	cur  dpienc.Ciphertext
+	refs []fragRef
+}
+
+type fragRef struct {
+	kw  *keywordState
+	idx int
+}
+
+// keywordState assembles fragment sightings into keyword matches.
+type keywordState struct {
+	rule    *compiledRule
+	kwIdx   int
+	content *rules.Content
+	rel     []int
+	nFrags  int
+	// missing is true when some fragment could not be compiled (keyword
+	// uncoverable under the tokenization mode) — the keyword can never
+	// match, contributing to the documented detection loss.
+	missing bool
+
+	// cands maps candidate keyword start offset -> bitmap of fragment
+	// indices observed there.
+	cands map[int]uint64
+	// matchOffsets records starts of complete keyword matches (bounded).
+	matchOffsets []int
+}
+
+const maxMatchOffsets = 64
+
+// compiledRule tracks rule-level progress.
+type compiledRule struct {
+	rule     *rules.Rule
+	keywords []*keywordState
+	alerted  bool
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Mode is the tokenization mode the sender uses; fragment compilation
+	// must mirror it.
+	Mode tokenize.Mode
+	// Protocol selects salt stride and Protocol III key recovery.
+	Protocol dpienc.Protocol
+	// Salt0 is the initial salt announced by the sender.
+	Salt0 uint64
+	// Index is the search structure; nil defaults to NewTreeIndex()
+	// (the paper's logarithmic structure).
+	Index Index
+}
+
+// Engine is the middlebox-side detection state for one connection.
+type Engine struct {
+	cfg     Config
+	salt0   uint64
+	stride  uint64
+	index   Index
+	entries map[bbcrypto.Block]*entry
+	order   []*entry
+	crules  []*compiledRule
+
+	// tokensSeen counts processed tokens, for throughput accounting.
+	tokensSeen uint64
+	// pruneWatermark drives candidate-map pruning.
+	pruneWatermark int
+}
+
+// NewEngine compiles a ruleset against the token keys obtained from rule
+// preparation. Fragments absent from keys leave their keywords unmatchable
+// (this is how uncoverable keywords and withheld authorizations degrade,
+// rather than break, detection).
+func NewEngine(rs *rules.Ruleset, keys TokenKeys, cfg Config) *Engine {
+	if cfg.Index == nil {
+		cfg.Index = NewTreeIndex()
+	}
+	e := &Engine{
+		cfg:     cfg,
+		salt0:   cfg.Salt0,
+		stride:  1,
+		index:   cfg.Index,
+		entries: make(map[bbcrypto.Block]*entry),
+	}
+	if cfg.Protocol == dpienc.ProtocolIII {
+		e.stride = 2
+	}
+	for _, r := range rs.Rules {
+		cr := &compiledRule{rule: r}
+		for ki := range r.Contents {
+			content := &r.Contents[ki]
+			ks := &keywordState{
+				rule:    cr,
+				kwIdx:   ki,
+				content: content,
+				cands:   make(map[int]uint64),
+			}
+			frags, rel := tokenize.SplitKeyword(cfg.Mode, content.Pattern)
+			if len(frags) == 0 || len(frags) > 64 {
+				ks.missing = true
+			} else {
+				ks.rel = rel
+				ks.nFrags = len(frags)
+				for idx, f := range frags {
+					blk := rules.FragmentBlock(f)
+					tk, ok := keys[blk]
+					if !ok {
+						ks.missing = true
+						break
+					}
+					ent := e.entries[blk]
+					if ent == nil {
+						ent = &entry{frag: blk, tk: tk}
+						ent.cur = dpienc.Encrypt(tk, e.salt0)
+						e.entries[blk] = ent
+						e.order = append(e.order, ent)
+					}
+					ent.refs = append(ent.refs, fragRef{kw: ks, idx: idx})
+				}
+			}
+			cr.keywords = append(cr.keywords, ks)
+		}
+		e.crules = append(e.crules, cr)
+	}
+	e.index.Rebuild(e.order)
+	return e
+}
+
+// NumFragments reports how many distinct fragments the engine searches for.
+func (e *Engine) NumFragments() int { return len(e.order) }
+
+// TokensSeen reports how many tokens have been processed.
+func (e *Engine) TokensSeen() uint64 { return e.tokensSeen }
+
+// Reset re-synchronizes with a sender counter-table reset (§3.2): all
+// fragment counters restart at zero under the announced salt0.
+func (e *Engine) Reset(salt0 uint64) {
+	e.salt0 = salt0
+	for _, ent := range e.order {
+		ent.ct = 0
+		ent.cur = dpienc.Encrypt(ent.tk, salt0)
+	}
+	e.index.Rebuild(e.order)
+}
+
+// ProcessToken runs one encrypted token through BlindBox Detect and returns
+// any detection events. Tokens must be processed in stream order.
+func (e *Engine) ProcessToken(et dpienc.EncryptedToken) []Event {
+	e.tokensSeen++
+	hits := e.index.Lookup(et.C1)
+	if len(hits) == 0 {
+		return nil
+	}
+	var events []Event
+	for _, ent := range hits {
+		// §3.2 steps 1.1.2–1.1.3: advance the counter, re-encrypt, and
+		// replace the node in the search structure.
+		saltUsed := e.salt0 + ent.ct
+		old := ent.cur
+		ent.ct += e.stride
+		ent.cur = dpienc.Encrypt(ent.tk, e.salt0+ent.ct)
+		e.index.Update(ent, old, ent.cur)
+
+		for _, ref := range ent.refs {
+			events = append(events, e.recordFragment(ref, ent, et, saltUsed)...)
+		}
+	}
+	e.maybePrune(et.Offset)
+	return events
+}
+
+// recordFragment folds one fragment sighting into keyword and rule state.
+func (e *Engine) recordFragment(ref fragRef, ent *entry, et dpienc.EncryptedToken, saltUsed uint64) []Event {
+	ks := ref.kw
+	start := et.Offset - ks.rel[ref.idx]
+	if start < 0 {
+		return nil
+	}
+	bits := ks.cands[start] | 1<<uint(ref.idx)
+	ks.cands[start] = bits
+	if bits != (uint64(1)<<uint(ks.nFrags))-1 {
+		return nil
+	}
+	delete(ks.cands, start)
+	if len(ks.matchOffsets) < maxMatchOffsets {
+		ks.matchOffsets = append(ks.matchOffsets, start)
+	}
+	ev := Event{
+		Kind:         KeywordMatch,
+		Rule:         ks.rule.rule,
+		KeywordIndex: ks.kwIdx,
+		Offset:       start,
+	}
+	if e.cfg.Protocol == dpienc.ProtocolIII {
+		// Probable cause: a keyword matched, so the middlebox may recover
+		// kSSL from the C2 of the token that completed the match (§5).
+		ev.SSLKey = dpienc.RecoverSSLKey(ent.tk, saltUsed, et.C2)
+		ev.HasSSLKey = true
+	}
+	events := []Event{ev}
+	if !ks.rule.alerted && e.ruleSatisfied(ks.rule) {
+		ks.rule.alerted = true
+		rev := Event{Kind: RuleMatch, Rule: ks.rule.rule, Offset: start}
+		if ev.HasSSLKey {
+			rev.SSLKey, rev.HasSSLKey = ev.SSLKey, true
+		}
+		events = append(events, rev)
+	}
+	return events
+}
+
+// ruleSatisfied reports whether every keyword of the rule has a match
+// assignment satisfying the rule's offset, depth, distance and within
+// constraints (§4). Match lists are small (bounded), so a depth-first
+// search over assignments is cheap.
+func (e *Engine) ruleSatisfied(cr *compiledRule) bool {
+	for _, ks := range cr.keywords {
+		if ks.missing || len(ks.matchOffsets) == 0 {
+			return false
+		}
+	}
+	return assign(cr.keywords, 0, -1)
+}
+
+// assign finds starts for keywords[i:] given the end offset of the previous
+// keyword match (prevEnd; -1 for the first keyword).
+func assign(kws []*keywordState, i, prevEnd int) bool {
+	if i == len(kws) {
+		return true
+	}
+	ks := kws[i]
+	c := ks.content
+	for _, start := range ks.matchOffsets {
+		if start < c.Offset {
+			continue
+		}
+		if c.Depth >= 0 && start+len(c.Pattern) > c.Offset+c.Depth {
+			continue
+		}
+		if prevEnd >= 0 && (c.Distance >= 0 || c.Within >= 0) {
+			// Relative constraints chain to the previous content match;
+			// contents without them may match anywhere.
+			gap := start - prevEnd
+			if gap < 0 {
+				continue
+			}
+			if c.Distance >= 0 && gap < c.Distance {
+				continue
+			}
+			// Snort `within`: this content must end within Within bytes
+			// of the previous match's end.
+			if c.Within >= 0 && gap+len(c.Pattern) > c.Within {
+				continue
+			}
+		}
+		if assign(kws, i+1, start+len(c.Pattern)) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybePrune discards stale keyword-start candidates far behind the stream
+// position, bounding memory on long flows. Keywords are at most a few
+// hundred bytes, so a 64 KiB horizon is generous.
+func (e *Engine) maybePrune(offset int) {
+	const horizon = 64 << 10
+	if offset < e.pruneWatermark+horizon {
+		return
+	}
+	e.pruneWatermark = offset
+	cut := offset - horizon
+	for _, cr := range e.crules {
+		for _, ks := range cr.keywords {
+			for start := range ks.cands {
+				if start < cut {
+					delete(ks.cands, start)
+				}
+			}
+		}
+	}
+}
+
+// Stats summarizes per-connection detection state.
+type Stats struct {
+	Fragments  int
+	Tokens     uint64
+	RulesTotal int
+	RulesFired int
+}
+
+// Stats returns detection statistics.
+func (e *Engine) Stats() Stats {
+	s := Stats{Fragments: len(e.order), Tokens: e.tokensSeen, RulesTotal: len(e.crules)}
+	for _, cr := range e.crules {
+		if cr.alerted {
+			s.RulesFired++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer for debugging.
+func (e *Engine) String() string {
+	s := e.Stats()
+	return fmt.Sprintf("detect.Engine{frags=%d tokens=%d rules=%d fired=%d}",
+		s.Fragments, s.Tokens, s.RulesTotal, s.RulesFired)
+}
+
+// DebugCounters exposes per-fragment hit counters for diagnostics and
+// tests: fragment text (trimmed of padding) -> occurrences matched so far.
+func (e *Engine) DebugCounters() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, ent := range e.order {
+		if ent.ct > 0 {
+			out[string(ent.frag[:tokenize.TokenSize])] = ent.ct
+		}
+	}
+	return out
+}

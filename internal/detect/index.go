@@ -1,0 +1,195 @@
+package detect
+
+import (
+	"repro/internal/dpienc"
+)
+
+// Index is the search structure BlindBox Detect keeps over the *current*
+// expected ciphertext of every rule fragment (§3.2). Lookups happen once
+// per traffic token; updates happen on matches (delete the old node,
+// insert the re-salted one).
+//
+// The paper describes a search tree with logarithmic operations; TreeIndex
+// implements one, and HashIndex is the O(1)-expected alternative the
+// benchmarks compare it against (DESIGN.md ablation #1).
+type Index interface {
+	// Lookup returns the entries whose current ciphertext equals c.
+	// Typically zero or one entry; more only on 40-bit collisions between
+	// rule fragments.
+	Lookup(c dpienc.Ciphertext) []*entry
+	// Update re-indexes e after its expected ciphertext changed from old
+	// to new (the §3.2 delete-then-insert step).
+	Update(e *entry, old, new dpienc.Ciphertext)
+	// Rebuild reconstructs the index from scratch (after a salt0 reset).
+	Rebuild(entries []*entry)
+	// Name identifies the implementation in benchmarks.
+	Name() string
+}
+
+// HashIndex keys entries by their 40-bit ciphertext in a map.
+type HashIndex struct {
+	m map[uint64][]*entry
+}
+
+// NewHashIndex returns an empty HashIndex.
+func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[uint64][]*entry)} }
+
+// Name implements Index.
+func (h *HashIndex) Name() string { return "hash" }
+
+// Lookup implements Index.
+func (h *HashIndex) Lookup(c dpienc.Ciphertext) []*entry { return h.m[c.Uint64()] }
+
+// Update implements Index.
+func (h *HashIndex) Update(e *entry, old, new dpienc.Ciphertext) {
+	h.remove(e, old.Uint64())
+	h.m[new.Uint64()] = append(h.m[new.Uint64()], e)
+}
+
+func (h *HashIndex) remove(e *entry, key uint64) {
+	s := h.m[key]
+	for i, x := range s {
+		if x == e {
+			s[i] = s[len(s)-1]
+			s = s[:len(s)-1]
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(h.m, key)
+	} else {
+		h.m[key] = s
+	}
+}
+
+// Rebuild implements Index.
+func (h *HashIndex) Rebuild(entries []*entry) {
+	h.m = make(map[uint64][]*entry, len(entries))
+	for _, e := range entries {
+		k := e.cur.Uint64()
+		h.m[k] = append(h.m[k], e)
+	}
+}
+
+// TreeIndex is a binary search tree over the 40-bit ciphertexts — the
+// logarithmic structure of §3.2. DPIEnc ciphertexts are outputs of a
+// pseudorandom permutation, so keys are uniform and a plain (unbalanced)
+// BST has expected logarithmic depth for search, insert and delete alike;
+// no rebalancing machinery is needed.
+type TreeIndex struct {
+	root *treeNode
+	size int
+}
+
+type treeNode struct {
+	key         uint64
+	entries     []*entry // usually one; >1 only on 40-bit collisions
+	left, right *treeNode
+}
+
+// NewTreeIndex returns an empty TreeIndex.
+func NewTreeIndex() *TreeIndex { return &TreeIndex{} }
+
+// Name implements Index.
+func (t *TreeIndex) Name() string { return "tree" }
+
+// Len returns the number of indexed entries.
+func (t *TreeIndex) Len() int { return t.size }
+
+// Lookup implements Index.
+func (t *TreeIndex) Lookup(c dpienc.Ciphertext) []*entry {
+	key := c.Uint64()
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.entries
+		}
+	}
+	return nil
+}
+
+// Update implements Index.
+func (t *TreeIndex) Update(e *entry, old, new dpienc.Ciphertext) {
+	t.delete(e, old.Uint64())
+	t.insert(e, new.Uint64())
+}
+
+func (t *TreeIndex) insert(e *entry, key uint64) {
+	t.size++
+	pos := &t.root
+	for *pos != nil {
+		n := *pos
+		switch {
+		case key < n.key:
+			pos = &n.left
+		case key > n.key:
+			pos = &n.right
+		default:
+			n.entries = append(n.entries, e)
+			return
+		}
+	}
+	*pos = &treeNode{key: key, entries: []*entry{e}}
+}
+
+func (t *TreeIndex) delete(e *entry, key uint64) {
+	pos := &t.root
+	for *pos != nil {
+		n := *pos
+		switch {
+		case key < n.key:
+			pos = &n.left
+		case key > n.key:
+			pos = &n.right
+		default:
+			for i, x := range n.entries {
+				if x == e {
+					n.entries[i] = n.entries[len(n.entries)-1]
+					n.entries = n.entries[:len(n.entries)-1]
+					t.size--
+					break
+				}
+			}
+			if len(n.entries) == 0 {
+				t.removeNode(pos)
+			}
+			return
+		}
+	}
+}
+
+// removeNode unlinks the node at *pos using the standard BST deletion:
+// leaf/one-child splice, or replace by in-order successor.
+func (t *TreeIndex) removeNode(pos **treeNode) {
+	n := *pos
+	switch {
+	case n.left == nil:
+		*pos = n.right
+	case n.right == nil:
+		*pos = n.left
+	default:
+		// Find the minimum of the right subtree.
+		succPos := &n.right
+		for (*succPos).left != nil {
+			succPos = &(*succPos).left
+		}
+		succ := *succPos
+		*succPos = succ.right
+		succ.left, succ.right = n.left, n.right
+		*pos = succ
+	}
+}
+
+// Rebuild implements Index.
+func (t *TreeIndex) Rebuild(entries []*entry) {
+	t.root = nil
+	t.size = 0
+	for _, e := range entries {
+		t.insert(e, e.cur.Uint64())
+	}
+}

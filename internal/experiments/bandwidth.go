@@ -1,0 +1,175 @@
+// Figure 5 (a/b): bandwidth overhead of token transmission over the
+// top-50 page dataset, under window-based and delimiter-based
+// tokenization. Figure 6: CDF of the transmitted-bytes ratio relative to
+// plaintext and to gzip-compressed baselines.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/dpienc"
+	"repro/internal/httpsim"
+	"repro/internal/tokenize"
+)
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(Seed)) }
+
+// BandwidthRow is one page's token-overhead measurement.
+type BandwidthRow struct {
+	Page       string
+	TotalBytes int
+	TextBytes  int
+	BinBytes   int
+	// WindowTokenBytes / DelimTokenBytes are the encrypted-token bytes
+	// added under each tokenization (5 bytes per token).
+	WindowTokenBytes int
+	DelimTokenBytes  int
+	// GzipBytes is the gzip baseline for Fig. 6.
+	GzipBytes int
+}
+
+// Overhead ratios vs. the plaintext page.
+func (r BandwidthRow) WindowOverhead() float64 {
+	return float64(r.TotalBytes+r.WindowTokenBytes) / float64(r.TotalBytes)
+}
+
+// DelimOverhead is the delimiter-tokenization ratio.
+func (r BandwidthRow) DelimOverhead() float64 {
+	return float64(r.TotalBytes+r.DelimTokenBytes) / float64(r.TotalBytes)
+}
+
+// WindowVsGzip and DelimVsGzip are Fig. 6's compressed-baseline ratios:
+// transmitted bytes with BlindBox over transmitted bytes with SSL+gzip.
+func (r BandwidthRow) WindowVsGzip() float64 {
+	return float64(r.GzipBytes+r.WindowTokenBytes) / float64(r.GzipBytes)
+}
+
+// DelimVsGzip is the delimiter-mode gzip-relative ratio.
+func (r BandwidthRow) DelimVsGzip() float64 {
+	return float64(r.GzipBytes+r.DelimTokenBytes) / float64(r.GzipBytes)
+}
+
+// Bandwidth measures every top-50 page under both tokenizations.
+func Bandwidth() []BandwidthRow {
+	pages := corpus.Top50(Seed)
+	rows := make([]BandwidthRow, 0, len(pages))
+	for _, p := range pages {
+		rows = append(rows, measurePage(p))
+	}
+	// The paper's Fig. 5 x-axis orders pages; order by total size.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].TotalBytes < rows[j].TotalBytes })
+	return rows
+}
+
+func measurePage(p *httpsim.Page) BandwidthRow {
+	st := p.Stats()
+	row := BandwidthRow{
+		Page:       p.Name,
+		TotalBytes: st.TotalBytes,
+		TextBytes:  st.TextBytes,
+		BinBytes:   st.BinBytes,
+		GzipBytes:  p.GzipTextBytes(),
+	}
+	row.WindowTokenBytes = countPageTokens(p, tokenize.Window) * dpienc.CiphertextSize
+	row.DelimTokenBytes = countPageTokens(p, tokenize.Delimiter) * dpienc.CiphertextSize
+	return row
+}
+
+// BandwidthSummary aggregates Fig. 5's headline statistics.
+type BandwidthSummary struct {
+	WindowMedian, WindowMin, WindowMax float64
+	DelimMedian, DelimMin, DelimMax    float64
+}
+
+// Summarize computes medians and extremes over the rows.
+func Summarize(rows []BandwidthRow) BandwidthSummary {
+	var win, del []float64
+	for _, r := range rows {
+		win = append(win, r.WindowOverhead())
+		del = append(del, r.DelimOverhead())
+	}
+	var s BandwidthSummary
+	s.WindowMedian = median(append([]float64(nil), win...))
+	s.DelimMedian = median(append([]float64(nil), del...))
+	s.WindowMin, s.WindowMax = minMax(win)
+	s.DelimMin, s.DelimMax = minMax(del)
+	return s
+}
+
+// PrintBandwidth renders Fig. 5 as per-page rows plus the summary the
+// paper quotes (window: median 4x worst 24x; delimiter: median 2.5x,
+// best 1.1x, worst 14x).
+func PrintBandwidth(w io.Writer, rows []BandwidthRow) {
+	fmt.Fprintln(w, "Figure 5: bandwidth overhead over the top-50 page dataset")
+	t := newTable(w)
+	t.row("Page", "Total", "Text", "Binary", "WindowTokens", "ratio", "DelimTokens", "ratio")
+	for _, r := range rows {
+		t.row(r.Page, fmtBytes(r.TotalBytes), fmtBytes(r.TextBytes), fmtBytes(r.BinBytes),
+			fmtBytes(r.WindowTokenBytes), fmt.Sprintf("%.1fx", r.WindowOverhead()),
+			fmtBytes(r.DelimTokenBytes), fmt.Sprintf("%.1fx", r.DelimOverhead()))
+	}
+	t.flush()
+	s := Summarize(rows)
+	fmt.Fprintf(w, "window:    median %.1fx  min %.1fx  max %.1fx   (paper: median 4x, max 24x)\n",
+		s.WindowMedian, s.WindowMin, s.WindowMax)
+	fmt.Fprintf(w, "delimiter: median %.1fx  min %.1fx  max %.1fx   (paper: median 2.5x, min 1.1x, max 14x)\n",
+		s.DelimMedian, s.DelimMin, s.DelimMax)
+}
+
+// CDFPoint is one point of a Fig. 6 curve.
+type CDFPoint struct {
+	Ratio float64
+	Frac  float64
+}
+
+// CDF builds the cumulative distribution of a ratio extractor over rows.
+func CDF(rows []BandwidthRow, f func(BandwidthRow) float64) []CDFPoint {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = f(r)
+	}
+	sort.Float64s(vals)
+	pts := make([]CDFPoint, len(vals))
+	for i, v := range vals {
+		pts[i] = CDFPoint{Ratio: v, Frac: float64(i+1) / float64(len(vals))}
+	}
+	return pts
+}
+
+// PrintFig6 renders the four Fig. 6 CDFs at decile resolution.
+func PrintFig6(w io.Writer, rows []BandwidthRow) {
+	fmt.Fprintln(w, "Figure 6: CDF of transmitted-bytes ratio (BlindBox / baseline)")
+	curves := []struct {
+		name string
+		f    func(BandwidthRow) float64
+	}{
+		{"delim vs plaintext", BandwidthRow.DelimOverhead},
+		{"window vs plaintext", BandwidthRow.WindowOverhead},
+		{"delim vs gzip", BandwidthRow.DelimVsGzip},
+		{"window vs gzip", BandwidthRow.WindowVsGzip},
+	}
+	t := newTable(w)
+	header := []string{"CDF"}
+	for p := 10; p <= 100; p += 10 {
+		header = append(header, fmt.Sprintf("p%d", p))
+	}
+	t.row(header...)
+	for _, c := range curves {
+		pts := CDF(rows, c.f)
+		cells := []string{c.name}
+		for p := 10; p <= 100; p += 10 {
+			idx := p*len(pts)/100 - 1
+			if idx < 0 {
+				idx = 0
+			}
+			cells = append(cells, fmt.Sprintf("%.1fx", pts[idx].Ratio))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+}

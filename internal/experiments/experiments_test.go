@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/netem"
+	"repro/internal/tokenize"
+)
+
+func TestTable1MatchesPaperFractions(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if diff := r.P1 - r.PaperP1; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: P1 %.3f vs paper %.3f", r.Dataset, r.P1, r.PaperP1)
+		}
+		if diff := r.P2 - r.PaperP2; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: P2 %.3f vs paper %.3f", r.Dataset, r.P2, r.PaperP2)
+		}
+		if r.P3 != 1.0 {
+			t.Errorf("%s: P3 = %.3f", r.Dataset, r.P3)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Lastline") {
+		t.Fatal("print output missing dataset")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table2 micro-benchmarks are slow")
+	}
+	rows, err := Table2(Table2Options{SetupKeywords: 1, MinSample: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) Table2Row {
+		for _, r := range rows {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return Table2Row{}
+	}
+	enc := get("Encrypt (128 bits)")
+	// Order-of-magnitude ordering of the paper: FE >> searchable > BB.
+	if enc.FE.Value < 1000*enc.BlindBox.Value {
+		t.Errorf("FE encrypt (%v) not ~orders slower than BlindBox (%v)", enc.FE.Value, enc.BlindBox.Value)
+	}
+	if enc.Searchable.Value < 2*enc.BlindBox.Value {
+		t.Errorf("searchable encrypt (%v) not slower than BlindBox (%v)", enc.Searchable.Value, enc.BlindBox.Value)
+	}
+	det := get("Detect: 3K rules, 1 token")
+	// BlindBox detection is logarithmic; the searchable strawman is linear
+	// in rules: at 9900 keywords the gap must be large.
+	if det.Searchable.Value < 100*det.BlindBox.Value {
+		t.Errorf("searchable detect (%v) not ~orders slower than BlindBox (%v)", det.Searchable.Value, det.BlindBox.Value)
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Detect: 3K rules, 1 packet") {
+		t.Fatal("print output incomplete")
+	}
+}
+
+func TestPageLoadShapes(t *testing.T) {
+	rows20 := PageLoad(netem.Typical20Mbps(), tokenize.Delimiter)
+	if len(rows20) != len(corpus.Sites) {
+		t.Fatalf("got %d rows", len(rows20))
+	}
+	for _, r := range rows20 {
+		whole, text := r.Overhead()
+		if whole < 1.0 || text < 1.0 {
+			t.Errorf("%s: BlindBox faster than TLS (%.2f/%.2f)?", r.Site, whole, text)
+		}
+		if whole > 6 {
+			t.Errorf("%s: 20Mbps whole-page overhead %.1fx implausibly high", r.Site, whole)
+		}
+	}
+	// Video-heavy pages must have lower whole-page overhead than the
+	// text-heavy Gutenberg page (paper: 10-13% vs ~2x).
+	var youtube, gutenberg float64
+	for _, r := range rows20 {
+		w, _ := r.Overhead()
+		switch r.Site {
+		case "YouTube":
+			youtube = w
+		case "Gutenberg":
+			gutenberg = w
+		}
+	}
+	if youtube >= gutenberg {
+		t.Errorf("YouTube overhead (%.2f) not below Gutenberg (%.2f)", youtube, gutenberg)
+	}
+
+	// At 1 Gbps the text-heavy page becomes CPU-bound: its overhead must
+	// exceed its 20 Mbps overhead ratio relative... simply: Gutenberg at
+	// 1 Gbps shows a larger BB/TLS ratio than YouTube at 1 Gbps.
+	rows1g := PageLoad(netem.Fast1Gbps(), tokenize.Delimiter)
+	var yt1g, gb1g float64
+	for _, r := range rows1g {
+		w, _ := r.Overhead()
+		switch r.Site {
+		case "YouTube":
+			yt1g = w
+		case "Gutenberg":
+			gb1g = w
+		}
+	}
+	if gb1g < 2 {
+		t.Errorf("Gutenberg at 1Gbps overhead %.1fx — CPU-bound regime not visible", gb1g)
+	}
+	if yt1g >= gb1g {
+		t.Errorf("1Gbps: YouTube overhead (%.2f) not below Gutenberg (%.2f)", yt1g, gb1g)
+	}
+}
+
+func TestBandwidthShapes(t *testing.T) {
+	rows := Bandwidth()
+	if len(rows) != 50 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	s := Summarize(rows)
+	// Fig. 5 directional claims: delimiter < window, overheads in sane
+	// ranges around the paper's medians (4x window, 2.5x delimiter).
+	if s.DelimMedian >= s.WindowMedian {
+		t.Fatalf("delimiter median %.2f not below window median %.2f", s.DelimMedian, s.WindowMedian)
+	}
+	if s.WindowMedian < 2 || s.WindowMedian > 6 {
+		t.Errorf("window median %.2f far from paper's 4x", s.WindowMedian)
+	}
+	if s.DelimMedian < 1.5 || s.DelimMedian > 4 {
+		t.Errorf("delimiter median %.2f far from paper's 2.5x", s.DelimMedian)
+	}
+	if s.DelimMin > 1.3 {
+		t.Errorf("best-case delimiter overhead %.2f, paper sees 1.1x", s.DelimMin)
+	}
+	for _, r := range rows {
+		if r.DelimTokenBytes > r.WindowTokenBytes {
+			t.Errorf("%s: delimiter tokens exceed window tokens", r.Page)
+		}
+	}
+	var buf bytes.Buffer
+	PrintBandwidth(&buf, rows)
+	PrintFig6(&buf, rows)
+	if !strings.Contains(buf.String(), "window vs gzip") {
+		t.Fatal("fig6 output incomplete")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rows := Bandwidth()
+	pts := CDF(rows, BandwidthRow.DelimOverhead)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ratio < pts[i-1].Ratio || pts[i].Frac <= pts[i-1].Frac {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if pts[len(pts)-1].Frac != 1.0 {
+		t.Fatal("CDF does not reach 1")
+	}
+}
+
+func TestAccuracyShapes(t *testing.T) {
+	opt := DefaultAccuracyOptions()
+	opt.Rules = 120
+	opt.Trace.Flows = 60
+	results, err := Accuracy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.BaselineKeywords == 0 || r.BaselineRules == 0 {
+			t.Fatalf("%v: empty ground truth", r.Mode)
+		}
+		switch r.Mode {
+		case tokenize.Window:
+			if r.KeywordRate() < 0.99 || r.RuleRate() < 0.99 {
+				t.Errorf("window accuracy %.3f/%.3f, want ~100%%", r.KeywordRate(), r.RuleRate())
+			}
+		case tokenize.Delimiter:
+			if r.KeywordRate() < 0.90 || r.KeywordRate() > 1.0 {
+				t.Errorf("delimiter keyword rate %.3f outside plausible band", r.KeywordRate())
+			}
+			if r.RuleRate() < 0.88 {
+				t.Errorf("delimiter rule rate %.3f too low", r.RuleRate())
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintAccuracy(&buf, results)
+	if !strings.Contains(buf.String(), "97.1%") {
+		t.Fatal("accuracy print missing paper reference")
+	}
+}
+
+func TestThroughputShapes(t *testing.T) {
+	res, err := Throughput(ThroughputOptions{Rules: 400, TrafficBytes: 1 << 20, Mode: tokenize.Delimiter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlindBoxMbps <= 0 || res.BaselineMbps <= 0 || res.SenderMbps <= 0 {
+		t.Fatalf("non-positive rates: %+v", res)
+	}
+	var buf bytes.Buffer
+	PrintThroughput(&buf, res)
+	if !strings.Contains(buf.String(), "Mbps") {
+		t.Fatal("throughput print malformed")
+	}
+}
+
+func TestSetupLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("setup involves real garbling")
+	}
+	res, err := Setup(SetupOptions{MeasuredKeywords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CircuitANDs <= 0 || res.CircuitBytes <= 0 || res.GarbleOnly <= 0 {
+		t.Fatalf("degenerate setup result: %+v", res)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Linearity: the 10k point is 1000x the 10 point (both extrapolated
+	// from the same per-keyword cost here).
+	p10, p10k := res.Points[0], res.Points[3]
+	ratio := float64(p10k.Total) / float64(p10.Total)
+	if ratio < 990 || ratio > 1010 {
+		t.Fatalf("setup not linear: %f", ratio)
+	}
+	var buf bytes.Buffer
+	PrintSetup(&buf, res)
+	if !strings.Contains(buf.String(), "per keyword") {
+		t.Fatal("setup print malformed")
+	}
+}
+
+func TestMeasureCPURatesOrdering(t *testing.T) {
+	tlsRate, bbRate := MeasureCPURates(tokenize.Delimiter)
+	if tlsRate <= bbRate {
+		t.Fatalf("plain GCM (%.0f B/s) must outpace the BlindBox pipeline (%.0f B/s)", tlsRate, bbRate)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("garbling ablation is slow")
+	}
+	var buf bytes.Buffer
+	if err := AblationGarbleSBox(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationUnauthorized(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationGarbleRows(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "gf") || !strings.Contains(out, "mux") {
+		t.Fatal("sbox ablation output incomplete")
+	}
+	if !strings.Contains(out, "half gates") || !strings.Contains(out, "GRR3") {
+		t.Fatal("rows ablation output incomplete")
+	}
+	if !strings.Contains(out, "key=true") || !strings.Contains(out, "key=false") {
+		t.Fatalf("authorization ablation wrong: %s", out)
+	}
+}
+
+func TestThroughputScalingPositive(t *testing.T) {
+	agg, err := ThroughputScaling(ThroughputOptions{Rules: 100, TrafficBytes: 256 << 10, Mode: tokenize.Delimiter}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg <= 0 {
+		t.Fatalf("aggregate rate %f", agg)
+	}
+}
+
+func TestTimeOpSane(t *testing.T) {
+	// A busy loop (sleep granularity is too coarse to calibrate against).
+	var sink int
+	work := func() {
+		for i := 0; i < 10000; i++ {
+			sink += i * i
+		}
+	}
+	single := timeOp(5*time.Millisecond, work)
+	if single <= 0 {
+		t.Fatal("non-positive measurement")
+	}
+	// Doubling the work should roughly double the per-op time.
+	double := timeOp(5*time.Millisecond, func() { work(); work() })
+	ratio := float64(double) / float64(single)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Fatalf("timeOp not proportional: %v vs %v (ratio %.2f)", single, double, ratio)
+	}
+	_ = sink
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond: "500ns",
+		2 * time.Microsecond:  "2.0µs",
+		3 * time.Millisecond:  "3.0ms",
+		2 * time.Second:       "2.00s",
+		3 * time.Minute:       "3.0min",
+	}
+	for d, want := range cases {
+		if got := fmtDuration(d); got != want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+	if fmtBytes(512) != "512B" || fmtBytes(2048) != "2.0KB" || fmtBytes(3<<20) != "3.0MB" {
+		t.Error("fmtBytes wrong")
+	}
+	if median([]float64{3, 1, 2}) != 2 || median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("median wrong")
+	}
+	lo, hi := minMax([]float64{3, 1, 2})
+	if lo != 1 || hi != 3 {
+		t.Error("minMax wrong")
+	}
+}

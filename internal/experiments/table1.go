@@ -1,0 +1,71 @@
+// Table 1: fraction of rules in each dataset addressable by Protocols I,
+// II and III.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/corpus"
+)
+
+// Table1Row is one dataset's classification result.
+type Table1Row struct {
+	Dataset    string
+	Rules      int
+	P1, P2, P3 float64
+	// Paper columns for side-by-side comparison.
+	PaperP1, PaperP2, PaperP3 float64
+}
+
+// paperTable1 holds the published numbers.
+var paperTable1 = map[string][3]float64{
+	"Document watermarking":         {1.00, 1.00, 1.00},
+	"Parental filtering":            {1.00, 1.00, 1.00},
+	"Snort Community (HTTP)":        {0.03, 0.67, 1.00},
+	"Snort Emerging Threats (HTTP)": {0.016, 0.42, 1.00},
+	"McAfee Stonesoft IDS":          {0.05, 0.40, 1.00},
+	"Lastline":                      {0.00, 0.291, 1.00},
+}
+
+// Table1 generates each dataset model, parses it with the real rule parser
+// and classifies every rule into its minimum supporting protocol.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range corpus.Datasets {
+		rs, err := spec.Generate(Seed)
+		if err != nil {
+			return nil, fmt.Errorf("generating %s: %w", spec.Name, err)
+		}
+		p1, p2, p3 := rs.ProtocolBreakdown()
+		paper := paperTable1[spec.Name]
+		rows = append(rows, Table1Row{
+			Dataset: spec.Name, Rules: len(rs.Rules),
+			P1: p1, P2: p2, P3: p3,
+			PaperP1: paper[0], PaperP2: paper[1], PaperP3: paper[2],
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the rows like the paper's Table 1, with the paper's
+// numbers alongside.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: fraction of rules addressable with Protocols I, II, III")
+	t := newTable(w)
+	t.row("Dataset", "Rules", "I.", "II.", "III.", "paper I.", "paper II.", "paper III.")
+	for _, r := range rows {
+		t.row(r.Dataset, fmt.Sprintf("%d", r.Rules),
+			pct(r.P1), pct(r.P2), pct(r.P3),
+			pct(r.PaperP1), pct(r.PaperP2), pct(r.PaperP3))
+	}
+	t.flush()
+}
+
+func pct(f float64) string {
+	if f == 1 {
+		return "100%"
+	}
+	return fmt.Sprintf("%.1f%%", f*100)
+}

@@ -1,0 +1,400 @@
+// Package garble implements Yao's garbled circuits in the JustGarble style
+// the paper's prototype uses (§3.3, §6): free-XOR (Kolesnikov–Schneider),
+// point-and-permute, a fixed-key AES hash so that garbling and evaluation
+// cost a small constant number of AES calls per AND gate, and (by default)
+// GRR3 garbled row reduction, which makes the first row of every AND-gate
+// table implicit and cuts transmitted circuit size by 25%.
+//
+// BlindBox requires garbling to be *deterministic given a shared seed*:
+// both endpoints garble the same function with randomness derived from
+// krand and the middlebox checks the two garbled circuits are identical
+// (§3.3 rule preparation step 2.2), which protects against one malicious
+// endpoint garbling incorrectly.
+package garble
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/circuit"
+)
+
+// Block is re-exported for convenience.
+type Block = bbcrypto.Block
+
+// Options selects garbling variants. Both endpoints and the evaluator must
+// agree on them (they are part of the Garbled material).
+type Options struct {
+	// FullRows disables GRR3 row reduction, transmitting all four rows per
+	// AND gate (the classic point-and-permute table). Kept for the
+	// DESIGN.md ablation; the default (false) elides the first row.
+	FullRows bool
+	// HalfGates uses the Zahur–Rosulek–Evans two-halves construction:
+	// two ciphertexts and two hashes per AND gate — the best known
+	// free-XOR-compatible garbling, halving GRR3's table size again.
+	HalfGates bool
+}
+
+// Garbled is the material the evaluator (the middlebox) receives: the
+// AND-gate tables plus output-decoding information. It reveals nothing
+// about wire values beyond what evaluation on one input exposes.
+type Garbled struct {
+	// FixedKey keys the garbling hash; it is public.
+	FixedKey Block
+	// Rows is the number of transmitted rows per AND gate: 2 (half
+	// gates), 3 (GRR3) or 4 (classic point-and-permute).
+	Rows int
+	// Tables holds Rows blocks per AND gate, flattened in gate order. With
+	// GRR3 the row for input colors (0,0) is implicit (all zeros) and the
+	// stored rows are those for colors (0,1), (1,0), (1,1).
+	Tables []Block
+	// Decode holds one decode entry per circuit output: for wire outputs,
+	// the permute bit of the false label; for constant outputs, the value.
+	Decode []DecodeEntry
+}
+
+// DecodeEntry decodes one output wire.
+type DecodeEntry struct {
+	// Const marks outputs that folded to a constant at build time.
+	Const bool
+	// Val is the constant value (Const=true) or the permute bit d such
+	// that output = LSB(label) XOR d (Const=false).
+	Val bool
+}
+
+// Labels is the garbler's secret: the false-label of every input wire and
+// the global free-XOR offset R. The true label of wire i is L0[i] XOR R.
+type Labels struct {
+	L0 []Block
+	R  Block
+}
+
+// Pair returns (false-label, true-label) for input wire i — the OT sender
+// inputs when the evaluator chooses the bit obliviously.
+func (l *Labels) Pair(i int) (Block, Block) {
+	return l.L0[i], l.L0[i].XOR(l.R)
+}
+
+// For returns the label encoding the given bit on input wire i — used for
+// the garbler's own inputs, which are handed to the evaluator directly.
+func (l *Labels) For(i int, bit bool) Block {
+	if bit {
+		return l.L0[i].XOR(l.R)
+	}
+	return l.L0[i]
+}
+
+// Garble garbles the circuit with GRR3 row reduction and randomness drawn
+// from rng. Given equal circuits, fixed keys and rng streams, the output
+// is bit-identical — the property the middlebox's equality check relies on.
+func Garble(c *circuit.Circuit, fixedKey Block, rng io.Reader) (*Garbled, *Labels, error) {
+	return GarbleWith(c, fixedKey, rng, Options{})
+}
+
+// GarbleWith garbles with explicit options.
+func GarbleWith(c *circuit.Circuit, fixedKey Block, rng io.Reader, opts Options) (*Garbled, *Labels, error) {
+	h := bbcrypto.NewFixedKeyHash(fixedKey)
+	readBlock := func() (Block, error) {
+		var b Block
+		_, err := io.ReadFull(rng, b[:])
+		return b, err
+	}
+
+	r, err := readBlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("garble: reading R: %w", err)
+	}
+	r[bbcrypto.BlockSize-1] |= 1 // LSB(R)=1 so labels of a pair differ in color
+
+	nWires := c.NInputs + len(c.Gates)
+	l0 := make([]Block, nWires)
+	for i := 0; i < c.NInputs; i++ {
+		if l0[i], err = readBlock(); err != nil {
+			return nil, nil, fmt.Errorf("garble: reading input label: %w", err)
+		}
+	}
+
+	// refLabel0 returns the label that encodes "ref evaluates to false".
+	refLabel0 := func(ref circuit.Ref) Block {
+		lbl := l0[ref.ID]
+		if ref.Neg {
+			lbl = lbl.XOR(r)
+		}
+		return lbl
+	}
+
+	rows := 3
+	switch {
+	case opts.FullRows && opts.HalfGates:
+		return nil, nil, errors.New("garble: FullRows and HalfGates are mutually exclusive")
+	case opts.FullRows:
+		rows = 4
+	case opts.HalfGates:
+		rows = 2
+	}
+	g := &Garbled{FixedKey: fixedKey, Rows: rows, Tables: make([]Block, 0, rows*c.NumAND())}
+	for gi, gate := range c.Gates {
+		out := c.NInputs + gi
+		a0 := refLabel0(gate.A)
+		b0 := refLabel0(gate.B)
+		switch gate.Op {
+		case circuit.XOR:
+			// Free-XOR: C0 = A0 ⊕ B0, no table.
+			l0[out] = a0.XOR(b0)
+		case circuit.AND:
+			pa, pb := a0.LSB(), b0.LSB()
+
+			// labelFor returns the input label carrying semantic value v.
+			labelFor := func(base Block, v int) Block {
+				if v == 1 {
+					return base.XOR(r)
+				}
+				return base
+			}
+
+			if opts.HalfGates {
+				// ZRE15 half gates: a generator half (garbler knows pb)
+				// and an evaluator half (evaluator knows its own color),
+				// each one ciphertext.
+				a1 := a0.XOR(r)
+				b1 := b0.XOR(r)
+				jG := uint64(2 * gi)
+				jE := uint64(2*gi + 1)
+
+				tG := h.Hash1(a0, jG).XOR(h.Hash1(a1, jG))
+				if pb == 1 {
+					tG = tG.XOR(r)
+				}
+				wG0 := h.Hash1(a0, jG)
+				if pa == 1 {
+					wG0 = wG0.XOR(tG)
+				}
+
+				tE := h.Hash1(b0, jE).XOR(h.Hash1(b1, jE)).XOR(a0)
+				wE0 := h.Hash1(b0, jE)
+				if pb == 1 {
+					wE0 = wE0.XOR(tE.XOR(a0))
+				}
+
+				l0[out] = wG0.XOR(wE0)
+				g.Tables = append(g.Tables, tG, tE)
+				continue
+			}
+
+			tweak := uint64(gi)
+			var c0 Block
+			if opts.FullRows {
+				// Classic P&P: fresh random output label, 4 rows.
+				if c0, err = readBlock(); err != nil {
+					return nil, nil, fmt.Errorf("garble: reading gate label: %w", err)
+				}
+			} else {
+				// GRR3: pin the colors-(0,0) row to zero. A label with
+				// color 0 on wire A carries value pa (va = ca ⊕ pa).
+				v00 := (pa & pb)
+				cV00 := h.Hash(labelFor(a0, pa), labelFor(b0, pb), tweak)
+				c0 = cV00
+				if v00 == 1 {
+					c0 = c0.XOR(r)
+				}
+			}
+			l0[out] = c0
+
+			for ca := 0; ca < 2; ca++ {
+				for cb := 0; cb < 2; cb++ {
+					if !opts.FullRows && ca == 0 && cb == 0 {
+						continue // implicit zero row
+					}
+					va := ca ^ pa
+					vb := cb ^ pb
+					cLbl := c0
+					if va&vb == 1 {
+						cLbl = cLbl.XOR(r)
+					}
+					row := h.Hash(labelFor(a0, va), labelFor(b0, vb), tweak).XOR(cLbl)
+					g.Tables = append(g.Tables, row)
+				}
+			}
+		}
+	}
+
+	for _, ref := range c.Outputs {
+		if ref.IsConst {
+			g.Decode = append(g.Decode, DecodeEntry{Const: true, Val: ref.Val})
+			continue
+		}
+		g.Decode = append(g.Decode, DecodeEntry{Val: refLabel0(ref).LSB() == 1})
+	}
+
+	inputs := make([]Block, c.NInputs)
+	copy(inputs, l0[:c.NInputs])
+	return g, &Labels{L0: inputs, R: r}, nil
+}
+
+// Eval evaluates the garbled circuit on one label per input wire and
+// returns the decoded output bits. The evaluator learns nothing about the
+// garbler's labels beyond the outputs.
+func Eval(c *circuit.Circuit, g *Garbled, inputLabels []Block) ([]bool, error) {
+	if len(inputLabels) != c.NInputs {
+		return nil, fmt.Errorf("garble: got %d input labels, want %d", len(inputLabels), c.NInputs)
+	}
+	if len(g.Decode) != len(c.Outputs) {
+		return nil, errors.New("garble: decode table does not match circuit outputs")
+	}
+	if g.Rows < 2 || g.Rows > 4 {
+		return nil, fmt.Errorf("garble: unsupported row count %d", g.Rows)
+	}
+	if c.NumAND()*g.Rows != len(g.Tables) {
+		return nil, errors.New("garble: gate table size mismatch")
+	}
+	h := bbcrypto.NewFixedKeyHash(g.FixedKey)
+	labels := make([]Block, c.NInputs+len(c.Gates))
+	copy(labels, inputLabels)
+
+	andIdx := 0
+	for gi, gate := range c.Gates {
+		a := labels[gate.A.ID]
+		b := labels[gate.B.ID]
+		out := c.NInputs + gi
+		switch gate.Op {
+		case circuit.XOR:
+			labels[out] = a.XOR(b)
+		case circuit.AND:
+			switch g.Rows {
+			case 2:
+				// Half-gates evaluation: two single-input hashes.
+				tG := g.Tables[andIdx*2]
+				tE := g.Tables[andIdx*2+1]
+				wg := h.Hash1(a, uint64(2*gi))
+				if a.LSB() == 1 {
+					wg = wg.XOR(tG)
+				}
+				we := h.Hash1(b, uint64(2*gi+1))
+				if b.LSB() == 1 {
+					we = we.XOR(tE.XOR(a))
+				}
+				labels[out] = wg.XOR(we)
+			case 3:
+				hv := h.Hash(a, b, uint64(gi))
+				rowIdx := a.LSB()*2 + b.LSB()
+				if rowIdx == 0 {
+					// GRR3 implicit zero row: label = H(a, b, tweak).
+					labels[out] = hv
+				} else {
+					labels[out] = g.Tables[andIdx*3+rowIdx-1].XOR(hv)
+				}
+			default:
+				hv := h.Hash(a, b, uint64(gi))
+				labels[out] = g.Tables[andIdx*4+a.LSB()*2+b.LSB()].XOR(hv)
+			}
+			andIdx++
+		}
+	}
+
+	out := make([]bool, len(c.Outputs))
+	for i, ref := range c.Outputs {
+		d := g.Decode[i]
+		if d.Const {
+			out[i] = d.Val
+			continue
+		}
+		// The decode entry was computed from refLabel0, which already
+		// folds in the reference's negation, so no extra flip is needed.
+		bit := labels[ref.ID].LSB() == 1
+		out[i] = bit != d.Val
+	}
+	return out, nil
+}
+
+// Equal reports whether two garbled circuits are bit-identical — the
+// middlebox's §3.3 consistency check between the two endpoints' circuits.
+func Equal(a, b *Garbled) bool {
+	if a.FixedKey != b.FixedKey || a.Rows != b.Rows ||
+		len(a.Tables) != len(b.Tables) || len(a.Decode) != len(b.Decode) {
+		return false
+	}
+	for i := range a.Tables {
+		if a.Tables[i] != b.Tables[i] {
+			return false
+		}
+	}
+	for i := range a.Decode {
+		if a.Decode[i] != b.Decode[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the wire size of the garbled circuit in bytes — the
+// per-rule transmission cost the paper reports (599 KB per circuit for
+// their 6800-gate AES; ours is larger in proportion to its AND count).
+func (g *Garbled) Size() int {
+	return bbcrypto.BlockSize + 1 + len(g.Tables)*bbcrypto.BlockSize + 8 + len(g.Decode)
+}
+
+// Marshal serializes the garbled circuit for transmission.
+func (g *Garbled) Marshal() []byte {
+	buf := bytes.NewBuffer(make([]byte, 0, g.Size()+16))
+	buf.Write(g.FixedKey[:])
+	buf.WriteByte(byte(g.Rows))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(g.Tables)))
+	buf.Write(n[:])
+	for _, row := range g.Tables {
+		buf.Write(row[:])
+	}
+	binary.BigEndian.PutUint32(n[:], uint32(len(g.Decode)))
+	buf.Write(n[:])
+	for _, d := range g.Decode {
+		var b byte
+		if d.Const {
+			b |= 2
+		}
+		if d.Val {
+			b |= 1
+		}
+		buf.WriteByte(b)
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal parses a serialized garbled circuit.
+func Unmarshal(data []byte) (*Garbled, error) {
+	g := &Garbled{}
+	if len(data) < bbcrypto.BlockSize+1+4 {
+		return nil, errors.New("garble: short buffer")
+	}
+	copy(g.FixedKey[:], data)
+	data = data[bbcrypto.BlockSize:]
+	g.Rows = int(data[0])
+	data = data[1:]
+	if g.Rows < 2 || g.Rows > 4 {
+		return nil, fmt.Errorf("garble: bad row count %d", g.Rows)
+	}
+	nTables := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	need := int(nTables) * bbcrypto.BlockSize
+	if int(nTables) > len(data) || len(data) < need+4 {
+		return nil, errors.New("garble: truncated tables")
+	}
+	g.Tables = make([]Block, nTables)
+	for i := range g.Tables {
+		copy(g.Tables[i][:], data)
+		data = data[bbcrypto.BlockSize:]
+	}
+	nDecode := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	if int(nDecode) > len(data) {
+		return nil, errors.New("garble: truncated decode table")
+	}
+	g.Decode = make([]DecodeEntry, nDecode)
+	for i := range g.Decode {
+		g.Decode[i] = DecodeEntry{Const: data[i]&2 != 0, Val: data[i]&1 != 0}
+	}
+	return g, nil
+}

@@ -1,0 +1,162 @@
+// Package httpsim models the HTTP workloads of the paper's evaluation: web
+// pages made of text/code resources (tokenized by BlindBox) and binary
+// resources such as images and video (not tokenized, §3), plus gzip
+// accounting for the Fig. 6 compressed-baseline comparison.
+package httpsim
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+)
+
+// Segment is a run of payload bytes of one kind.
+type Segment struct {
+	// Binary marks content the IDS does not inspect (images, video,
+	// fonts); text/code segments are tokenized.
+	Binary bool
+	// Data is the payload.
+	Data []byte
+}
+
+// Resource is one HTTP resource of a page.
+type Resource struct {
+	// Path is the request path.
+	Path string
+	// ContentType is the response media type.
+	ContentType string
+	// Segments is the response body, in order. HTML documents are a
+	// single text segment; a JPEG is a single binary segment; some
+	// resources mix (e.g. multipart).
+	Segments []Segment
+}
+
+// BodyBytes returns total body size.
+func (r *Resource) BodyBytes() int {
+	n := 0
+	for _, s := range r.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// TextBytes returns the number of tokenizable bytes.
+func (r *Resource) TextBytes() int {
+	n := 0
+	for _, s := range r.Segments {
+		if !s.Binary {
+			n += len(s.Data)
+		}
+	}
+	return n
+}
+
+// Request renders the HTTP/1.1 GET request for the resource.
+func (r *Resource) Request(host string) []byte {
+	return []byte(fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nAccept: */*\r\nConnection: keep-alive\r\n\r\n", r.Path, host))
+}
+
+// ResponseHeader renders the response status line and headers (always
+// text, hence tokenized).
+func (r *Resource) ResponseHeader() []byte {
+	return []byte(fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: keep-alive\r\n\r\n",
+		r.ContentType, r.BodyBytes()))
+}
+
+// Page is a web page: a primary document plus subresources, fetched over
+// one persistent connection (the paper's post-handshake page-load setting).
+type Page struct {
+	// Name labels the page (site name or rank).
+	Name string
+	// Host is the logical server.
+	Host string
+	// Resources are fetched in order.
+	Resources []Resource
+}
+
+// TotalBytes is the page's response payload size (headers + bodies).
+func (p *Page) TotalBytes() int {
+	n := 0
+	for i := range p.Resources {
+		n += len(p.Resources[i].ResponseHeader()) + p.Resources[i].BodyBytes()
+	}
+	return n
+}
+
+// TextBytes is the tokenizable portion (headers plus text bodies).
+func (p *Page) TextBytes() int {
+	n := 0
+	for i := range p.Resources {
+		n += len(p.Resources[i].ResponseHeader()) + p.Resources[i].TextBytes()
+	}
+	return n
+}
+
+// BinaryBytes is the untokenized portion.
+func (p *Page) BinaryBytes() int { return p.TotalBytes() - p.TextBytes() }
+
+// TextCodeOnly returns a copy of the page with binary resources removed —
+// the paper's "Text/Code" page-load variant (Figs. 3 and 4 report both).
+func (p *Page) TextCodeOnly() *Page {
+	out := &Page{Name: p.Name + "-text", Host: p.Host}
+	for _, r := range p.Resources {
+		text := Resource{Path: r.Path, ContentType: r.ContentType}
+		for _, s := range r.Segments {
+			if !s.Binary {
+				text.Segments = append(text.Segments, s)
+			}
+		}
+		if len(text.Segments) > 0 {
+			out.Resources = append(out.Resources, text)
+		}
+	}
+	return out
+}
+
+// GzipTextBytes returns the gzip-compressed size of the page's text
+// content — the "transmitted bytes with gzip" baseline of Fig. 6.
+func (p *Page) GzipTextBytes() int {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	for i := range p.Resources {
+		zw.Write(p.Resources[i].ResponseHeader())
+		for _, s := range p.Resources[i].Segments {
+			if !s.Binary {
+				zw.Write(s.Data)
+			}
+		}
+	}
+	zw.Close()
+	return buf.Len() + p.BinaryBytes()
+}
+
+// Flow flattens the page into the byte stream a server would send over one
+// persistent connection, as (kind, data) chunks in order.
+func (p *Page) Flow() []Segment {
+	var out []Segment
+	for i := range p.Resources {
+		out = append(out, Segment{Data: p.Resources[i].ResponseHeader()})
+		out = append(out, p.Resources[i].Segments...)
+	}
+	return out
+}
+
+// Stats summarizes a page for reporting.
+type Stats struct {
+	Name       string
+	Resources  int
+	TotalBytes int
+	TextBytes  int
+	BinBytes   int
+}
+
+// Stats returns the page's summary.
+func (p *Page) Stats() Stats {
+	return Stats{
+		Name:       p.Name,
+		Resources:  len(p.Resources),
+		TotalBytes: p.TotalBytes(),
+		TextBytes:  p.TextBytes(),
+		BinBytes:   p.BinaryBytes(),
+	}
+}

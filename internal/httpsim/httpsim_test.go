@@ -1,0 +1,109 @@
+package httpsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func samplePage() *Page {
+	return &Page{
+		Name: "sample",
+		Host: "sample.example",
+		Resources: []Resource{
+			{
+				Path:        "/index.html",
+				ContentType: "text/html",
+				Segments:    []Segment{{Data: []byte(strings.Repeat("<p>hello world</p>", 100))}},
+			},
+			{
+				Path:        "/logo.png",
+				ContentType: "image/png",
+				Segments:    []Segment{{Binary: true, Data: bytes.Repeat([]byte{0xAB, 0x13}, 2048)}},
+			},
+			{
+				Path:        "/mixed",
+				ContentType: "multipart/mixed",
+				Segments: []Segment{
+					{Data: []byte("--boundary\r\ncontent-type: text/plain\r\n\r\npart")},
+					{Binary: true, Data: bytes.Repeat([]byte{9}, 512)},
+				},
+			},
+		},
+	}
+}
+
+func TestPageByteAccounting(t *testing.T) {
+	p := samplePage()
+	total := p.TotalBytes()
+	text := p.TextBytes()
+	bin := p.BinaryBytes()
+	if total != text+bin {
+		t.Fatalf("total %d != text %d + bin %d", total, text, bin)
+	}
+	if bin != 4096+512 {
+		t.Fatalf("binary bytes = %d", bin)
+	}
+	if text <= 0 {
+		t.Fatal("no text bytes")
+	}
+}
+
+func TestRequestAndResponseHeaderShape(t *testing.T) {
+	r := &samplePage().Resources[0]
+	req := string(r.Request("sample.example"))
+	if !strings.HasPrefix(req, "GET /index.html HTTP/1.1\r\n") || !strings.HasSuffix(req, "\r\n\r\n") {
+		t.Fatalf("request = %q", req)
+	}
+	hdr := string(r.ResponseHeader())
+	if !strings.Contains(hdr, "Content-Type: text/html") || !strings.Contains(hdr, "Content-Length: 1800") {
+		t.Fatalf("header = %q", hdr)
+	}
+}
+
+func TestTextCodeOnlyStripsBinary(t *testing.T) {
+	p := samplePage()
+	tc := p.TextCodeOnly()
+	if tc.BinaryBytes() != 0 {
+		t.Fatalf("text-only page has %d binary bytes", tc.BinaryBytes())
+	}
+	// The pure-binary resource disappears; the mixed one keeps its text.
+	if len(tc.Resources) != 2 {
+		t.Fatalf("resources = %d", len(tc.Resources))
+	}
+}
+
+func TestGzipTextBytesSmallerForRedundantText(t *testing.T) {
+	p := samplePage()
+	gz := p.GzipTextBytes()
+	if gz >= p.TotalBytes() {
+		t.Fatalf("gzip size %d not smaller than raw %d for repetitive text", gz, p.TotalBytes())
+	}
+	// Binary bytes are incompressible pass-through in the accounting.
+	if gz < p.BinaryBytes() {
+		t.Fatalf("gzip size %d below binary floor %d", gz, p.BinaryBytes())
+	}
+}
+
+func TestFlowPreservesOrderAndKinds(t *testing.T) {
+	p := samplePage()
+	flow := p.Flow()
+	// First chunk is the header of resource 0 (text).
+	if flow[0].Binary || !bytes.HasPrefix(flow[0].Data, []byte("HTTP/1.1 200 OK")) {
+		t.Fatalf("first flow chunk wrong: %q", flow[0].Data[:20])
+	}
+	var total int
+	for _, s := range flow {
+		total += len(s.Data)
+	}
+	if total != p.TotalBytes() {
+		t.Fatalf("flow bytes %d != page total %d", total, p.TotalBytes())
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := samplePage().Stats()
+	if st.Name != "sample" || st.Resources != 3 || st.TotalBytes != st.TextBytes+st.BinBytes {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,530 @@
+// Package middlebox implements the BlindBox middlebox (§6): a proxy that
+// interposes on BlindBox HTTPS connections, conducts obfuscated rule
+// encryption with both endpoints ("garble threads"), runs BlindBox Detect
+// over the encrypted token stream ("detection threads"), enforces rule
+// actions, and — under Protocol III — feeds decrypted flows to a secondary
+// inspection element (the paper's ssldump-wrapper plus Snort/Bro stage).
+package middlebox
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/baseline"
+	"repro/internal/bbcrypto"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/dpienc"
+	"repro/internal/garble"
+	"repro/internal/ot"
+	"repro/internal/ruleprep"
+	"repro/internal/rules"
+	"repro/internal/tokenize"
+	"repro/internal/transport"
+)
+
+// Direction labels one half of a proxied connection.
+type Direction string
+
+// Directions of traffic through the middlebox.
+const (
+	ClientToServer Direction = "c2s"
+	ServerToClient Direction = "s2c"
+)
+
+// Alert is one detection report.
+type Alert struct {
+	// ConnID identifies the proxied connection.
+	ConnID uint64
+	// Direction is the traffic direction the event occurred on.
+	Direction Direction
+	// Event is the primary detection event (zero for secondary alerts).
+	Event detect.Event
+	// Secondary marks alerts produced by the decrypted-flow inspection
+	// element (Protocol III only).
+	Secondary bool
+	// SecondarySIDs lists rules matched by the secondary inspection.
+	SecondarySIDs []int
+}
+
+// Config configures a Middlebox.
+type Config struct {
+	// Ruleset is the signed ruleset received from RG.
+	Ruleset *rules.SignedRuleset
+	// RGPublicKey verifies the ruleset's provenance.
+	RGPublicKey ed25519.PublicKey
+	// OnAlert receives detection reports; may be nil. Called from
+	// detection goroutines.
+	OnAlert func(Alert)
+	// NewIndex supplies the detection search structure per engine; nil
+	// uses the paper's tree.
+	NewIndex func() detect.Index
+	// Secondary enables the Protocol III decryption element and
+	// secondary full-rules inspection of flows with probable cause.
+	Secondary bool
+}
+
+// Stats aggregates middlebox counters.
+type Stats struct {
+	Connections    uint64
+	TokensScanned  uint64
+	BytesForwarded uint64
+	Alerts         uint64
+	Blocked        uint64
+	KeysRecovered  uint64
+}
+
+// Middlebox proxies BlindBox HTTPS connections and inspects them.
+type Middlebox struct {
+	cfg       Config
+	secondary *baseline.IDS
+	connSeq   atomic.Uint64
+	stats     struct {
+		tokens, bytes, alerts, blocked, conns, keys atomic.Uint64
+	}
+}
+
+// New validates the ruleset signature and builds the middlebox.
+func New(cfg Config) (*Middlebox, error) {
+	if cfg.Ruleset == nil {
+		return nil, errors.New("middlebox: nil ruleset")
+	}
+	if cfg.RGPublicKey != nil && !rules.Verify(cfg.RGPublicKey, cfg.Ruleset) {
+		return nil, errors.New("middlebox: ruleset signature invalid")
+	}
+	mb := &Middlebox{cfg: cfg}
+	if cfg.Secondary {
+		mb.secondary = baseline.New(cfg.Ruleset.Ruleset)
+	}
+	return mb, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (mb *Middlebox) Stats() Stats {
+	return Stats{
+		Connections:    mb.stats.conns.Load(),
+		TokensScanned:  mb.stats.tokens.Load(),
+		BytesForwarded: mb.stats.bytes.Load(),
+		Alerts:         mb.stats.alerts.Load(),
+		Blocked:        mb.stats.blocked.Load(),
+		KeysRecovered:  mb.stats.keys.Load(),
+	}
+}
+
+// Serve accepts connections on ln and proxies each to forwardAddr until
+// ln is closed.
+func (mb *Middlebox) Serve(ln net.Listener, forwardAddr string) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := mb.HandleConn(conn, forwardAddr); err != nil && !errors.Is(err, io.EOF) {
+				// Connection-level errors are not fatal to the middlebox.
+				_ = err
+			}
+		}()
+	}
+}
+
+// HandleConn proxies one client connection to forwardAddr, performing the
+// full BlindBox lifecycle: handshake interposition, rule preparation,
+// detection and forwarding.
+func (mb *Middlebox) HandleConn(client net.Conn, forwardAddr string) error {
+	defer client.Close()
+	server, err := net.Dial("tcp", forwardAddr)
+	if err != nil {
+		return fmt.Errorf("middlebox: dialing server: %w", err)
+	}
+	defer server.Close()
+	return mb.Interpose(client, server)
+}
+
+// Interpose runs the middlebox over two established transports.
+func (mb *Middlebox) Interpose(client, server net.Conn) error {
+	id := mb.connSeq.Add(1)
+	mb.stats.conns.Add(1)
+
+	// 1. Handshake interposition: mark MBPresent both ways.
+	typ, body, err := transport.ReadRecord(client)
+	if err != nil {
+		return err
+	}
+	if typ != transport.RecHello {
+		return fmt.Errorf("middlebox: expected client hello, got %d", typ)
+	}
+	hello, err := transport.UnmarshalHello(body)
+	if err != nil {
+		return err
+	}
+	if err := transport.SetMBPresent(body); err != nil {
+		return err
+	}
+	if err := transport.WriteRecord(server, transport.RecHello, body); err != nil {
+		return err
+	}
+	typ, body, err = transport.ReadRecord(server)
+	if err != nil {
+		return err
+	}
+	if typ != transport.RecHelloReply {
+		return fmt.Errorf("middlebox: expected server hello, got %d", typ)
+	}
+	if err := transport.SetMBPresent(body); err != nil {
+		return err
+	}
+	if err := transport.WriteRecord(client, transport.RecHelloReply, body); err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Protocol: hello.Protocol,
+		Mode:     tokenize.Mode(hello.Mode),
+		Salt0:    hello.Salt0,
+	}
+
+	// 2. Rule preparation with both endpoints (the "garble threads").
+	req := core.BuildRequest(mb.cfg.Ruleset, cfg.Mode)
+	prep, err := ruleprep.NewMiddlebox(req)
+	if err != nil {
+		return err
+	}
+	var (
+		jobsC, jobsS     []*ruleprep.FragmentJob
+		labelsC, labelsS [][]bbcrypto.Block
+		prepErr          [2]error
+		wg               sync.WaitGroup
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		jobsC, labelsC, prepErr[0] = mb.runPrep(client, prep)
+	}()
+	go func() {
+		defer wg.Done()
+		jobsS, labelsS, prepErr[1] = mb.runPrep(server, prep)
+	}()
+	wg.Wait()
+	for _, e := range prepErr {
+		if e != nil {
+			return fmt.Errorf("middlebox: rule preparation: %w", e)
+		}
+	}
+
+	keys := make(detect.TokenKeys)
+	for i := range jobsC {
+		if err := prep.Verify(jobsC[i], jobsS[i]); err != nil {
+			return err
+		}
+		for b := range labelsC[i] {
+			if labelsC[i][b] != labelsS[i][b] {
+				return errors.New("middlebox: endpoints disagree on OT labels")
+			}
+		}
+		key, err := prep.Evaluate(i, jobsC[i], labelsC[i])
+		if err == ruleprep.ErrUnauthorized {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		keys[req.Fragments[i]] = key
+	}
+
+	for _, leg := range []net.Conn{client, server} {
+		if err := transport.WriteRecord(leg, transport.RecGarble, []byte{transport.SubPrepDone}); err != nil {
+			return err
+		}
+	}
+
+	// 3. Detection threads: one per direction.
+	var idx1, idx2 detect.Index
+	if mb.cfg.NewIndex != nil {
+		idx1, idx2 = mb.cfg.NewIndex(), mb.cfg.NewIndex()
+	}
+	var fwdWG sync.WaitGroup
+	fwdWG.Add(2)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	kill := func() {
+		stopOnce.Do(func() {
+			close(stop)
+			client.Close()
+			server.Close()
+		})
+	}
+	go func() {
+		defer fwdWG.Done()
+		mb.forward(id, ClientToServer, client, server, mb.newFlow(cfg, keys, idx1), kill)
+	}()
+	go func() {
+		defer fwdWG.Done()
+		mb.forward(id, ServerToClient, server, client, mb.newFlow(cfg, keys, idx2), kill)
+	}()
+	fwdWG.Wait()
+	return nil
+}
+
+// runPrep executes the MB side of the preparation protocol over one leg.
+func (mb *Middlebox) runPrep(leg net.Conn, prep *ruleprep.Middlebox) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
+	n := prep.NumFragments()
+	start := make([]byte, 5)
+	start[0] = transport.SubPrepStart
+	binary.BigEndian.PutUint32(start[1:], uint32(n))
+	if err := transport.WriteRecord(leg, transport.RecGarble, start); err != nil {
+		return nil, nil, err
+	}
+
+	readSub := func(want byte) ([]byte, error) {
+		typ, body, err := transport.ReadRecord(leg)
+		if err != nil {
+			return nil, err
+		}
+		if typ != transport.RecGarble || len(body) < 1 || body[0] != want {
+			return nil, fmt.Errorf("middlebox: expected prep message %d", want)
+		}
+		return body[1:], nil
+	}
+
+	jobs := make([]*ruleprep.FragmentJob, n)
+	for i := 0; i < n; i++ {
+		payload, err := readSub(transport.SubCircuit)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(payload) < 8 {
+			return nil, nil, errors.New("middlebox: short circuit message")
+		}
+		idx := int(binary.BigEndian.Uint32(payload))
+		blobLen := int(binary.BigEndian.Uint32(payload[4:]))
+		payload = payload[8:]
+		if len(payload) < blobLen {
+			return nil, nil, errors.New("middlebox: truncated circuit blob")
+		}
+		g, err := garble.Unmarshal(payload[:blobLen])
+		if err != nil {
+			return nil, nil, err
+		}
+		epLabels, err := transport.UnmarshalBlocks(payload[blobLen:])
+		if err != nil {
+			return nil, nil, err
+		}
+		if idx < 0 || idx >= n || jobs[idx] != nil {
+			return nil, nil, errors.New("middlebox: bad circuit index")
+		}
+		jobs[idx] = ruleprep.NewFragmentJob(idx, g, epLabels)
+	}
+
+	// OT batch over all fragments' choice bits.
+	recv, msgAs, err := ot.NewExtReceiver()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := transport.WriteRecord(leg, transport.RecGarble,
+		append([]byte{transport.SubOTMsgA}, transport.MarshalByteSlices(msgAs)...)); err != nil {
+		return nil, nil, err
+	}
+	payload, err := readSub(transport.SubOTMsgB)
+	if err != nil {
+		return nil, nil, err
+	}
+	msgBs, err := transport.UnmarshalByteSlices(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	var choices []bool
+	for i := 0; i < n; i++ {
+		choices = append(choices, prep.Choices(i)...)
+	}
+	u, err := recv.Extend(msgBs, choices)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := transport.WriteRecord(leg, transport.RecGarble,
+		append([]byte{transport.SubOTU}, transport.MarshalByteSlices(u)...)); err != nil {
+		return nil, nil, err
+	}
+	payload, err = readSub(transport.SubOTMasked)
+	if err != nil {
+		return nil, nil, err
+	}
+	flat, err := transport.UnmarshalBlocks(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(flat) != 2*len(choices) {
+		return nil, nil, errors.New("middlebox: masked pair count mismatch")
+	}
+	pairs := make([][2]bbcrypto.Block, len(choices))
+	for j := range pairs {
+		pairs[j][0], pairs[j][1] = flat[2*j], flat[2*j+1]
+	}
+	labels, err := recv.Receive(pairs, choices)
+	if err != nil {
+		return nil, nil, err
+	}
+	perFrag := make([][]bbcrypto.Block, n)
+	for i := 0; i < n; i++ {
+		perFrag[i] = labels[i*256 : (i+1)*256]
+	}
+	return jobs, perFrag, nil
+}
+
+// flow is per-direction detection state.
+type flow struct {
+	cfg    core.Config
+	engine *detect.Engine
+	// Protocol III decryption element state.
+	recovered  bool
+	sslKey     bbcrypto.Block
+	ciphertext [][]byte // buffered data records awaiting a key
+	plaintext  []byte   // decrypted stream for secondary inspection
+	seq        uint64
+	dirByte    byte
+}
+
+// maxBuffered bounds probable-cause buffering per direction.
+const (
+	maxBufferedRecords = 4096
+	maxPlaintextBytes  = 4 << 20
+)
+
+func (mb *Middlebox) newFlow(cfg core.Config, keys detect.TokenKeys, idx detect.Index) *flow {
+	return &flow{
+		cfg: cfg,
+		engine: detect.NewEngine(mb.cfg.Ruleset.Ruleset, keys, detect.Config{
+			Mode:     cfg.Mode,
+			Protocol: cfg.Protocol,
+			Salt0:    cfg.Salt0,
+			Index:    idx,
+		}),
+	}
+}
+
+// forward is one detection thread: it relays records from src to dst,
+// inspecting the token channel and enforcing rule actions.
+func (mb *Middlebox) forward(id uint64, dir Direction, src, dst net.Conn, fl *flow, kill func()) {
+	if dir == ServerToClient {
+		fl.dirByte = 1
+	}
+	for {
+		typ, body, err := transport.ReadRecord(src)
+		if err != nil {
+			kill()
+			return
+		}
+		block := false
+		switch typ {
+		case transport.RecSalt:
+			if len(body) == 8 {
+				fl.engine.Reset(binary.BigEndian.Uint64(body))
+			}
+		case transport.RecTokens:
+			toks, err := transport.UnmarshalTokens(body, fl.cfg.Protocol == dpienc.ProtocolIII)
+			if err != nil {
+				kill()
+				return
+			}
+			mb.stats.tokens.Add(uint64(len(toks)))
+			for _, et := range toks {
+				for _, ev := range fl.engine.ProcessToken(et) {
+					if mb.handleEvent(id, dir, fl, ev) {
+						block = true
+					}
+				}
+			}
+		case transport.RecData:
+			mb.stats.bytes.Add(uint64(len(body)))
+			if mb.cfg.Secondary && fl.cfg.Protocol == dpienc.ProtocolIII {
+				mb.captureData(id, dir, fl, body)
+			}
+		case transport.RecClose:
+			if fl.recovered && len(fl.plaintext) > 0 {
+				mb.secondaryInspect(id, dir, fl)
+			}
+		}
+		if err := transport.WriteRecord(dst, typ, body); err != nil {
+			kill()
+			return
+		}
+		if block {
+			mb.stats.blocked.Add(1)
+			kill()
+			return
+		}
+	}
+}
+
+// handleEvent reports an event and returns whether the connection must be
+// blocked.
+func (mb *Middlebox) handleEvent(id uint64, dir Direction, fl *flow, ev detect.Event) bool {
+	mb.stats.alerts.Add(1)
+	if ev.HasSSLKey && !fl.recovered {
+		fl.recovered = true
+		fl.sslKey = ev.SSLKey
+		mb.stats.keys.Add(1)
+		if mb.cfg.Secondary {
+			mb.drainBuffered(fl)
+		}
+	}
+	if mb.cfg.OnAlert != nil {
+		mb.cfg.OnAlert(Alert{ConnID: id, Direction: dir, Event: ev})
+	}
+	return ev.Kind == detect.RuleMatch && ev.Rule.Action == rules.Block
+}
+
+// captureData buffers or decrypts one data record for the probable-cause
+// element.
+func (mb *Middlebox) captureData(id uint64, dir Direction, fl *flow, body []byte) {
+	if !fl.recovered {
+		if len(fl.ciphertext) < maxBufferedRecords {
+			fl.ciphertext = append(fl.ciphertext, append([]byte(nil), body...))
+		}
+		return
+	}
+	mb.decryptRecord(fl, body)
+}
+
+// drainBuffered decrypts records buffered before key recovery.
+func (mb *Middlebox) drainBuffered(fl *flow) {
+	for _, rec := range fl.ciphertext {
+		mb.decryptRecord(fl, rec)
+	}
+	fl.ciphertext = nil
+}
+
+// decryptRecord opens one SSL record with the recovered kSSL — the
+// ssldump-equivalent step of §6.
+func (mb *Middlebox) decryptRecord(fl *flow, body []byte) {
+	aead := bbcrypto.NewGCM(fl.sslKey)
+	nonce := make([]byte, 12)
+	nonce[0] = fl.dirByte
+	binary.BigEndian.PutUint64(nonce[4:], fl.seq)
+	fl.seq++
+	pt, err := aead.Open(nil, nonce, body, []byte{byte(transport.RecData)})
+	if err != nil || len(pt) < 1 {
+		return
+	}
+	if len(fl.plaintext) < maxPlaintextBytes {
+		fl.plaintext = append(fl.plaintext, pt[1:]...)
+	}
+}
+
+// secondaryInspect runs the full plaintext IDS (regexps included) over the
+// decrypted flow — the paper's "forwarded to any other system (Snort, Bro)
+// for more complex processing".
+func (mb *Middlebox) secondaryInspect(id uint64, dir Direction, fl *flow) {
+	res := mb.secondary.Inspect(fl.plaintext)
+	if len(res.RuleSIDs) == 0 || mb.cfg.OnAlert == nil {
+		return
+	}
+	mb.stats.alerts.Add(uint64(len(res.RuleSIDs)))
+	mb.cfg.OnAlert(Alert{ConnID: id, Direction: dir, Secondary: true, SecondarySIDs: res.RuleSIDs})
+}

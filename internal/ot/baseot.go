@@ -1,0 +1,121 @@
+// Package ot implements 1-out-of-2 oblivious transfer: a Chou–Orlandi-style
+// base OT over P-256 and the IKNP OT extension, replacing the OTExtension
+// library the paper's prototype links against (§6). Rule preparation uses
+// OT so the middlebox obtains the wire labels for its rule bits without the
+// endpoints learning the rules and without the middlebox learning the other
+// labels (§3.3).
+//
+// The protocols are secure against semi-honest parties, matching the
+// paper's threat model (the middlebox "performs the detection honestly, but
+// ... tries to learn private data", §2.2.2).
+package ot
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"math/big"
+
+	"repro/internal/bbcrypto"
+)
+
+// Block is the 16-byte message unit transferred by OT (wire labels).
+type Block = bbcrypto.Block
+
+var curve = elliptic.P256()
+
+// pointSize is the byte length of an uncompressed P-256 point.
+const pointSize = 65
+
+// BaseSender is the sender side of one base OT: it holds two messages and
+// lets the receiver learn exactly one.
+type BaseSender struct {
+	a      []byte // scalar
+	ax, ay *big.Int
+}
+
+// NewBaseSender starts a base OT, returning the sender state and the first
+// message (A = aG) for the receiver.
+func NewBaseSender() (*BaseSender, []byte, error) {
+	a, ax, ay, err := elliptic.GenerateKey(curve, rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &BaseSender{a: a, ax: ax, ay: ay}, elliptic.Marshal(curve, ax, ay), nil
+}
+
+// BaseReceiverRespond consumes the sender's message and the receiver's
+// choice bit, returning the response message (B) and the receiver's derived
+// key, which equals k0 or k1 according to the choice.
+func BaseReceiverRespond(choice bool, msgA []byte) ([]byte, Block, error) {
+	ax, ay := elliptic.Unmarshal(curve, msgA)
+	if ax == nil {
+		return nil, Block{}, errors.New("ot: invalid sender point")
+	}
+	b, bx, by, err := elliptic.GenerateKey(curve, rand.Reader)
+	if err != nil {
+		return nil, Block{}, err
+	}
+	// B = bG (choice 0) or A + bG (choice 1).
+	msgBx, msgBy := bx, by
+	if choice {
+		msgBx, msgBy = curve.Add(ax, ay, bx, by)
+	}
+	// Shared key: H(bA).
+	sx, sy := curve.ScalarMult(ax, ay, b)
+	return elliptic.Marshal(curve, msgBx, msgBy), hashPoint(sx, sy), nil
+}
+
+// Keys consumes the receiver's response and derives both message keys.
+// The sender encrypts its two messages under k0 and k1; the receiver can
+// decrypt only the one matching its choice.
+func (s *BaseSender) Keys(msgB []byte) (k0, k1 Block, err error) {
+	bx, by := elliptic.Unmarshal(curve, msgB)
+	if bx == nil {
+		return Block{}, Block{}, errors.New("ot: invalid receiver point")
+	}
+	// k0 = H(aB); k1 = H(a(B - A)).
+	x0, y0 := curve.ScalarMult(bx, by, s.a)
+	negAy := new(big.Int).Sub(curve.Params().P, s.ay)
+	dx, dy := curve.Add(bx, by, s.ax, negAy)
+	x1, y1 := curve.ScalarMult(dx, dy, s.a)
+	return hashPoint(x0, y0), hashPoint(x1, y1), nil
+}
+
+func hashPoint(x, y *big.Int) Block {
+	h := sha256.New()
+	h.Write(elliptic.Marshal(curve, x, y))
+	var out Block
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// EncryptMsg one-time-pads a message block under an OT key.
+func EncryptMsg(key Block, msg Block) Block { return key.XOR(msg) }
+
+// DecryptMsg inverts EncryptMsg.
+func DecryptMsg(key Block, ct Block) Block { return key.XOR(ct) }
+
+// BaseTransfer runs a complete in-process base OT of the message pair
+// (m0, m1) for the given choice — a convenience for tests and for callers
+// that hold both roles locally.
+func BaseTransfer(m0, m1 Block, choice bool) (Block, error) {
+	s, msgA, err := NewBaseSender()
+	if err != nil {
+		return Block{}, err
+	}
+	msgB, kc, err := BaseReceiverRespond(choice, msgA)
+	if err != nil {
+		return Block{}, err
+	}
+	k0, k1, err := s.Keys(msgB)
+	if err != nil {
+		return Block{}, err
+	}
+	c0, c1 := EncryptMsg(k0, m0), EncryptMsg(k1, m1)
+	if choice {
+		return DecryptMsg(kc, c1), nil
+	}
+	return DecryptMsg(kc, c0), nil
+}

@@ -1,0 +1,221 @@
+// IKNP oblivious-transfer extension: a small number (128) of base OTs plus
+// symmetric cryptography yields millions of OTs, which is what makes
+// per-rule label transfer affordable during BlindBox rule preparation.
+
+package ot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/bbcrypto"
+)
+
+// kappa is the computational security parameter: the number of base OTs
+// and matrix columns.
+const kappa = 128
+
+// ExtSender is the sender of the extended OTs (in BlindBox: the endpoint,
+// which holds the label pairs). Internally it plays the *receiver* of the
+// base OTs with a random choice vector s.
+type ExtSender struct {
+	s     [kappa]bool
+	seeds [kappa]Block // k_i^{s_i}
+}
+
+// ExtReceiver is the receiver of the extended OTs (in BlindBox: the
+// middlebox, choosing labels by its rule bits). Internally it plays the
+// *sender* of the base OTs.
+type ExtReceiver struct {
+	base  [kappa]*BaseSender
+	seed0 [kappa]Block
+	seed1 [kappa]Block
+	m     int
+	t     [][]byte // kappa columns, m bits each
+}
+
+// NewExtReceiver starts the base phase, returning the kappa base-OT first
+// messages to send to the ExtSender.
+func NewExtReceiver() (*ExtReceiver, [][]byte, error) {
+	r := &ExtReceiver{}
+	msgAs := make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		s, msgA, err := NewBaseSender()
+		if err != nil {
+			return nil, nil, err
+		}
+		r.base[i] = s
+		msgAs[i] = msgA
+	}
+	return r, msgAs, nil
+}
+
+// NewExtSender creates the sender with a fresh random base-choice vector.
+func NewExtSender() *ExtSender {
+	s := &ExtSender{}
+	rnd := bbcrypto.RandomBlock()
+	for i := 0; i < kappa; i++ {
+		s.s[i] = rnd[i/8]&(1<<uint(i%8)) != 0
+	}
+	return s
+}
+
+// BaseRespond consumes the receiver's base-OT first messages and returns
+// the responses. After this, the ExtSender holds the seeds chosen by s.
+func (s *ExtSender) BaseRespond(msgAs [][]byte) ([][]byte, error) {
+	if len(msgAs) != kappa {
+		return nil, errors.New("ot: wrong number of base messages")
+	}
+	msgBs := make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		msgB, key, err := BaseReceiverRespond(s.s[i], msgAs[i])
+		if err != nil {
+			return nil, err
+		}
+		msgBs[i] = msgB
+		s.seeds[i] = key
+	}
+	return msgBs, nil
+}
+
+// Extend consumes the base responses and the receiver's m choice bits,
+// returning the correction matrix u (kappa columns of m bits) for the
+// sender. It also fixes the T matrix used to decrypt the final messages.
+func (r *ExtReceiver) Extend(msgBs [][]byte, choices []bool) ([][]byte, error) {
+	if len(msgBs) != kappa {
+		return nil, errors.New("ot: wrong number of base responses")
+	}
+	m := len(choices)
+	r.m = m
+	cols := (m + 7) / 8
+	choiceBits := make([]byte, cols)
+	for j, c := range choices {
+		if c {
+			choiceBits[j/8] |= 1 << uint(j%8)
+		}
+	}
+	u := make([][]byte, kappa)
+	r.t = make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		k0, k1, err := r.base[i].Keys(msgBs[i])
+		if err != nil {
+			return nil, err
+		}
+		r.seed0[i], r.seed1[i] = k0, k1
+		ti := make([]byte, cols)
+		bbcrypto.NewPRG(k0).Read(ti)
+		g1 := make([]byte, cols)
+		bbcrypto.NewPRG(k1).Read(g1)
+		ui := make([]byte, cols)
+		for b := range ui {
+			ui[b] = ti[b] ^ g1[b] ^ choiceBits[b]
+		}
+		r.t[i] = ti
+		u[i] = ui
+	}
+	return u, nil
+}
+
+// Send consumes the correction matrix and the m message pairs, producing
+// the masked pairs for the receiver.
+func (s *ExtSender) Send(u [][]byte, pairs [][2]Block) ([][2]Block, error) {
+	if len(u) != kappa {
+		return nil, errors.New("ot: wrong correction matrix width")
+	}
+	m := len(pairs)
+	cols := (m + 7) / 8
+	// Column i of Q: PRG(seed_i) ⊕ s_i·u_i.
+	q := make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		if len(u[i]) < cols {
+			return nil, errors.New("ot: short correction column")
+		}
+		qi := make([]byte, cols)
+		bbcrypto.NewPRG(s.seeds[i]).Read(qi)
+		if s.s[i] {
+			for b := range qi {
+				qi[b] ^= u[i][b]
+			}
+		}
+		q[i] = qi
+	}
+	var sBlock Block
+	for i := 0; i < kappa; i++ {
+		if s.s[i] {
+			sBlock[i/8] |= 1 << uint(i%8)
+		}
+	}
+	out := make([][2]Block, m)
+	for j := 0; j < m; j++ {
+		qj := rowOf(q, j)
+		out[j][0] = pairs[j][0].XOR(rowHash(j, qj))
+		out[j][1] = pairs[j][1].XOR(rowHash(j, qj.XOR(sBlock)))
+	}
+	return out, nil
+}
+
+// Receive unmasks the chosen message of each pair.
+func (r *ExtReceiver) Receive(masked [][2]Block, choices []bool) ([]Block, error) {
+	if len(masked) != len(choices) || len(choices) != r.m {
+		return nil, errors.New("ot: receive length mismatch")
+	}
+	out := make([]Block, len(masked))
+	for j := range masked {
+		tj := rowOf(r.t, j)
+		h := rowHash(j, tj)
+		if choices[j] {
+			out[j] = masked[j][1].XOR(h)
+		} else {
+			out[j] = masked[j][0].XOR(h)
+		}
+	}
+	return out, nil
+}
+
+// rowOf extracts row j (kappa bits packed into a Block) of a column-major
+// bit matrix.
+func rowOf(cols [][]byte, j int) Block {
+	var row Block
+	byteIdx, mask := j/8, byte(1)<<uint(j%8)
+	for i := 0; i < kappa; i++ {
+		if cols[i][byteIdx]&mask != 0 {
+			row[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return row
+}
+
+// rowHash is the correlation-robust hash H(j, v).
+func rowHash(j int, v Block) Block {
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(j))
+	sum := sha256.Sum256(append(idx[:], v[:]...))
+	var out Block
+	copy(out[:], sum[:])
+	return out
+}
+
+// ExtTransfer runs a complete in-process OT extension for tests and
+// single-process callers: the receiver learns pairs[j][choices[j]] for
+// every j and nothing else.
+func ExtTransfer(pairs [][2]Block, choices []bool) ([]Block, error) {
+	recv, msgAs, err := NewExtReceiver()
+	if err != nil {
+		return nil, err
+	}
+	send := NewExtSender()
+	msgBs, err := send.BaseRespond(msgAs)
+	if err != nil {
+		return nil, err
+	}
+	u, err := recv.Extend(msgBs, choices)
+	if err != nil {
+		return nil, err
+	}
+	masked, err := send.Send(u, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return recv.Receive(masked, choices)
+}

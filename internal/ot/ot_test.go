@@ -1,0 +1,174 @@
+package ot
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bbcrypto"
+)
+
+func TestBaseTransferBothChoices(t *testing.T) {
+	m0 := bbcrypto.Block{0: 1, 15: 0xAA}
+	m1 := bbcrypto.Block{0: 2, 15: 0xBB}
+	for _, choice := range []bool{false, true} {
+		got, err := BaseTransfer(m0, m1, choice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m0
+		if choice {
+			want = m1
+		}
+		if got != want {
+			t.Fatalf("choice %v: got %v want %v", choice, got, want)
+		}
+	}
+}
+
+func TestBaseReceiverCannotLearnOther(t *testing.T) {
+	// The receiver's derived key must match exactly one sender key.
+	s, msgA, err := NewBaseSender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgB, kc, err := BaseReceiverRespond(true, msgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1, err := s.Keys(msgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc != k1 {
+		t.Fatal("receiver key does not match chosen sender key")
+	}
+	if kc == k0 {
+		t.Fatal("receiver key matches the unchosen sender key")
+	}
+}
+
+func TestBaseRejectsGarbagePoints(t *testing.T) {
+	if _, _, err := BaseReceiverRespond(false, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage sender point accepted")
+	}
+	s, _, err := NewBaseSender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Keys([]byte{4, 5, 6}); err == nil {
+		t.Fatal("garbage receiver point accepted")
+	}
+}
+
+func TestEncryptDecryptMsg(t *testing.T) {
+	key := bbcrypto.RandomBlock()
+	msg := bbcrypto.RandomBlock()
+	if DecryptMsg(key, EncryptMsg(key, msg)) != msg {
+		t.Fatal("OT message pad round trip failed")
+	}
+}
+
+func TestExtTransferSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const m = 10
+	pairs := make([][2]Block, m)
+	choices := make([]bool, m)
+	for j := range pairs {
+		pairs[j][0] = bbcrypto.RandomBlock()
+		pairs[j][1] = bbcrypto.RandomBlock()
+		choices[j] = rng.Intn(2) == 1
+	}
+	got, err := ExtTransfer(pairs, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range got {
+		want := pairs[j][0]
+		other := pairs[j][1]
+		if choices[j] {
+			want, other = other, want
+		}
+		if got[j] != want {
+			t.Fatalf("OT %d: wrong message", j)
+		}
+		if got[j] == other {
+			t.Fatalf("OT %d: received the unchosen message", j)
+		}
+	}
+}
+
+func TestExtTransferLargeAndUnaligned(t *testing.T) {
+	// m not a multiple of 8 exercises the bit-packing edges; m > kappa
+	// exercises the extension proper.
+	for _, m := range []int{1, 7, 129, 1000, 1037} {
+		rng := rand.New(rand.NewSource(int64(m)))
+		pairs := make([][2]Block, m)
+		choices := make([]bool, m)
+		for j := range pairs {
+			pairs[j][0] = bbcrypto.RandomBlock()
+			pairs[j][1] = bbcrypto.RandomBlock()
+			choices[j] = rng.Intn(2) == 1
+		}
+		got, err := ExtTransfer(pairs, choices)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		for j := range got {
+			want := pairs[j][0]
+			if choices[j] {
+				want = pairs[j][1]
+			}
+			if got[j] != want {
+				t.Fatalf("m=%d OT %d: wrong message", m, j)
+			}
+		}
+	}
+}
+
+func TestExtLengthMismatchErrors(t *testing.T) {
+	recv, msgAs, err := NewExtReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := NewExtSender()
+	if _, err := send.BaseRespond(msgAs[:10]); err == nil {
+		t.Fatal("short base messages accepted")
+	}
+	msgBs, err := send.BaseRespond(msgAs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := recv.Extend(msgBs, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := send.Send(u[:5], make([][2]Block, 3)); err == nil {
+		t.Fatal("narrow correction matrix accepted")
+	}
+	masked, err := send.Send(u, make([][2]Block, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recv.Receive(masked, []bool{true}); err == nil {
+		t.Fatal("choice-length mismatch accepted")
+	}
+}
+
+func TestRowOf(t *testing.T) {
+	// Build a 2-row matrix column-wise and check row extraction.
+	cols := make([][]byte, kappa)
+	for i := range cols {
+		cols[i] = []byte{0}
+		if i%3 == 0 {
+			cols[i][0] |= 1 // row 0 bit set for columns divisible by 3
+		}
+	}
+	row := rowOf(cols, 0)
+	for i := 0; i < kappa; i++ {
+		want := i%3 == 0
+		got := row[i/8]&(1<<uint(i%8)) != 0
+		if got != want {
+			t.Fatalf("row bit %d = %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package packet provides minimal Ethernet/IPv4/TCP serialization and
+// parsing — enough to materialize the synthetic traces as real packets
+// (and standard pcap files via internal/pcapio) and to reassemble flows
+// from them. The paper's middlebox operates on exactly this layering:
+// TCP bytestreams reassembled from packets captured off a link.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EthernetHeaderLen is the length of an Ethernet II header.
+const EthernetHeaderLen = 14
+
+// IPv4HeaderLen is the length of an options-free IPv4 header.
+const IPv4HeaderLen = 20
+
+// TCPHeaderLen is the length of an options-free TCP header.
+const TCPHeaderLen = 20
+
+// EtherTypeIPv4 is the Ethernet II type for IPv4.
+const EtherTypeIPv4 = 0x0800
+
+// ProtoTCP is the IPv4 protocol number for TCP.
+const ProtoTCP = 6
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// Segment is one TCP segment with its addressing.
+type Segment struct {
+	SrcMAC, DstMAC [6]byte
+	SrcIP, DstIP   [4]byte
+	SrcPort        uint16
+	DstPort        uint16
+	Seq, Ack       uint32
+	Flags          byte
+	Payload        []byte
+}
+
+// FlowKey identifies one direction of a TCP connection.
+type FlowKey struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Key returns the segment's directional flow key.
+func (s *Segment) Key() FlowKey {
+	return FlowKey{SrcIP: s.SrcIP, DstIP: s.DstIP, SrcPort: s.SrcPort, DstPort: s.DstPort}
+}
+
+// String renders the key like "10.0.0.1:1234->10.0.0.2:80".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d",
+		k.SrcIP[0], k.SrcIP[1], k.SrcIP[2], k.SrcIP[3], k.SrcPort,
+		k.DstIP[0], k.DstIP[1], k.DstIP[2], k.DstIP[3], k.DstPort)
+}
+
+// Marshal serializes the segment as an Ethernet frame with correct IPv4
+// and TCP checksums.
+func (s *Segment) Marshal() []byte {
+	total := EthernetHeaderLen + IPv4HeaderLen + TCPHeaderLen + len(s.Payload)
+	out := make([]byte, total)
+
+	// Ethernet.
+	copy(out[0:6], s.DstMAC[:])
+	copy(out[6:12], s.SrcMAC[:])
+	binary.BigEndian.PutUint16(out[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	ip := out[EthernetHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+TCPHeaderLen+len(s.Payload)))
+	ip[8] = 64 // TTL
+	ip[9] = ProtoTCP
+	copy(ip[12:16], s.SrcIP[:])
+	copy(ip[16:20], s.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:IPv4HeaderLen]))
+
+	// TCP.
+	tcp := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], s.Seq)
+	binary.BigEndian.PutUint32(tcp[8:12], s.Ack)
+	tcp[12] = (TCPHeaderLen / 4) << 4 // data offset
+	tcp[13] = s.Flags
+	binary.BigEndian.PutUint16(tcp[14:16], 65535) // window
+	copy(tcp[TCPHeaderLen:], s.Payload)
+	binary.BigEndian.PutUint16(tcp[16:18], tcpChecksum(s.SrcIP, s.DstIP, tcp))
+	return out
+}
+
+// Unmarshal parses an Ethernet/IPv4/TCP frame, validating lengths and both
+// checksums. Non-IPv4 or non-TCP frames return ErrNotTCP.
+func Unmarshal(frame []byte) (*Segment, error) {
+	if len(frame) < EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen {
+		return nil, errors.New("packet: frame too short")
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return nil, ErrNotTCP
+	}
+	var s Segment
+	copy(s.DstMAC[:], frame[0:6])
+	copy(s.SrcMAC[:], frame[6:12])
+
+	ip := frame[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return nil, ErrNotTCP
+	}
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return nil, errors.New("packet: bad IHL")
+	}
+	if ip[9] != ProtoTCP {
+		return nil, ErrNotTCP
+	}
+	if checksum(ip[:ihl]) != 0 {
+		return nil, errors.New("packet: IPv4 checksum mismatch")
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen < ihl+TCPHeaderLen || len(ip) < totalLen {
+		return nil, errors.New("packet: truncated IPv4 payload")
+	}
+	copy(s.SrcIP[:], ip[12:16])
+	copy(s.DstIP[:], ip[16:20])
+
+	tcp := ip[ihl:totalLen]
+	dataOff := int(tcp[12]>>4) * 4
+	if dataOff < TCPHeaderLen || len(tcp) < dataOff {
+		return nil, errors.New("packet: bad TCP data offset")
+	}
+	if tcpChecksum(s.SrcIP, s.DstIP, tcp) != 0 {
+		return nil, errors.New("packet: TCP checksum mismatch")
+	}
+	s.SrcPort = binary.BigEndian.Uint16(tcp[0:2])
+	s.DstPort = binary.BigEndian.Uint16(tcp[2:4])
+	s.Seq = binary.BigEndian.Uint32(tcp[4:8])
+	s.Ack = binary.BigEndian.Uint32(tcp[8:12])
+	s.Flags = tcp[13]
+	s.Payload = append([]byte(nil), tcp[dataOff:]...)
+	return &s, nil
+}
+
+// ErrNotTCP marks frames that are valid but not IPv4/TCP.
+var ErrNotTCP = errors.New("packet: not an IPv4/TCP frame")
+
+// checksum is the Internet checksum (RFC 1071) over data; a correct
+// checksum field makes the sum over the whole header equal zero.
+func checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// tcpChecksum computes the TCP checksum including the IPv4 pseudo-header.
+// The checksum field inside tcp must be zeroed by the caller (Marshal) or
+// contain the transmitted value (Unmarshal verification: result 0).
+func tcpChecksum(src, dst [4]byte, tcp []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = ProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(tcp)))
+
+	var sum uint32
+	add := func(data []byte) {
+		for i := 0; i+1 < len(data); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+		}
+		if len(data)%2 == 1 {
+			sum += uint32(data[len(data)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(tcp)
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Assembler reassembles in-order TCP payload bytes per directional flow —
+// the minimal stream reassembly an HTTP DPI middlebox needs for replayed
+// traces (out-of-order and retransmitted segments are dropped; synthetic
+// traces are in order).
+type Assembler struct {
+	flows map[FlowKey]*flowAsm
+	order []FlowKey
+}
+
+type flowAsm struct {
+	nextSeq uint32
+	started bool
+	data    []byte
+	closed  bool
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{flows: make(map[FlowKey]*flowAsm)}
+}
+
+// Add folds one segment into its flow.
+func (a *Assembler) Add(s *Segment) {
+	key := s.Key()
+	f := a.flows[key]
+	if f == nil {
+		f = &flowAsm{}
+		a.flows[key] = f
+		a.order = append(a.order, key)
+	}
+	if s.Flags&FlagSYN != 0 {
+		f.nextSeq = s.Seq + 1
+		f.started = true
+		return
+	}
+	if !f.started {
+		f.nextSeq = s.Seq
+		f.started = true
+	}
+	if s.Seq == f.nextSeq && len(s.Payload) > 0 {
+		f.data = append(f.data, s.Payload...)
+		f.nextSeq += uint32(len(s.Payload))
+	}
+	if s.Flags&FlagFIN != 0 {
+		f.closed = true
+	}
+}
+
+// Flows returns, in first-seen order, each flow's key and reassembled
+// payload.
+func (a *Assembler) Flows() ([]FlowKey, [][]byte) {
+	payloads := make([][]byte, len(a.order))
+	for i, key := range a.order {
+		payloads[i] = a.flows[key].data
+	}
+	return a.order, payloads
+}
+
+// Segmentize splits one flow payload into MSS-sized TCP segments with
+// SYN/FIN framing, suitable for writing to a pcap.
+func Segmentize(key FlowKey, payload []byte, mss int) []*Segment {
+	if mss <= 0 {
+		mss = 1460
+	}
+	base := &Segment{
+		SrcMAC: [6]byte{2, 0, 0, 0, 0, 1}, DstMAC: [6]byte{2, 0, 0, 0, 0, 2},
+		SrcIP: key.SrcIP, DstIP: key.DstIP, SrcPort: key.SrcPort, DstPort: key.DstPort,
+	}
+	var segs []*Segment
+	seq := uint32(1000)
+	syn := *base
+	syn.Seq = seq
+	syn.Flags = FlagSYN
+	segs = append(segs, &syn)
+	seq++
+	for off := 0; off < len(payload); off += mss {
+		end := off + mss
+		if end > len(payload) {
+			end = len(payload)
+		}
+		seg := *base
+		seg.Seq = seq
+		seg.Flags = FlagACK | FlagPSH
+		seg.Payload = payload[off:end]
+		segs = append(segs, &seg)
+		seq += uint32(end - off)
+	}
+	fin := *base
+	fin.Seq = seq
+	fin.Flags = FlagFIN | FlagACK
+	segs = append(segs, &fin)
+	return segs
+}

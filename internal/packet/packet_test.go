@@ -1,0 +1,145 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSegment(payload string) *Segment {
+	return &Segment{
+		SrcMAC: [6]byte{2, 0, 0, 0, 0, 1}, DstMAC: [6]byte{2, 0, 0, 0, 0, 2},
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 43210, DstPort: 80,
+		Seq: 1001, Ack: 777, Flags: FlagACK | FlagPSH,
+		Payload: []byte(payload),
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	s := sampleSegment("GET / HTTP/1.1\r\n\r\n")
+	frame := s.Marshal()
+	got, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcIP != s.SrcIP || got.DstIP != s.DstIP ||
+		got.SrcPort != s.SrcPort || got.DstPort != s.DstPort ||
+		got.Seq != s.Seq || got.Ack != s.Ack || got.Flags != s.Flags {
+		t.Fatalf("headers diverged: %+v vs %+v", got, s)
+	}
+	if !bytes.Equal(got.Payload, s.Payload) {
+		t.Fatalf("payload diverged: %q", got.Payload)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, sport, dport uint16, seq uint32) bool {
+		if len(payload) > 1460 {
+			payload = payload[:1460]
+		}
+		s := sampleSegment("")
+		s.Payload = payload
+		s.SrcPort, s.DstPort, s.Seq = sport, dport, seq
+		got, err := Unmarshal(s.Marshal())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Payload, payload) && got.SrcPort == sport &&
+			got.DstPort == dport && got.Seq == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumValidation(t *testing.T) {
+	frame := sampleSegment("payload bytes here").Marshal()
+	// Corrupt one payload byte: the TCP checksum must catch it.
+	frame[len(frame)-3] ^= 0xFF
+	if _, err := Unmarshal(frame); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	// Corrupt an IP header byte.
+	frame2 := sampleSegment("x").Marshal()
+	frame2[EthernetHeaderLen+8] ^= 0xFF // TTL
+	if _, err := Unmarshal(frame2); err == nil {
+		t.Fatal("corrupted IP header accepted")
+	}
+}
+
+func TestUnmarshalRejectsShortAndForeign(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	arp := sampleSegment("x").Marshal()
+	arp[12], arp[13] = 0x08, 0x06 // ARP ethertype
+	if _, err := Unmarshal(arp); err != ErrNotTCP {
+		t.Fatalf("ARP frame: %v", err)
+	}
+}
+
+func TestSegmentizeAndReassemble(t *testing.T) {
+	key := FlowKey{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 999, DstPort: 80}
+	payload := bytes.Repeat([]byte("stream data with keywords inside "), 200) // > several MSS
+	segs := Segmentize(key, payload, 1460)
+	if segs[0].Flags&FlagSYN == 0 {
+		t.Fatal("first segment not SYN")
+	}
+	if segs[len(segs)-1].Flags&FlagFIN == 0 {
+		t.Fatal("last segment not FIN")
+	}
+	asm := NewAssembler()
+	for _, s := range segs {
+		// Round-trip each through the wire format too.
+		got, err := Unmarshal(s.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		asm.Add(got)
+	}
+	keys, payloads := asm.Flows()
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("flows = %v", keys)
+	}
+	if !bytes.Equal(payloads[0], payload) {
+		t.Fatalf("reassembly produced %d bytes, want %d", len(payloads[0]), len(payload))
+	}
+}
+
+func TestAssemblerSkipsDuplicates(t *testing.T) {
+	key := FlowKey{SrcPort: 1, DstPort: 2}
+	segs := Segmentize(key, []byte("abcdef"), 3)
+	asm := NewAssembler()
+	for _, s := range segs {
+		asm.Add(s)
+		asm.Add(s) // duplicate delivery
+	}
+	_, payloads := asm.Flows()
+	if string(payloads[0]) != "abcdef" {
+		t.Fatalf("duplicates corrupted stream: %q", payloads[0])
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	key := FlowKey{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 9, 8, 7}, SrcPort: 5, DstPort: 80}
+	if key.String() != "10.0.0.1:5->10.9.8.7:80" {
+		t.Fatalf("String = %q", key.String())
+	}
+}
+
+func TestMultipleFlowsKeptSeparate(t *testing.T) {
+	asm := NewAssembler()
+	k1 := FlowKey{SrcPort: 1, DstPort: 80}
+	k2 := FlowKey{SrcPort: 2, DstPort: 80}
+	for _, s := range Segmentize(k1, []byte("flow-one"), 4) {
+		asm.Add(s)
+	}
+	for _, s := range Segmentize(k2, []byte("flow-two"), 4) {
+		asm.Add(s)
+	}
+	keys, payloads := asm.Flows()
+	if len(keys) != 2 || string(payloads[0]) != "flow-one" || string(payloads[1]) != "flow-two" {
+		t.Fatalf("flows mixed: %v %q", keys, payloads)
+	}
+}

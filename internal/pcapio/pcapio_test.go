@@ -1,0 +1,129 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []Packet{
+		{TimestampSec: 1, TimestampMicro: 500, Data: []byte{1, 2, 3}},
+		{TimestampSec: 2, TimestampMicro: 0, Data: bytes.Repeat([]byte{9}, 1500)},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Fatalf("link type = %d", r.LinkType)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d packets", len(got))
+	}
+	for i := range got {
+		if got[i].TimestampSec != pkts[i].TimestampSec || !bytes.Equal(got[i].Data, pkts[i].Data) {
+			t.Fatalf("packet %d diverged", i)
+		}
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a pcap file at all......"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WritePacket(Packet{Data: []byte{1, 2, 3, 4}})
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err != io.EOF {
+		t.Fatalf("empty capture: %v", err)
+	}
+}
+
+func TestOversizePacketRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.WritePacket(Packet{Data: make([]byte, maxSnapLen+1)}); err == nil {
+		t.Fatal("oversize packet accepted")
+	}
+}
+
+func TestEndToEndWithPacketLayer(t *testing.T) {
+	// Segments -> frames -> pcap -> frames -> reassembled stream.
+	key := packet.FlowKey{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1234, DstPort: 80}
+	payload := bytes.Repeat([]byte("pcap round trip payload "), 100)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seg := range packet.Segmentize(key, payload, 700) {
+		if err := w.WritePacket(Packet{TimestampSec: uint32(i), Data: seg.Marshal()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := packet.NewAssembler()
+	for {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := packet.Unmarshal(p.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asm.Add(seg)
+	}
+	_, payloads := asm.Flows()
+	if len(payloads) != 1 || !bytes.Equal(payloads[0], payload) {
+		t.Fatal("pcap round trip corrupted the stream")
+	}
+}

@@ -1,0 +1,161 @@
+// Package rgconfig persists rule-generator artifacts so the cmd tools can
+// exchange them as files, mirroring how RG material is distributed in
+// deployments (§2.3): the signed ruleset goes to the middlebox (RG's
+// customer), and the endpoint configuration — RG's identity and tag key —
+// is installed at clients and servers.
+package rgconfig
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/rules"
+	"repro/internal/transport"
+)
+
+// signedRulesetFile is the on-disk form of a signed ruleset.
+type signedRulesetFile struct {
+	Name      string            `json:"name"`
+	Rules     []string          `json:"rules"`
+	Signature string            `json:"signature"`
+	Tags      map[string]string `json:"tags"`
+}
+
+// SaveSignedRuleset writes the middlebox's copy of RG's ruleset.
+func SaveSignedRuleset(path string, sr *rules.SignedRuleset) error {
+	f := signedRulesetFile{
+		Name:      sr.Ruleset.Name,
+		Signature: base64.StdEncoding.EncodeToString(sr.Signature),
+		Tags:      make(map[string]string, len(sr.Tags)),
+	}
+	for _, r := range sr.Ruleset.Rules {
+		f.Rules = append(f.Rules, r.Raw)
+	}
+	for frag, tag := range sr.Tags {
+		f.Tags[hex.EncodeToString(frag[:])] = hex.EncodeToString(tag[:])
+	}
+	return writeJSON(path, f)
+}
+
+// LoadSignedRuleset reads a signed ruleset file.
+func LoadSignedRuleset(path string) (*rules.SignedRuleset, error) {
+	var f signedRulesetFile
+	if err := readJSON(path, &f); err != nil {
+		return nil, err
+	}
+	rs, err := rules.Parse(f.Name, strings.Join(f.Rules, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("rgconfig: %w", err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(f.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("rgconfig: bad signature encoding: %w", err)
+	}
+	sr := &rules.SignedRuleset{
+		Ruleset:   rs,
+		Signature: sig,
+		Tags:      make(map[bbcrypto.Block]bbcrypto.Block, len(f.Tags)),
+	}
+	for fragHex, tagHex := range f.Tags {
+		var frag, tag bbcrypto.Block
+		if err := decodeBlock(fragHex, &frag); err != nil {
+			return nil, err
+		}
+		if err := decodeBlock(tagHex, &tag); err != nil {
+			return nil, err
+		}
+		sr.Tags[frag] = tag
+	}
+	return sr, nil
+}
+
+// publicFile is RG's public identity, for the middlebox.
+type publicFile struct {
+	Name      string `json:"name"`
+	PublicKey string `json:"publicKey"`
+}
+
+// SavePublic writes RG's public configuration.
+func SavePublic(path, name string, pub ed25519.PublicKey) error {
+	return writeJSON(path, publicFile{
+		Name:      name,
+		PublicKey: base64.StdEncoding.EncodeToString(pub),
+	})
+}
+
+// LoadPublic reads RG's public configuration.
+func LoadPublic(path string) (ed25519.PublicKey, string, error) {
+	var f publicFile
+	if err := readJSON(path, &f); err != nil {
+		return nil, "", err
+	}
+	pub, err := base64.StdEncoding.DecodeString(f.PublicKey)
+	if err != nil {
+		return nil, "", fmt.Errorf("rgconfig: bad public key: %w", err)
+	}
+	if len(pub) != ed25519.PublicKeySize {
+		return nil, "", fmt.Errorf("rgconfig: public key has %d bytes", len(pub))
+	}
+	return ed25519.PublicKey(pub), f.Name, nil
+}
+
+// endpointFile is the configuration endpoints install (§2.3: "a BlindBox
+// HTTPS configuration which includes RG's public key").
+type endpointFile struct {
+	Name      string `json:"name"`
+	PublicKey string `json:"publicKey"`
+	TagKey    string `json:"tagKey"`
+}
+
+// SaveEndpoint writes the endpoint installation for RG.
+func SaveEndpoint(path, name string, pub ed25519.PublicKey, tagKey bbcrypto.Block) error {
+	return writeJSON(path, endpointFile{
+		Name:      name,
+		PublicKey: base64.StdEncoding.EncodeToString(pub),
+		TagKey:    hex.EncodeToString(tagKey[:]),
+	})
+}
+
+// LoadEndpoint reads an endpoint installation.
+func LoadEndpoint(path string) (transport.RGMaterial, error) {
+	var f endpointFile
+	if err := readJSON(path, &f); err != nil {
+		return transport.RGMaterial{}, err
+	}
+	var m transport.RGMaterial
+	if err := decodeBlock(f.TagKey, &m.TagKey); err != nil {
+		return transport.RGMaterial{}, err
+	}
+	return m, nil
+}
+
+func decodeBlock(s string, out *bbcrypto.Block) error {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != bbcrypto.BlockSize {
+		return fmt.Errorf("rgconfig: bad block %q", s)
+	}
+	copy(out[:], raw)
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o600)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

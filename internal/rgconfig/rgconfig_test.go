@@ -1,0 +1,137 @@
+package rgconfig
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+func tmpPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func makeSigned(t *testing.T) (*rules.Generator, *rules.SignedRuleset) {
+	t.Helper()
+	g, err := rules.NewGenerator("FileRG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rules.Parse("file-test", `alert tcp any any -> any any (msg:"m"; content:"filekw99"; sid:7;)
+alert tcp any any -> any any (content:"other-kw"; content:"Server|3a| nginx"; sid:8;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, g.Sign(rs)
+}
+
+func TestSignedRulesetRoundTrip(t *testing.T) {
+	g, sr := makeSigned(t)
+	path := tmpPath(t, "rules.json")
+	if err := SaveSignedRuleset(path, sr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSignedRuleset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ruleset.Rules) != 2 || got.Ruleset.Rules[0].SID != 7 {
+		t.Fatalf("rules lost in round trip: %+v", got.Ruleset.Rules)
+	}
+	if len(got.Tags) != len(sr.Tags) {
+		t.Fatalf("tags: got %d want %d", len(got.Tags), len(sr.Tags))
+	}
+	for frag, tag := range sr.Tags {
+		if got.Tags[frag] != tag {
+			t.Fatalf("tag mismatch for %x", frag)
+		}
+	}
+	// The signature must still verify after the round trip.
+	if !rules.Verify(g.PublicKey(), got) {
+		t.Fatal("signature did not survive the round trip")
+	}
+}
+
+func TestPublicRoundTrip(t *testing.T) {
+	g, _ := makeSigned(t)
+	path := tmpPath(t, "rg.json")
+	if err := SavePublic(path, "FileRG", g.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	pub, name, err := LoadPublic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "FileRG" {
+		t.Fatalf("name = %q", name)
+	}
+	if string(pub) != string(g.PublicKey()) {
+		t.Fatal("public key corrupted")
+	}
+}
+
+func TestEndpointRoundTrip(t *testing.T) {
+	g, _ := makeSigned(t)
+	path := tmpPath(t, "ep.json")
+	if err := SaveEndpoint(path, "FileRG", g.PublicKey(), g.TagKey()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadEndpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TagKey != g.TagKey() {
+		t.Fatal("tag key corrupted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadSignedRuleset(tmpPath(t, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := tmpPath(t, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o600)
+	if _, err := LoadSignedRuleset(bad); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+	if _, _, err := LoadPublic(bad); err == nil {
+		t.Fatal("malformed public config accepted")
+	}
+	if _, err := LoadEndpoint(bad); err == nil {
+		t.Fatal("malformed endpoint config accepted")
+	}
+
+	// Wrong-size key material must be rejected.
+	short := tmpPath(t, "short.json")
+	os.WriteFile(short, []byte(`{"name":"x","publicKey":"AAAA"}`), 0o600)
+	if _, _, err := LoadPublic(short); err == nil {
+		t.Fatal("short public key accepted")
+	}
+	badTag := tmpPath(t, "tag.json")
+	os.WriteFile(badTag, []byte(`{"name":"x","publicKey":"AAAA","tagKey":"zz"}`), 0o600)
+	if _, err := LoadEndpoint(badTag); err == nil {
+		t.Fatal("bad tag key accepted")
+	}
+}
+
+func TestTamperedRulesetFailsVerify(t *testing.T) {
+	g, sr := makeSigned(t)
+	path := tmpPath(t, "rules.json")
+	if err := SaveSignedRuleset(path, sr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSignedRuleset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := rules.ParseRule(`alert tcp any any -> any any (content:"injected"; sid:99;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Ruleset.Rules = append(got.Ruleset.Rules, extra)
+	if rules.Verify(g.PublicKey(), got) {
+		t.Fatal("tampered loaded ruleset verified")
+	}
+}

@@ -1,0 +1,284 @@
+// Package ruleprep implements obfuscated rule encryption (§3.3 of the
+// paper): the exchange by which the middlebox obtains AES_k(r) for every
+// RG-authorized rule fragment r, without learning the session key k and
+// without the endpoints learning the rules.
+//
+// Per fragment, both endpoints deterministically garble the function F
+// (circuit.BuildRuleEncrypt) using shared randomness derived from krand;
+// the middlebox checks the two garbled circuits are identical, obtains the
+// input labels for its fragment and RG-tag bits by oblivious transfer (from
+// each endpoint, again cross-checked), and evaluates the circuit to obtain
+// the fragment's DPIEnc token key.
+//
+// Garbling dominates connection setup cost; the work is embarrassingly
+// parallel across fragments, mirroring the paper's "garble threads" (§6).
+package ruleprep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/circuit"
+	"repro/internal/dpienc"
+	"repro/internal/garble"
+	"repro/internal/ot"
+)
+
+// FixedGarblingKey is the public fixed key of the garbling hash. It need
+// not be secret; all parties must agree on it.
+var FixedGarblingKey = bbcrypto.Block{'b', 'l', 'i', 'n', 'd', 'b', 'o', 'x', 'g', 'a', 'r', 'b', 'l', 'e', '0', '1'}
+
+// Circuit caches the rule-encryption circuit, which every connection
+// reuses (only the garbling randomness differs).
+var (
+	circOnce sync.Once
+	circF    *circuit.Circuit
+)
+
+// F returns the shared rule-encryption circuit (built once per process).
+func F() *circuit.Circuit {
+	circOnce.Do(func() { circF = circuit.BuildRuleEncrypt(circuit.SBoxGF) })
+	return circF
+}
+
+// otWires is the number of input wires the middlebox chooses via OT per
+// fragment: the fragment block x (128) plus RG's tag (128).
+const otWires = 256
+
+// FragmentJob is one endpoint-side garbling result for one fragment index.
+type FragmentJob struct {
+	// Index is the fragment's position in the middlebox's rule list.
+	Index int
+	// G is the garbled circuit shipped to the middlebox.
+	G *garble.Garbled
+	// EndpointLabels are the labels for the endpoint-held inputs (k and
+	// kRG bits), in wire order, handed to the middlebox directly.
+	EndpointLabels []bbcrypto.Block
+	// otPairs are the label pairs of the OT-transferred wires (x, tag).
+	otPairs [][2]bbcrypto.Block
+}
+
+// OTPairs exposes the fragment's OT sender inputs.
+func (j *FragmentJob) OTPairs() [][2]bbcrypto.Block { return j.otPairs }
+
+// NewFragmentJob reconstructs a middlebox-side view of a fragment job from
+// wire data (the garbled circuit and endpoint labels received from an
+// endpoint). The OT pairs stay with the endpoint; the middlebox never
+// holds them.
+func NewFragmentJob(index int, g *garble.Garbled, endpointLabels []bbcrypto.Block) *FragmentJob {
+	return &FragmentJob{Index: index, G: g, EndpointLabels: endpointLabels}
+}
+
+// Endpoint is one endpoint's (S or R) state for a rule-preparation run.
+type Endpoint struct {
+	circ  *circuit.Circuit
+	k     bbcrypto.Block
+	kRG   bbcrypto.Block
+	krand bbcrypto.Block
+}
+
+// NewEndpoint creates an endpoint-side session. k is the session detection
+// key, kRG the rule generator's tag key from the installed RG
+// configuration, and krand the shared randomness seed from the handshake.
+func NewEndpoint(k, kRG, krand bbcrypto.Block) *Endpoint {
+	return &Endpoint{circ: F(), k: k, kRG: kRG, krand: krand}
+}
+
+// seed derives the deterministic garbling seed for fragment i. Both
+// endpoints hold krand, so they derive equal seeds and hence produce
+// bit-identical garbled circuits.
+func (e *Endpoint) seed(i int) bbcrypto.Block {
+	return bbcrypto.DeriveBlock(e.krand[:], fmt.Sprintf("blindbox ruleprep %d", i))
+}
+
+// Garble produces the fragment job for index i.
+func (e *Endpoint) Garble(i int) (*FragmentJob, error) {
+	g, labels, err := garble.Garble(e.circ, FixedGarblingKey, bbcrypto.NewPRG(e.seed(i)))
+	if err != nil {
+		return nil, err
+	}
+	job := &FragmentJob{Index: i, G: g}
+
+	kBits := circuit.BytesToBits(e.k[:])
+	kRGBits := circuit.BytesToBits(e.kRG[:])
+	job.EndpointLabels = make([]bbcrypto.Block, 0, 256)
+	for b := 0; b < 128; b++ {
+		job.EndpointLabels = append(job.EndpointLabels, labels.For(circuit.RuleEncryptKOff+b, kBits[b]))
+	}
+	for b := 0; b < 128; b++ {
+		job.EndpointLabels = append(job.EndpointLabels, labels.For(circuit.RuleEncryptKRGOff+b, kRGBits[b]))
+	}
+
+	job.otPairs = make([][2]bbcrypto.Block, 0, otWires)
+	for b := 0; b < 128; b++ {
+		l0, l1 := labels.Pair(circuit.RuleEncryptXOff + b)
+		job.otPairs = append(job.otPairs, [2]bbcrypto.Block{l0, l1})
+	}
+	for b := 0; b < 128; b++ {
+		l0, l1 := labels.Pair(circuit.RuleEncryptTagOff + b)
+		job.otPairs = append(job.otPairs, [2]bbcrypto.Block{l0, l1})
+	}
+	return job, nil
+}
+
+// GarbleAll garbles every fragment index in [0, n) using all cores.
+func (e *Endpoint) GarbleAll(n int) ([]*FragmentJob, error) {
+	jobs := make([]*FragmentJob, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			jobs[i], errs[i] = e.Garble(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return jobs, nil
+}
+
+// Request is what the middlebox asks the endpoints to prepare: one entry
+// per rule fragment, consisting of the fragment block and RG's tag for it.
+// The endpoints never see this; it parameterizes only the middlebox side.
+type Request struct {
+	Fragments []bbcrypto.Block
+	Tags      []bbcrypto.Block
+}
+
+// Middlebox is the MB-side state of a rule-preparation run.
+type Middlebox struct {
+	circ *circuit.Circuit
+	req  Request
+}
+
+// NewMiddlebox creates the MB session for the given rule fragments.
+func NewMiddlebox(req Request) (*Middlebox, error) {
+	if len(req.Fragments) != len(req.Tags) {
+		return nil, errors.New("ruleprep: fragments and tags must align")
+	}
+	return &Middlebox{circ: F(), req: req}, nil
+}
+
+// NumFragments returns N, which MB announces to the endpoints (§3.3 step 1).
+func (m *Middlebox) NumFragments() int { return len(m.req.Fragments) }
+
+// Choices returns MB's OT choice bits for fragment i: the bits of the
+// fragment block followed by the bits of its tag.
+func (m *Middlebox) Choices(i int) []bool {
+	out := make([]bool, 0, otWires)
+	out = append(out, circuit.BytesToBits(m.req.Fragments[i][:])...)
+	out = append(out, circuit.BytesToBits(m.req.Tags[i][:])...)
+	return out
+}
+
+// Verify cross-checks the two endpoints' jobs for fragment i: identical
+// garbled circuits and identical endpoint labels. Since at least one
+// endpoint is honest (§2.2.2), equality proves correctness.
+func (m *Middlebox) Verify(jobS, jobR *FragmentJob) error {
+	if jobS.Index != jobR.Index {
+		return errors.New("ruleprep: job index mismatch")
+	}
+	if !garble.Equal(jobS.G, jobR.G) {
+		return errors.New("ruleprep: endpoints disagree on garbled circuit")
+	}
+	if len(jobS.EndpointLabels) != len(jobR.EndpointLabels) {
+		return errors.New("ruleprep: endpoint label count mismatch")
+	}
+	for b := range jobS.EndpointLabels {
+		if jobS.EndpointLabels[b] != jobR.EndpointLabels[b] {
+			return errors.New("ruleprep: endpoints disagree on input labels")
+		}
+	}
+	return nil
+}
+
+// ErrUnauthorized is returned when the circuit outputs ⊥ (all zeros): the
+// fragment's tag did not verify, i.e. RG never authorized this keyword.
+var ErrUnauthorized = errors.New("ruleprep: fragment not authorized by rule generator")
+
+// Evaluate runs the garbled circuit for fragment i given the OT-received
+// labels (x then tag wires) and the endpoint-held labels (k then kRG
+// wires), returning the fragment's DPIEnc token key AES_k(x).
+func (m *Middlebox) Evaluate(i int, job *FragmentJob, otLabels []bbcrypto.Block) (dpienc.TokenKey, error) {
+	if len(otLabels) != otWires {
+		return dpienc.TokenKey{}, errors.New("ruleprep: wrong OT label count")
+	}
+	if len(job.EndpointLabels) != 256 {
+		return dpienc.TokenKey{}, errors.New("ruleprep: wrong endpoint label count")
+	}
+	in := make([]bbcrypto.Block, m.circ.NInputs)
+	copy(in[circuit.RuleEncryptXOff:], otLabels[:128])
+	copy(in[circuit.RuleEncryptTagOff:], otLabels[128:])
+	copy(in[circuit.RuleEncryptKOff:], job.EndpointLabels[:128])
+	copy(in[circuit.RuleEncryptKRGOff:], job.EndpointLabels[128:])
+	bits, err := garble.Eval(m.circ, job.G, in)
+	if err != nil {
+		return dpienc.TokenKey{}, err
+	}
+	var key dpienc.TokenKey
+	copy(key[:], circuit.BitsToBytes(bits))
+	if key == (dpienc.TokenKey{}) {
+		return dpienc.TokenKey{}, ErrUnauthorized
+	}
+	return key, nil
+}
+
+// RunLocal performs the complete rule preparation with both endpoints in
+// process — the building block for examples, benchmarks and the in-memory
+// transport. It returns the token key for every fragment (nil entries for
+// unauthorized fragments) and the number of bytes of garbled material that
+// would cross the wire.
+func RunLocal(epS, epR *Endpoint, mb *Middlebox) ([]*dpienc.TokenKey, int, error) {
+	n := mb.NumFragments()
+	jobsS, err := epS.GarbleAll(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	jobsR, err := epR.GarbleAll(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	bytesOnWire := 0
+	keys := make([]*dpienc.TokenKey, n)
+	for i := 0; i < n; i++ {
+		if err := mb.Verify(jobsS[i], jobsR[i]); err != nil {
+			return nil, 0, err
+		}
+		bytesOnWire += jobsS[i].G.Size() + jobsR[i].G.Size()
+		choices := mb.Choices(i)
+		gotS, err := ot.ExtTransfer(jobsS[i].OTPairs(), choices)
+		if err != nil {
+			return nil, 0, err
+		}
+		gotR, err := ot.ExtTransfer(jobsR[i].OTPairs(), choices)
+		if err != nil {
+			return nil, 0, err
+		}
+		for b := range gotS {
+			if gotS[b] != gotR[b] {
+				return nil, 0, errors.New("ruleprep: endpoints disagree on OT labels")
+			}
+		}
+		key, err := mb.Evaluate(i, jobsS[i], gotS)
+		if err == ErrUnauthorized {
+			continue
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		k := key
+		keys[i] = &k
+	}
+	return keys, bytesOnWire, nil
+}

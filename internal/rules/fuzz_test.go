@@ -1,0 +1,50 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRule checks the rule parser never panics and that accepted
+// rules re-parse to the same structure (parse is a projection).
+func FuzzParseRule(f *testing.F) {
+	f.Add(`alert tcp any any -> any any (content:"abc"; sid:1;)`)
+	f.Add(`alert tcp $EXTERNAL_NET $HTTP_PORTS -> $HOME_NET 1025:5000 (msg:"x"; content:"Server|3a| nginx/0."; offset:17; depth:19; sid:2;)`)
+	f.Add(`drop tcp any any -> any any (content:"a\"b;c"; pcre:"/x+/i"; nocase; sid:3;)`)
+	f.Add(`alert tcp any any -> any any (pcre:"/(a)\1/"; sid:4;)`)
+	f.Add(`alert tcp any any -> any any (content:"|00 ff 80|"; within:5; distance:1; sid:5;)`)
+	f.Add(`alert tcp any any (content:"broken)`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseRule(line)
+		if err != nil {
+			return
+		}
+		// Accepted rules must re-parse from their recorded raw form.
+		again, err := ParseRule(r.Raw)
+		if err != nil {
+			t.Fatalf("accepted rule failed to re-parse: %v", err)
+		}
+		if again.SID != r.SID || len(again.Contents) != len(r.Contents) || again.Pcre != r.Pcre {
+			t.Fatalf("re-parse diverged: %+v vs %+v", again, r)
+		}
+		if r.Protocol() < 1 || r.Protocol() > 3 {
+			t.Fatalf("protocol out of range: %d", r.Protocol())
+		}
+	})
+}
+
+// FuzzParse checks whole-ruleset parsing on arbitrary text.
+func FuzzParse(f *testing.F) {
+	f.Add("# comment\n\nalert tcp any any -> any any (content:\"x\"; sid:1;)\n")
+	f.Add(strings.Repeat(`alert tcp any any -> any any (content:"y"; sid:2;)`+"\n", 3))
+	f.Fuzz(func(t *testing.T, text string) {
+		rs, err := Parse("fuzz", text)
+		if err != nil {
+			return
+		}
+		// Accepted rulesets support the derived operations without panics.
+		rs.ProtocolBreakdown()
+		rs.Keywords()
+	})
+}

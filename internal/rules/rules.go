@@ -1,0 +1,495 @@
+// Package rules implements the BlindBox rule model: a parser for a
+// Snort-compatible subset of the rule language, classification of rules
+// into the three BlindBox protocols (Table 1 of the paper), compilation of
+// rule keywords into the token fragments the middlebox searches for, and
+// the rule-generator (RG) role that signs rulesets and issues the
+// authorization tags consumed by obfuscated rule encryption (§3.3).
+package rules
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/tokenize"
+)
+
+// Action is what the middlebox does when a rule matches.
+type Action int
+
+const (
+	// Alert notifies an administrator but lets traffic pass.
+	Alert Action = iota
+	// Block drops the connection.
+	Block
+)
+
+func (a Action) String() string {
+	if a == Block {
+		return "block"
+	}
+	return "alert"
+}
+
+// Content is one exact-match pattern within a rule, with the Snort position
+// modifiers BlindBox Protocol II supports (§4).
+type Content struct {
+	// Pattern is the decoded keyword bytes (|xx| hex escapes resolved).
+	Pattern []byte
+	// Offset is the earliest payload offset at which the pattern may begin
+	// (Snort `offset`); 0 if unconstrained.
+	Offset int
+	// Depth bounds how far into the payload the pattern may begin
+	// (Snort `depth`, counted from Offset); -1 if unconstrained.
+	Depth int
+	// Distance is the minimum gap from the end of the previous content
+	// match (Snort `distance`); -1 if unconstrained.
+	Distance int
+	// Within bounds the gap from the end of the previous content match
+	// (Snort `within`); -1 if unconstrained.
+	Within int
+	// Nocase records the Snort `nocase` modifier. BlindBox exact-match
+	// detection is case-sensitive; the flag is parsed and surfaced so
+	// callers can count affected rules, and matching proceeds
+	// case-sensitively (a documented approximation).
+	Nocase bool
+}
+
+// Rule is one parsed IDS rule.
+type Rule struct {
+	// SID is the rule's signature ID (Snort `sid`), unique in a ruleset.
+	SID int
+	// Action is the response on match.
+	Action Action
+	// Msg is the human-readable description (Snort `msg`).
+	Msg string
+	// Contents are the exact-match keywords, in rule order.
+	Contents []Content
+	// Pcre holds the Snort `pcre` pattern (without delimiters) if the rule
+	// has one; such rules require Protocol III.
+	Pcre string
+	// pcreRe is the compiled regular expression, if Pcre is non-empty and
+	// compilable.
+	pcreRe *regexp.Regexp
+	// Raw is the original rule text.
+	Raw string
+}
+
+// Protocol classifies which BlindBox protocol a rule needs (Table 1):
+// Protocol I handles a single keyword matched at any offset, Protocol II
+// handles multiple keywords with offset information, and Protocol III
+// (probable cause) handles everything including pcre.
+func (r *Rule) Protocol() int {
+	if r.Pcre != "" {
+		return 3
+	}
+	if len(r.Contents) == 1 && unpositioned(r.Contents[0]) {
+		return 1
+	}
+	if len(r.Contents) >= 1 {
+		return 2
+	}
+	return 3 // no exact-match content at all: needs full inspection
+}
+
+func unpositioned(c Content) bool {
+	return c.Offset == 0 && c.Depth < 0 && c.Distance < 0 && c.Within < 0
+}
+
+// Regexp returns the rule's compiled pcre, or nil.
+func (r *Rule) Regexp() *regexp.Regexp { return r.pcreRe }
+
+// Ruleset is an ordered collection of rules with RG provenance.
+type Ruleset struct {
+	Name  string
+	Rules []*Rule
+}
+
+// ProtocolBreakdown returns, for each protocol p in {1,2,3}, the fraction
+// of rules supported by protocol p or lower — the quantity Table 1 reports.
+// (Protocol II supports everything Protocol I does, and III everything.)
+func (rs *Ruleset) ProtocolBreakdown() (p1, p2, p3 float64) {
+	if len(rs.Rules) == 0 {
+		return 0, 0, 0
+	}
+	var c1, c2 int
+	for _, r := range rs.Rules {
+		switch r.Protocol() {
+		case 1:
+			c1++
+			c2++
+		case 2:
+			c2++
+		}
+	}
+	n := float64(len(rs.Rules))
+	return float64(c1) / n, float64(c2) / n, 1.0
+}
+
+// Keywords returns every distinct content pattern in the ruleset, in first
+// appearance order. Rule preparation cost is linear in this count (§3.3).
+func (rs *Ruleset) Keywords() [][]byte {
+	seen := make(map[string]bool)
+	var out [][]byte
+	for _, r := range rs.Rules {
+		for _, c := range r.Contents {
+			if !seen[string(c.Pattern)] {
+				seen[string(c.Pattern)] = true
+				out = append(out, c.Pattern)
+			}
+		}
+	}
+	return out
+}
+
+// Fragments returns every distinct TokenSize fragment the middlebox must be
+// able to match for the given tokenization mode, across all keywords.
+func (rs *Ruleset) Fragments(mode tokenize.Mode) [][tokenize.TokenSize]byte {
+	seen := make(map[[tokenize.TokenSize]byte]bool)
+	var out [][tokenize.TokenSize]byte
+	for _, kw := range rs.Keywords() {
+		frags, _ := tokenize.SplitKeyword(mode, kw)
+		for _, f := range frags {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+// Parse parses a ruleset in the Snort-compatible subset: one rule per line,
+// '#' comments and blank lines ignored.
+func Parse(name, text string) (*Ruleset, error) {
+	rs := &Ruleset{Name: name}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", i+1, err)
+		}
+		rs.Rules = append(rs.Rules, r)
+	}
+	return rs, nil
+}
+
+// ParseRule parses a single rule line such as
+//
+//	alert tcp $EXTERNAL_NET $HTTP_PORTS -> $HOME_NET 1025:5000 (
+//	    msg:"nginx probe"; content:"Server|3a| nginx/0."; offset:17; depth:19;
+//	    content:"Content-Type|3a| text/html"; sid:2003296;)
+//
+// The header (action, protocol, addresses, ports, direction) is validated
+// for shape; BlindBox operates on HTTP payloads so address/port constraints
+// are parsed but not evaluated (almost all rules in the paper's datasets
+// are HTTP application-layer rules, §2.3).
+func ParseRule(line string) (*Rule, error) {
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(strings.TrimSpace(line), ")") {
+		return nil, fmt.Errorf("missing option block in %q", line)
+	}
+	header := strings.Fields(line[:open])
+	if len(header) != 7 {
+		return nil, fmt.Errorf("header must have 7 fields (action proto src sport dir dst dport), got %d", len(header))
+	}
+	r := &Rule{Raw: line}
+	switch header[0] {
+	case "alert":
+		r.Action = Alert
+	case "drop", "block", "reject":
+		r.Action = Block
+	default:
+		return nil, fmt.Errorf("unknown action %q", header[0])
+	}
+	if dir := header[4]; dir != "->" && dir != "<>" {
+		return nil, fmt.Errorf("bad direction %q", dir)
+	}
+
+	body := strings.TrimSpace(line[open+1:])
+	body = strings.TrimSuffix(body, ")")
+	opts, err := splitOptions(body)
+	if err != nil {
+		return nil, err
+	}
+	var cur *Content
+	flushContent := func() {
+		if cur != nil {
+			r.Contents = append(r.Contents, *cur)
+			cur = nil
+		}
+	}
+	for _, opt := range opts {
+		key, val, _ := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "content":
+			flushContent()
+			pat, err := decodePattern(unquote(val))
+			if err != nil {
+				return nil, err
+			}
+			cur = &Content{Pattern: pat, Depth: -1, Distance: -1, Within: -1}
+		case "offset", "depth", "distance", "within":
+			if cur == nil {
+				return nil, fmt.Errorf("%s before any content", key)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s %q", key, val)
+			}
+			switch key {
+			case "offset":
+				cur.Offset = n
+			case "depth":
+				cur.Depth = n
+			case "distance":
+				cur.Distance = n
+			case "within":
+				cur.Within = n
+			}
+		case "nocase":
+			if cur == nil {
+				return nil, fmt.Errorf("nocase before any content")
+			}
+			cur.Nocase = true
+		case "pcre":
+			pat, err := stripPcreDelims(unquote(val))
+			if err != nil {
+				return nil, err
+			}
+			r.Pcre = pat
+			r.pcreRe, err = regexp.Compile(pat)
+			if err != nil {
+				// Snort PCRE features outside RE2 (backrefs, lookaround)
+				// still classify the rule as Protocol III; the secondary
+				// inspection falls back to substring evaluation of the
+				// rule's contents.
+				r.pcreRe = nil
+			}
+		case "msg":
+			r.Msg = unquote(val)
+		case "sid":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad sid %q", val)
+			}
+			r.SID = n
+		case "flow", "classtype", "rev", "reference", "metadata", "http_uri",
+			"http_header", "http_method", "fast_pattern", "threshold", "gid":
+			// Parsed-and-ignored modifiers: they gate when a rule applies,
+			// not what BlindBox must match.
+		case "":
+			// trailing semicolon
+		default:
+			return nil, fmt.Errorf("unsupported option %q", key)
+		}
+	}
+	flushContent()
+	if len(r.Contents) == 0 && r.Pcre == "" {
+		return nil, fmt.Errorf("rule has neither content nor pcre")
+	}
+	return r, nil
+}
+
+// splitOptions splits "a:1; b:\"x;y\"; c" on semicolons outside quotes.
+func splitOptions(body string) ([]string, error) {
+	var (
+		out      []string
+		start    int
+		inQuote  bool
+		escaped  bool
+		finished = func(end int) {
+			s := strings.TrimSpace(body[start:end])
+			if s != "" {
+				out = append(out, s)
+			}
+			start = end + 1
+		}
+	)
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ';' && !inQuote:
+			finished(i)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in options")
+	}
+	finished(len(body))
+	return out, nil
+}
+
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	return s
+}
+
+// decodePattern resolves Snort |xx yy| hex escapes: `Server|3a| nginx`
+// becomes "Server: nginx".
+func decodePattern(s string) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(s); {
+		if s[i] != '|' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++ // \" and \; and \\ escapes
+			}
+			out = append(out, s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i+1:], '|')
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated hex escape in %q", s)
+		}
+		hexPart := strings.ReplaceAll(s[i+1:i+1+end], " ", "")
+		if len(hexPart)%2 != 0 {
+			return nil, fmt.Errorf("odd hex escape in %q", s)
+		}
+		for j := 0; j < len(hexPart); j += 2 {
+			b, err := strconv.ParseUint(hexPart[j:j+2], 16, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bad hex escape in %q: %v", s, err)
+			}
+			out = append(out, byte(b))
+		}
+		i += end + 2
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty content pattern")
+	}
+	return out, nil
+}
+
+// stripPcreDelims turns Snort's "/regex/flags" form into a Go regexp
+// pattern, translating the i, s and m flags.
+func stripPcreDelims(s string) (string, error) {
+	if len(s) < 2 || s[0] != '/' {
+		return "", fmt.Errorf("pcre %q must be /…/flags", s)
+	}
+	end := strings.LastIndexByte(s, '/')
+	if end == 0 {
+		return "", fmt.Errorf("pcre %q missing closing slash", s)
+	}
+	pat, flags := s[1:end], s[end+1:]
+	var goFlags strings.Builder
+	for _, f := range flags {
+		switch f {
+		case 'i', 's', 'm':
+			goFlags.WriteRune(f)
+		case 'U', 'R', 'B', 'P', 'H', 'D', 'M', 'C', 'K', 'S', 'Y', 'O', 'x', 'A', 'E', 'G':
+			// Snort-specific or rarely-relevant flags: ignored.
+		default:
+			return "", fmt.Errorf("unknown pcre flag %q", f)
+		}
+	}
+	if goFlags.Len() > 0 {
+		pat = "(?" + goFlags.String() + ")" + pat
+	}
+	return pat, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rule generator (RG)
+
+// Generator is the rule-generator role: it owns an Ed25519 signing key for
+// ruleset provenance and the symmetric tag key used inside the garbled
+// circuit to verify that a keyword fragment was authorized by RG (§3.3 and
+// DESIGN.md substitution #3).
+type Generator struct {
+	Name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+	// tagKey is the AES-MAC key embedded in the obfuscated-rule-encryption
+	// circuit. Endpoints receive it in the RG configuration they install
+	// (they trust RG, §2.1); the middlebox never learns it.
+	tagKey bbcrypto.Block
+}
+
+// NewGenerator creates an RG with fresh keys.
+func NewGenerator(name string) (*Generator, error) {
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{Name: name, priv: priv, pub: pub, tagKey: bbcrypto.RandomBlock()}, nil
+}
+
+// PublicKey returns RG's Ed25519 public key, installed at endpoints.
+func (g *Generator) PublicKey() ed25519.PublicKey { return g.pub }
+
+// TagKey returns the circuit MAC key, part of the endpoint configuration.
+func (g *Generator) TagKey() bbcrypto.Block { return g.tagKey }
+
+// SignedRuleset is what RG ships to its middlebox customer: the ruleset,
+// a signature binding it to RG, and one authorization tag per fragment that
+// the middlebox presents to the garbled circuit during rule preparation.
+type SignedRuleset struct {
+	Ruleset   *Ruleset
+	Signature []byte
+	// Tags maps each padded keyword fragment block to AES_{tagKey}(block).
+	Tags map[bbcrypto.Block]bbcrypto.Block
+}
+
+// Sign signs rs and issues fragment tags for both tokenization modes.
+func (g *Generator) Sign(rs *Ruleset) *SignedRuleset {
+	sr := &SignedRuleset{
+		Ruleset: rs,
+		Tags:    make(map[bbcrypto.Block]bbcrypto.Block),
+	}
+	var digest []byte
+	for _, r := range rs.Rules {
+		digest = append(digest, r.Raw...)
+		digest = append(digest, '\n')
+	}
+	sr.Signature = ed25519.Sign(g.priv, digest)
+	for _, mode := range []tokenize.Mode{tokenize.Window, tokenize.Delimiter} {
+		for _, f := range rs.Fragments(mode) {
+			blk := FragmentBlock(f)
+			if _, ok := sr.Tags[blk]; !ok {
+				sr.Tags[blk] = bbcrypto.MAC(g.tagKey, blk)
+			}
+		}
+	}
+	return sr
+}
+
+// Verify checks a signed ruleset against RG's public key; endpoints call
+// this with the pinned key from their BlindBox HTTPS configuration before
+// taking part in rule preparation.
+func Verify(pub ed25519.PublicKey, sr *SignedRuleset) bool {
+	var digest []byte
+	for _, r := range sr.Ruleset.Rules {
+		digest = append(digest, r.Raw...)
+		digest = append(digest, '\n')
+	}
+	return ed25519.Verify(pub, digest, sr.Signature)
+}
+
+// FragmentBlock right-pads an 8-byte token fragment into the 16-byte AES
+// block form used by DPIEnc token keys, circuit inputs and MAC tags.
+func FragmentBlock(f [tokenize.TokenSize]byte) bbcrypto.Block {
+	var b bbcrypto.Block
+	copy(b[:], f[:])
+	return b
+}

@@ -1,0 +1,249 @@
+package rules
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/tokenize"
+)
+
+const nginxRule = `alert tcp $EXTERNAL_NET $HTTP_PORTS -> $HOME_NET 1025:5000 (msg:"ET nginx probe"; flow: established,from_server; content:"Server|3a| nginx/0."; offset:17; depth:19; content:"Content-Type|3a| text/html"; content:"|3a|80|3b|255.255.255.255"; sid:2003296;)`
+
+func TestParsePaperExampleRule(t *testing.T) {
+	r, err := ParseRule(nginxRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SID != 2003296 {
+		t.Fatalf("sid = %d", r.SID)
+	}
+	if r.Action != Alert {
+		t.Fatalf("action = %v", r.Action)
+	}
+	if len(r.Contents) != 3 {
+		t.Fatalf("got %d contents, want 3", len(r.Contents))
+	}
+	if got := string(r.Contents[0].Pattern); got != "Server: nginx/0." {
+		t.Fatalf("content 0 = %q", got)
+	}
+	if r.Contents[0].Offset != 17 || r.Contents[0].Depth != 19 {
+		t.Fatalf("offset/depth = %d/%d", r.Contents[0].Offset, r.Contents[0].Depth)
+	}
+	if got := string(r.Contents[1].Pattern); got != "Content-Type: text/html" {
+		t.Fatalf("content 1 = %q", got)
+	}
+	if got := string(r.Contents[2].Pattern); got != ":80;255.255.255.255" {
+		t.Fatalf("content 2 = %q", got)
+	}
+	if r.Protocol() != 2 {
+		t.Fatalf("protocol = %d, want 2", r.Protocol())
+	}
+}
+
+func TestProtocolClassification(t *testing.T) {
+	cases := []struct {
+		rule string
+		want int
+	}{
+		{`alert tcp any any -> any any (msg:"watermark"; content:"CONF-DOC-MARK-0042"; sid:1;)`, 1},
+		{`alert tcp any any -> any any (msg:"two kw"; content:"abc"; content:"def"; sid:2;)`, 2},
+		{`alert tcp any any -> any any (msg:"positioned"; content:"abc"; offset:4; sid:3;)`, 2},
+		{`alert tcp any any -> any any (msg:"regex"; content:"abc"; pcre:"/ab+c/i"; sid:4;)`, 3},
+		{`alert tcp any any -> any any (msg:"pure regex"; pcre:"/evil[0-9]+/"; sid:5;)`, 3},
+	}
+	for _, c := range cases {
+		r, err := ParseRule(c.rule)
+		if err != nil {
+			t.Fatalf("%q: %v", c.rule, err)
+		}
+		if got := r.Protocol(); got != c.want {
+			t.Errorf("%q: protocol %d, want %d", c.rule, got, c.want)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		``,
+		`alert tcp any any -> any any`, // no options
+		`alert tcp any -> any any (content:"x"; sid:1;)`,              // short header
+		`frobnicate tcp any any -> any any (content:"x"; sid:1;)`,     // bad action
+		`alert tcp any any >> any any (content:"x"; sid:1;)`,          // bad direction
+		`alert tcp any any -> any any (content:"x|zz|"; sid:1;)`,      // bad hex
+		`alert tcp any any -> any any (content:"x|3|"; sid:1;)`,       // odd hex
+		`alert tcp any any -> any any (offset:3; sid:1;)`,             // offset before content
+		`alert tcp any any -> any any (msg:"no match stuff"; sid:1;)`, // no content/pcre
+		`alert tcp any any -> any any (content:"x"; offset:y; sid:1;)`,
+		`alert tcp any any -> any any (wibble:"x"; sid:1;)`,
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line); err == nil {
+			t.Errorf("%q: expected parse error", line)
+		}
+	}
+}
+
+func TestParseQuotedSemicolonAndEscapes(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any any (msg:"semi;colon"; content:"a\"b;c"; sid:9;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Msg != "semi;colon" {
+		t.Fatalf("msg = %q", r.Msg)
+	}
+	if got := string(r.Contents[0].Pattern); got != `a"b;c` {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestParseNocase(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any any (content:"Evil"; nocase; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contents[0].Nocase {
+		t.Fatal("nocase not recorded")
+	}
+}
+
+func TestPcreTranslation(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any any (content:"cmd"; pcre:"/cmd=[a-z]{4,}/i"; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := r.Regexp()
+	if re == nil {
+		t.Fatal("pcre did not compile")
+	}
+	if !re.MatchString("CMD=evilcommand") {
+		t.Fatal("case-insensitive flag lost")
+	}
+	if re.MatchString("cmd=ab") {
+		t.Fatal("quantifier lost")
+	}
+}
+
+func TestPcreUnsupportedStillProtocolIII(t *testing.T) {
+	// Backreferences are outside RE2: the rule must still parse and
+	// classify as Protocol III, with a nil compiled regexp.
+	r, err := ParseRule(`alert tcp any any -> any any (content:"x"; pcre:"/(a)\1/"; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Protocol() != 3 {
+		t.Fatalf("protocol = %d", r.Protocol())
+	}
+	if r.Regexp() != nil {
+		t.Fatal("backreference pattern should not compile under RE2")
+	}
+}
+
+func TestParseRulesetSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# a comment\n\n" + nginxRule + "\n  \n" +
+		`alert tcp any any -> any any (content:"watermark"; sid:7;)` + "\n"
+	rs, err := Parse("test", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rules) != 2 {
+		t.Fatalf("got %d rules", len(rs.Rules))
+	}
+}
+
+func TestProtocolBreakdown(t *testing.T) {
+	text := strings.Join([]string{
+		`alert tcp any any -> any any (content:"onlyone1"; sid:1;)`,
+		`alert tcp any any -> any any (content:"multi"; content:"kw"; sid:2;)`,
+		`alert tcp any any -> any any (content:"re"; pcre:"/x+/"; sid:3;)`,
+		`alert tcp any any -> any any (content:"another1"; sid:4;)`,
+	}, "\n")
+	rs, err := Parse("test", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2, p3 := rs.ProtocolBreakdown()
+	if p1 != 0.5 || p2 != 0.75 || p3 != 1.0 {
+		t.Fatalf("breakdown = %v/%v/%v", p1, p2, p3)
+	}
+}
+
+func TestKeywordsDeduplicated(t *testing.T) {
+	text := strings.Join([]string{
+		`alert tcp any any -> any any (content:"dupkw"; sid:1;)`,
+		`alert tcp any any -> any any (content:"dupkw"; content:"other"; sid:2;)`,
+	}, "\n")
+	rs, err := Parse("test", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kws := rs.Keywords()
+	if len(kws) != 2 {
+		t.Fatalf("got %d keywords, want 2", len(kws))
+	}
+	if !bytes.Equal(kws[0], []byte("dupkw")) {
+		t.Fatalf("keyword order not preserved: %q", kws[0])
+	}
+}
+
+func TestFragments(t *testing.T) {
+	rs, err := Parse("test", `alert tcp any any -> any any (content:"maliciously"; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := rs.Fragments(tokenize.Window)
+	if len(wf) != 2 {
+		t.Fatalf("window fragments = %d, want 2", len(wf))
+	}
+	df := rs.Fragments(tokenize.Delimiter)
+	if len(df) != 1 || string(df[0][:]) != "maliciou" {
+		t.Fatalf("delimiter fragments = %q", df)
+	}
+}
+
+func TestGeneratorSignAndVerify(t *testing.T) {
+	g, err := NewGenerator("TestRG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Parse("test", nginxRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := g.Sign(rs)
+	if !Verify(g.PublicKey(), sr) {
+		t.Fatal("signature did not verify")
+	}
+	// Tamper: add a rule RG never signed.
+	extra, _ := ParseRule(`alert tcp any any -> any any (content:"injected"; sid:999;)`)
+	sr.Ruleset.Rules = append(sr.Ruleset.Rules, extra)
+	if Verify(g.PublicKey(), sr) {
+		t.Fatal("tampered ruleset verified")
+	}
+}
+
+func TestGeneratorTagsCoverAllFragments(t *testing.T) {
+	g, err := NewGenerator("TestRG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Parse("test", nginxRule+"\n"+
+		`alert tcp any any -> any any (content:"login"; sid:11;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := g.Sign(rs)
+	for _, mode := range []tokenize.Mode{tokenize.Window, tokenize.Delimiter} {
+		for _, f := range rs.Fragments(mode) {
+			tag, ok := sr.Tags[FragmentBlock(f)]
+			if !ok {
+				t.Fatalf("mode %v: fragment %q has no tag", mode, f)
+			}
+			// The tag must be the AES-MAC under RG's tag key.
+			if tag != bbcrypto.MAC(g.TagKey(), FragmentBlock(f)) {
+				t.Fatalf("mode %v: wrong tag for %q", mode, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// The functional-encryption strawman: an inner-product predicate equality
+// test over Z_p* with bit-decomposition-length vectors, matching the cost
+// profile of Katz–Sahai–Waters predicate encryption (per-component group
+// exponentiations at both encryption and test time).
+
+package strawman
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"math/big"
+
+	"repro/internal/tokenize"
+)
+
+// feVectorLen is the predicate vector length: one component per token bit
+// (64) plus one constant component, doubled to account for KSW's paired
+// subgroup components. Each component costs one exponentiation at
+// encryption and one at test time.
+const feVectorLen = 130
+
+// feModulusHex is a fixed 1024-bit safe prime (RFC 2409 Oakley Group 2),
+// giving realistic exponentiation costs without per-process setup.
+const feModulusHex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381" +
+	"FFFFFFFFFFFFFFFF"
+
+// FEScheme is the shared group context.
+type FEScheme struct {
+	p *big.Int // modulus
+	q *big.Int // group exponent modulus (p-1)
+	g *big.Int // generator
+}
+
+// NewFEScheme initializes the group.
+func NewFEScheme() *FEScheme {
+	p, _ := new(big.Int).SetString(feModulusHex, 16)
+	return &FEScheme{
+		p: p,
+		q: new(big.Int).Sub(p, big.NewInt(1)),
+		g: big.NewInt(2),
+	}
+}
+
+// FECiphertext encrypts one token: per-component group elements whose
+// exponents secret-share the token value, plus the blinded base.
+type FECiphertext struct {
+	// C holds one group element per vector component.
+	C []*big.Int
+}
+
+// FEKey is the decryption/test key for one keyword (the predicate vector).
+type FEKey struct {
+	// V holds the predicate exponents, blinded by a per-key random ρ.
+	V []*big.Int
+}
+
+func tokenValue(t [tokenize.TokenSize]byte) *big.Int {
+	return new(big.Int).SetUint64(binary.BigEndian.Uint64(t[:]))
+}
+
+// Encrypt encrypts a token: the token value T is secret-shared as
+// a_1+...+a_{n-1} = T (mod q) across the vector, and component i carries
+// g^{r·a_i} for a per-ciphertext random r. One exponentiation per
+// component, as in KSW.
+func (s *FEScheme) Encrypt(t tokenize.Token) *FECiphertext {
+	T := tokenValue(t.Text)
+	r, err := rand.Int(rand.Reader, s.q)
+	if err != nil {
+		panic("strawman: fe randomness: " + err.Error())
+	}
+	n := feVectorLen
+	ct := &FECiphertext{C: make([]*big.Int, n)}
+	// Component 0 encodes the constant 1; components 1..n-1 share T.
+	exps := make([]*big.Int, n)
+	exps[0] = big.NewInt(1)
+	sum := new(big.Int)
+	for i := 1; i < n-1; i++ {
+		a, err := rand.Int(rand.Reader, s.q)
+		if err != nil {
+			panic("strawman: fe randomness: " + err.Error())
+		}
+		exps[i] = a
+		sum.Add(sum, a)
+	}
+	last := new(big.Int).Sub(T, sum)
+	last.Mod(last, s.q)
+	exps[n-1] = last
+	for i := 0; i < n; i++ {
+		e := new(big.Int).Mul(exps[i], r)
+		e.Mod(e, s.q)
+		ct.C[i] = new(big.Int).Exp(s.g, e, s.p)
+	}
+	return ct
+}
+
+// KeyGen derives the predicate key for an equality test against keyword
+// fragment kw: v = ρ·(-K, 1, 1, ..., 1) so that <x, v> = ρ(T - K), which is
+// zero exactly when the token equals the keyword.
+func (s *FEScheme) KeyGen(kw [tokenize.TokenSize]byte) *FEKey {
+	K := tokenValue(kw)
+	rho, err := rand.Int(rand.Reader, s.q)
+	if err != nil {
+		panic("strawman: fe randomness: " + err.Error())
+	}
+	n := feVectorLen
+	key := &FEKey{V: make([]*big.Int, n)}
+	negK := new(big.Int).Neg(K)
+	negK.Mod(negK, s.q)
+	key.V[0] = new(big.Int).Mul(negK, rho)
+	key.V[0].Mod(key.V[0], s.q)
+	for i := 1; i < n; i++ {
+		key.V[i] = rho
+	}
+	return key
+}
+
+// Test evaluates the predicate: it computes prod_i C_i^{v_i} = g^{r·<x,v>}
+// and reports whether the inner product is zero (token equals keyword).
+// One exponentiation per component — the "pairing per component" cost of
+// KSW, which is what makes FE detection take ~10^2 ms per (token, rule)
+// pair (Table 2).
+func (s *FEScheme) Test(ct *FECiphertext, key *FEKey) bool {
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	for i := range key.V {
+		tmp.Exp(ct.C[i], key.V[i], s.p)
+		acc.Mul(acc, tmp)
+		acc.Mod(acc, s.p)
+	}
+	return acc.Cmp(big.NewInt(1)) == 0
+}

@@ -1,0 +1,118 @@
+package strawman
+
+import (
+	"testing"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/dpienc"
+	"repro/internal/tokenize"
+)
+
+func tok(s string) tokenize.Token {
+	var t tokenize.Token
+	copy(t.Text[:], s)
+	return t
+}
+
+func TestSearchableDetectsMatch(t *testing.T) {
+	k := bbcrypto.RandomBlock()
+	sender := NewSearchableSender(k)
+	rules := []string{"ruleone1", "ruletwo2", "attackkw"}
+	keys := make([]dpienc.TokenKey, len(rules))
+	for i, r := range rules {
+		keys[i] = dpienc.ComputeTokenKey(k, tok(r).Text)
+	}
+	mb := NewSearchableMB(keys)
+	if mb.NumRules() != 3 {
+		t.Fatalf("NumRules = %d", mb.NumRules())
+	}
+	ct := sender.EncryptToken(tok("attackkw"))
+	got := mb.Detect(ct)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Detect = %v, want [2]", got)
+	}
+	if got := mb.Detect(sender.EncryptToken(tok("innocent"))); len(got) != 0 {
+		t.Fatalf("false positive: %v", got)
+	}
+}
+
+func TestSearchableRandomizedCiphertexts(t *testing.T) {
+	// Same token twice must yield different salts and ciphertext bytes
+	// (randomized encryption), unlike a deterministic scheme.
+	sender := NewSearchableSender(bbcrypto.RandomBlock())
+	a := sender.EncryptToken(tok("sametokn"))
+	b := sender.EncryptToken(tok("sametokn"))
+	if a.Salt == b.Salt {
+		t.Fatal("salts repeated")
+	}
+	if a.C == b.C {
+		t.Fatal("ciphertexts repeated despite fresh salts")
+	}
+}
+
+func TestSearchableRepeatedDetection(t *testing.T) {
+	// Unlike BlindBox's counter discipline, the searchable strawman has no
+	// state: repeated occurrences must each be detected.
+	k := bbcrypto.RandomBlock()
+	sender := NewSearchableSender(k)
+	mb := NewSearchableMB([]dpienc.TokenKey{dpienc.ComputeTokenKey(k, tok("attackkw").Text)})
+	for i := 0; i < 5; i++ {
+		if got := mb.Detect(sender.EncryptToken(tok("attackkw"))); len(got) != 1 {
+			t.Fatalf("occurrence %d missed: %v", i, got)
+		}
+	}
+}
+
+func TestFEEqualityPredicate(t *testing.T) {
+	s := NewFEScheme()
+	key := s.KeyGen(tok("attackkw").Text)
+	if !s.Test(s.Encrypt(tok("attackkw")), key) {
+		t.Fatal("FE equality test missed a match")
+	}
+	if s.Test(s.Encrypt(tok("innocent")), key) {
+		t.Fatal("FE equality test false positive")
+	}
+}
+
+func TestFEDistinctKeysDistinctPredicates(t *testing.T) {
+	s := NewFEScheme()
+	k1 := s.KeyGen(tok("keyword1").Text)
+	k2 := s.KeyGen(tok("keyword2").Text)
+	ct := s.Encrypt(tok("keyword1"))
+	if !s.Test(ct, k1) || s.Test(ct, k2) {
+		t.Fatal("FE keys not keyword-specific")
+	}
+}
+
+func TestFECiphertextRandomized(t *testing.T) {
+	s := NewFEScheme()
+	a := s.Encrypt(tok("sametokn"))
+	b := s.Encrypt(tok("sametokn"))
+	same := true
+	for i := range a.C {
+		if a.C[i].Cmp(b.C[i]) != 0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("FE ciphertexts deterministic")
+	}
+	// But both still match the keyword's key.
+	key := s.KeyGen(tok("sametokn").Text)
+	if !s.Test(a, key) || !s.Test(b, key) {
+		t.Fatal("randomization broke the predicate")
+	}
+}
+
+func TestFEVectorLength(t *testing.T) {
+	s := NewFEScheme()
+	ct := s.Encrypt(tok("whatever"))
+	if len(ct.C) != feVectorLen {
+		t.Fatalf("ciphertext has %d components, want %d", len(ct.C), feVectorLen)
+	}
+	key := s.KeyGen(tok("whatever").Text)
+	if len(key.V) != feVectorLen {
+		t.Fatalf("key has %d components, want %d", len(key.V), feVectorLen)
+	}
+}

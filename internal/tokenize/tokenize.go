@@ -1,0 +1,379 @@
+// Package tokenize implements the two BlindBox traffic tokenization schemes
+// of §3 of the paper:
+//
+//   - Window-based tokenization emits one fixed-length token per byte offset
+//     of the stream (a sliding window), so any keyword of at least TokenSize
+//     bytes is detectable at any offset.
+//
+//   - Delimiter-based tokenization exploits the structure of HTTP rule
+//     keywords: keywords start and end adjacent to delimiters (punctuation,
+//     spacing, special symbols), so only substrings anchored on
+//     delimiter-derived offsets need to be transmitted. This reduces
+//     bandwidth (paper Fig. 5: median 2.5x vs 4x total overhead) at the cost
+//     of missing keywords that do not align with delimiter boundaries in the
+//     traffic (paper §7.1: 97.1% of attack keywords still detected).
+//
+// The delimiter tokenizer emits two kinds of tokens:
+//
+//  1. a full TokenSize window at every word start (stream start or a
+//     non-delimiter byte preceded by a delimiter), covering keywords of at
+//     least TokenSize bytes, and
+//
+//  2. right-padded short words [o:e) at every word or delimiter-run start o,
+//     for the first few delimiter-transition boundaries e within the window,
+//     covering keywords shorter than TokenSize such as "login" and "?user="
+//     (which window tokenization cannot match at all).
+//
+// SplitKeyword mirrors this emission on the rule-compilation side so that a
+// fragment is searched for only if the tokenizer would emit it.
+//
+// Both tokenizers operate on a logical bytestream: feeding a stream in
+// several Append calls produces exactly the same tokens as feeding it in one
+// call, which is required because keywords may straddle packet boundaries.
+package tokenize
+
+// TokenSize is the fixed token length in bytes. The paper uses 8-byte
+// tokens: keywords shorter than 8 bytes are right-padded, longer keywords
+// are split into TokenSize-byte fragments.
+const TokenSize = 8
+
+// Pad is the padding byte used to right-pad short delimiter-bounded words up
+// to TokenSize.
+const Pad = 0x00
+
+// maxShortBoundaries caps how many padded short-word candidates are emitted
+// per anchor. Three transitions suffice for the keyword shapes that occur in
+// rulesets (word, word+delimiter-run, delimiter-run+word+delimiter-run, e.g.
+// "?user=") while keeping bandwidth overhead near the paper's 2.5x median.
+const maxShortBoundaries = 3
+
+// Token is one fixed-size plaintext token together with the absolute offset
+// in the bytestream at which it begins. Protocol II rules constrain offsets,
+// so the offset travels with the token all the way to detection.
+type Token struct {
+	// Text is the token contents, always TokenSize bytes; padded short
+	// words use Pad bytes on the right.
+	Text [TokenSize]byte
+	// Offset is the byte offset in the logical stream where Text begins.
+	Offset int
+}
+
+// Mode selects the tokenization algorithm.
+type Mode int
+
+const (
+	// Window emits one token per byte offset (§3, "window-based").
+	Window Mode = iota
+	// Delimiter emits only tokens anchored at delimiter boundaries
+	// (§3, "delimiter-based").
+	Delimiter
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Window:
+		return "window"
+	case Delimiter:
+		return "delimiter"
+	default:
+		return "unknown"
+	}
+}
+
+// IsDelimiter reports whether b is a delimiter byte: punctuation, spacing or
+// a special symbol. Keywords in HTTP rules start and end before or after
+// such bytes (§3). Alphanumerics plus '-' and '_' (word-internal in URLs and
+// identifiers) are non-delimiters.
+func IsDelimiter(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return false
+	case b == '_', b == '-':
+		return false
+	default:
+		return true
+	}
+}
+
+// Tokenizer turns a bytestream into Tokens under one of the two modes.
+// The zero value is not usable; call New.
+type Tokenizer struct {
+	mode Mode
+
+	// buf holds bytes not yet trimmed: up to TokenSize bytes of processed
+	// history (needed for word-start checks) followed by unprocessed bytes.
+	buf []byte
+	// base is the absolute stream offset of buf[0].
+	base int
+	// proc is the index into buf of the first unprocessed position.
+	proc int
+	// segStart is the absolute offset at which the current text segment
+	// began (the stream start, or the first text byte after skipped binary
+	// content); segment starts anchor words like delimiters do.
+	segStart int
+	closed   bool
+}
+
+// New returns a Tokenizer for the given mode.
+func New(mode Mode) *Tokenizer {
+	return &Tokenizer{mode: mode}
+}
+
+// Mode returns the tokenizer's mode.
+func (t *Tokenizer) Mode() Mode { return t.mode }
+
+// Append feeds data into the tokenizer and returns the tokens that became
+// complete, in stream order.
+func (t *Tokenizer) Append(data []byte) []Token {
+	if t.closed {
+		panic("tokenize: Append after Flush")
+	}
+	t.buf = append(t.buf, data...)
+	toks := t.drain(false)
+	t.trim()
+	return toks
+}
+
+// Flush signals end-of-stream and returns the remaining tokens. The
+// tokenizer cannot be used after Flush.
+func (t *Tokenizer) Flush() []Token {
+	if t.closed {
+		panic("tokenize: double Flush")
+	}
+	t.closed = true
+	toks := t.drain(true)
+	t.buf = nil
+	return toks
+}
+
+// Skip advances the stream past n bytes of content that is not tokenized
+// (binary data such as images and video, which the paper's HTTP IDS does
+// not inspect, §3). Buffered text is finalized first — keywords cannot
+// straddle a text/binary boundary — and the byte after the gap starts a
+// fresh anchored segment. It returns the tokens completed by finalizing
+// the buffered text.
+func (t *Tokenizer) Skip(n int) []Token {
+	if t.closed {
+		panic("tokenize: Skip after Flush")
+	}
+	if n < 0 {
+		panic("tokenize: negative Skip")
+	}
+	toks := t.drain(true)
+	t.base += len(t.buf) + n
+	t.buf = t.buf[:0]
+	t.proc = 0
+	t.segStart = t.base
+	return toks
+}
+
+// trim discards fully processed bytes, retaining one byte of history so
+// word-start checks at the resume position can look backwards.
+func (t *Tokenizer) trim() {
+	keep := t.proc - 1
+	if keep <= 0 {
+		return
+	}
+	t.buf = append(t.buf[:0], t.buf[keep:]...)
+	t.base += keep
+	t.proc -= keep
+}
+
+func (t *Tokenizer) drain(final bool) []Token {
+	switch t.mode {
+	case Window:
+		return t.drainWindow(final)
+	case Delimiter:
+		return t.drainDelimiter(final)
+	default:
+		panic("tokenize: unknown mode")
+	}
+}
+
+func (t *Tokenizer) drainWindow(final bool) []Token {
+	var toks []Token
+	for ; t.proc+TokenSize <= len(t.buf); t.proc++ {
+		var tok Token
+		copy(tok.Text[:], t.buf[t.proc:t.proc+TokenSize])
+		tok.Offset = t.base + t.proc
+		toks = append(toks, tok)
+	}
+	if final {
+		// Trailing sub-window bytes form no tokens: the rule compiler
+		// splits keywords so every fragment fits a full window, and the
+		// final full window of the stream covers the stream tail.
+		t.proc = len(t.buf)
+	}
+	return toks
+}
+
+// wordStart reports whether buffer index o begins a word: a non-delimiter
+// byte at the stream start or preceded by a delimiter.
+func (t *Tokenizer) wordStart(o int) bool {
+	if IsDelimiter(t.buf[o]) {
+		return false
+	}
+	return t.base+o == t.segStart || IsDelimiter(t.buf[o-1])
+}
+
+// IsKeywordDelimiter reports whether b is a delimiter that plausibly begins
+// a rule keyword (URL and header syntax such as the paper's "?user="
+// example). Whitespace, quotes and markup brackets begin no known keyword
+// shapes, and emitting padded candidates at them would roughly double token
+// volume on text-heavy pages.
+func IsKeywordDelimiter(b byte) bool {
+	switch b {
+	case '?', '=', '&', '/', ':', '.', ';', '|', '@', '%', '+', '$', '\\':
+		return true
+	default:
+		return false
+	}
+}
+
+// runStart reports whether buffer index o begins a delimiter run whose
+// first byte can start a keyword.
+func (t *Tokenizer) runStart(o int) bool {
+	if !IsKeywordDelimiter(t.buf[o]) {
+		return false
+	}
+	return t.base+o == t.segStart || !IsDelimiter(t.buf[o-1])
+}
+
+// boundary reports whether buffer index e can end a keyword: a
+// word/delimiter transition, or a position right after a keyword delimiter
+// (so "?user=" ends there even when followed by further delimiters).
+func (t *Tokenizer) boundary(e int) bool {
+	if t.base+e == t.segStart {
+		return false
+	}
+	if IsDelimiter(t.buf[e]) != IsDelimiter(t.buf[e-1]) {
+		return true
+	}
+	return IsDelimiter(t.buf[e]) && IsKeywordDelimiter(t.buf[e-1])
+}
+
+func (t *Tokenizer) drainDelimiter(final bool) []Token {
+	var toks []Token
+	n := len(t.buf)
+	for ; t.proc < n; t.proc++ {
+		o := t.proc
+		if !final && o+TokenSize > n {
+			break // need TokenSize bytes of lookahead to decide emissions
+		}
+		abs := t.base + o
+		ws, rs := t.wordStart(o), t.runStart(o)
+		if !ws && !rs {
+			continue
+		}
+		if ws && o+TokenSize <= n {
+			var tok Token
+			copy(tok.Text[:], t.buf[o:o+TokenSize])
+			tok.Offset = abs
+			toks = append(toks, tok)
+		}
+		// Padded short-word candidates at keyword-end boundaries. Word
+		// starts rarely begin keywords needing more than two boundaries
+		// (word, word+delimiter); delimiter-run starts need three for
+		// shapes like "?user=".
+		limit := 2
+		if rs {
+			limit = maxShortBoundaries
+		}
+		hi := o + TokenSize
+		if hi > n {
+			hi = n
+		}
+		emitted := 0
+		for e := o + 2; e < hi && emitted < limit; e++ {
+			// e starts at o+2: single-byte keywords do not occur in rules.
+			if t.boundary(e) {
+				toks = append(toks, paddedToken(t.buf[o:e], abs))
+				emitted++
+			}
+		}
+		if final && n < o+TokenSize && emitted < limit {
+			// Word or delimiter run truncated by end-of-stream.
+			toks = append(toks, paddedToken(t.buf[o:n], abs))
+		}
+	}
+	return toks
+}
+
+func paddedToken(word []byte, offset int) Token {
+	var tok Token
+	copy(tok.Text[:], word) // remainder stays Pad
+	tok.Offset = offset
+	return tok
+}
+
+// TokenizeAll is a convenience that tokenizes a complete buffer in one shot.
+func TokenizeAll(mode Mode, data []byte) []Token {
+	tk := New(mode)
+	toks := tk.Append(data)
+	return append(toks, tk.Flush()...)
+}
+
+// SplitKeyword splits a rule keyword into the TokenSize-byte fragments the
+// middlebox searches for, for the given tokenization mode, returning the
+// fragments and their offsets relative to the keyword start. A nil result
+// for a non-empty keyword means the keyword cannot be covered under that
+// mode (it contributes to the documented detection loss of §7.1).
+//
+// In Window mode fragments are taken at stride TokenSize plus an overlapping
+// fragment anchored at the keyword end (§3: "maliciously" -> "maliciou" +
+// "iciously"); every fragment is guaranteed present in traffic because
+// window tokenization covers every offset. Keywords shorter than TokenSize
+// are not matchable under window tokenization and yield nil.
+//
+// In Delimiter mode, keywords of at most TokenSize bytes become a single
+// padded fragment (matching the tokenizer's padded short-word form), and
+// longer keywords use a window at every word start within the keyword —
+// exactly the offsets at which the delimiter tokenizer emits traffic tokens
+// when the keyword occurs delimiter-bounded. A long keyword's undelimited
+// tail beyond the last fragment is not verified (prefix matching), and a
+// long keyword with no coverable word start yields nil.
+func SplitKeyword(mode Mode, kw []byte) (frags [][TokenSize]byte, rel []int) {
+	if len(kw) == 0 {
+		return nil, nil
+	}
+	add := func(at int) {
+		var f [TokenSize]byte
+		copy(f[:], kw[at:at+TokenSize])
+		frags = append(frags, f)
+		rel = append(rel, at)
+	}
+	switch mode {
+	case Window:
+		if len(kw) < TokenSize {
+			return nil, nil
+		}
+		i := 0
+		for ; i+TokenSize <= len(kw); i += TokenSize {
+			add(i)
+		}
+		if i < len(kw) {
+			add(len(kw) - TokenSize)
+		}
+		return frags, rel
+	case Delimiter:
+		if len(kw) <= TokenSize {
+			var f [TokenSize]byte
+			copy(f[:], kw)
+			return [][TokenSize]byte{f}, []int{0}
+		}
+		for at := 0; at+TokenSize <= len(kw); at++ {
+			// A word start inside the keyword: position 0 (the keyword is
+			// delimiter-bounded in matching traffic) or a non-delimiter
+			// preceded by a delimiter.
+			if IsDelimiter(kw[at]) {
+				continue
+			}
+			if at == 0 || IsDelimiter(kw[at-1]) {
+				add(at)
+			}
+		}
+		return frags, rel
+	default:
+		panic("tokenize: unknown mode")
+	}
+}

@@ -1,0 +1,442 @@
+package tokenize
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = string(bytes.TrimRight(t.Text[:], "\x00"))
+	}
+	return out
+}
+
+func tokenSet(toks []Token) map[Token]bool {
+	m := make(map[Token]bool, len(toks))
+	for _, t := range toks {
+		m[t] = true
+	}
+	return m
+}
+
+func TestWindowTokenizesEveryOffset(t *testing.T) {
+	// Paper example: "alice apple" -> "alice ap", "lice app", "ice appl", ...
+	toks := TokenizeAll(Window, []byte("alice apple"))
+	if len(toks) != len("alice apple")-TokenSize+1 {
+		t.Fatalf("got %d tokens, want %d", len(toks), len("alice apple")-TokenSize+1)
+	}
+	if string(toks[0].Text[:]) != "alice ap" {
+		t.Fatalf("first token = %q", toks[0].Text)
+	}
+	if string(toks[1].Text[:]) != "lice app" {
+		t.Fatalf("second token = %q", toks[1].Text)
+	}
+	for i, tok := range toks {
+		if tok.Offset != i {
+			t.Fatalf("token %d has offset %d", i, tok.Offset)
+		}
+	}
+}
+
+func TestWindowShortInput(t *testing.T) {
+	if toks := TokenizeAll(Window, []byte("short")); len(toks) != 0 {
+		t.Fatalf("sub-window input produced %d tokens", len(toks))
+	}
+	if toks := TokenizeAll(Window, []byte("12345678")); len(toks) != 1 {
+		t.Fatalf("exactly one window expected, got %d", len(toks))
+	}
+}
+
+func TestWindowStreamingEqualsOneShot(t *testing.T) {
+	data := []byte("GET /login.php?user=alice HTTP/1.1\r\nHost: example.com\r\n\r\n")
+	want := TokenizeAll(Window, data)
+	for _, chunk := range []int{1, 2, 3, 7, 13} {
+		tk := New(Window)
+		var got []Token
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			got = append(got, tk.Append(data[i:end])...)
+		}
+		got = append(got, tk.Flush()...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk size %d: streaming tokens differ from one-shot", chunk)
+		}
+	}
+}
+
+func TestDelimiterEmitsAnchoredWindows(t *testing.T) {
+	data := []byte("login.php?user=alice&pass=sesame99 HTTP")
+	toks := tokenSet(TokenizeAll(Delimiter, data))
+	// Full window anchored at the word start at stream offset 0.
+	if !toks[Token{Text: [8]byte{'l', 'o', 'g', 'i', 'n', '.', 'p', 'h'}, Offset: 0}] {
+		t.Error("missing word-start window 'login.ph'")
+	}
+	// Padded short word "login" (ends before the '.').
+	if !toks[paddedToken([]byte("login"), 0)] {
+		t.Error("missing padded token 'login'")
+	}
+	// Padded "?user=" starting at the '?' delimiter-run start (offset 9).
+	if !toks[paddedToken([]byte("?user="), 9)] {
+		t.Error("missing padded token '?user='")
+	}
+	// Window "user=ali" at the word start just after the '?'.
+	var ua Token
+	copy(ua.Text[:], "user=ali")
+	ua.Offset = 10
+	if !toks[ua] {
+		t.Error("missing word-start window 'user=ali'")
+	}
+}
+
+func TestDelimiterSkipsUnanchoredSubstrings(t *testing.T) {
+	// Paper: "logi" and mid-word substrings like "ogin.php" are not
+	// candidate keywords and must not be emitted.
+	data := []byte("xlogin.php hello")
+	toks := TokenizeAll(Delimiter, data)
+	for _, tok := range toks {
+		if tok.Offset == 1 {
+			t.Errorf("mid-word position emitted a token: %q@%d", tok.Text, tok.Offset)
+		}
+	}
+}
+
+func TestDelimiterLongKeywordPrefixFragment(t *testing.T) {
+	// "maliciously" bounded by spaces: delimiter mode covers the keyword by
+	// its word-start window "maliciou" (prefix matching for undelimited
+	// tails; the full interior is only verified under window mode).
+	data := []byte(" maliciously ")
+	toks := tokenSet(TokenizeAll(Delimiter, data))
+	var first Token
+	copy(first.Text[:], "maliciou")
+	first.Offset = 1
+	if !toks[first] {
+		t.Fatalf("missing word-start window 'maliciou'; got %v", texts(TokenizeAll(Delimiter, data)))
+	}
+	frags, rel := SplitKeyword(Delimiter, []byte("maliciously"))
+	if len(frags) != 1 || rel[0] != 0 || string(frags[0][:]) != "maliciou" {
+		t.Fatalf("SplitKeyword(Delimiter, maliciously) = %q@%v", frags, rel)
+	}
+}
+
+func TestDelimiterStreamingEqualsOneShot(t *testing.T) {
+	data := []byte("GET /login.php?user=alice HTTP/1.1\r\nHost: ex.com\r\nX: maliciously-formed!!\r\n\r\n")
+	want := TokenizeAll(Delimiter, data)
+	for _, chunk := range []int{1, 2, 3, 5, 11, 31} {
+		tk := New(Delimiter)
+		var got []Token
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			got = append(got, tk.Append(data[i:end])...)
+		}
+		got = append(got, tk.Flush()...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk size %d: streaming tokens differ from one-shot\n got %v\nwant %v", chunk, got, want)
+		}
+	}
+}
+
+func TestStreamingEqualsOneShotProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("abcdefgh ./?=&:\r\n0123XYZ")
+	for _, mode := range []Mode{Window, Delimiter} {
+		f := func(seed int64, n uint8) bool {
+			r := rand.New(rand.NewSource(seed))
+			data := make([]byte, int(n)+1)
+			for i := range data {
+				data[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			want := TokenizeAll(mode, data)
+			tk := New(mode)
+			var got []Token
+			for i := 0; i < len(data); {
+				c := 1 + rng.Intn(9)
+				end := i + c
+				if end > len(data) {
+					end = len(data)
+				}
+				got = append(got, tk.Append(data[i:end])...)
+				i = end
+			}
+			got = append(got, tk.Flush()...)
+			return reflect.DeepEqual(got, want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestWindowCoversAllKeywordFragments(t *testing.T) {
+	// Invariant: every fragment SplitKeyword(Window, kw) produces is present
+	// as a traffic token whenever kw (len >= TokenSize) occurs in the stream.
+	stream := []byte("junkprefix maliciouslylongkeyword junksuffix")
+	kw := []byte("maliciouslylongkeyword")
+	at := bytes.Index(stream, kw)
+	toks := tokenSet(TokenizeAll(Window, stream))
+	frags, rel := SplitKeyword(Window, kw)
+	for i, f := range frags {
+		want := Token{Text: f, Offset: at + rel[i]}
+		if !toks[want] {
+			t.Fatalf("fragment %q at rel %d missing from window tokens", f, rel[i])
+		}
+	}
+}
+
+func TestDelimiterCoversDelimiterBoundedKeywords(t *testing.T) {
+	// Every fragment of a delimiter-bounded keyword must appear as a
+	// delimiter-mode traffic token.
+	cases := []string{
+		"login",
+		"login.php",
+		"?user=",
+		"user=alice",
+		"Server: nginx/0.",
+		"Content-Type: text/html",
+		"maliciously",
+	}
+	for _, kw := range cases {
+		// Delimiter-initial keywords such as "?user=" occur directly after
+		// a word in real traffic (e.g. "login.php?user="); keywords
+		// starting mid-delimiter-run are part of the documented miss rate.
+		prefix := "padpad "
+		if IsDelimiter(kw[0]) {
+			prefix = "padpad"
+		}
+		stream := []byte(prefix + kw + " trailer")
+		at := bytes.Index(stream, []byte(kw))
+		toks := tokenSet(TokenizeAll(Delimiter, stream))
+		frags, rel := SplitKeyword(Delimiter, []byte(kw))
+		if len(frags) == 0 {
+			t.Fatalf("keyword %q produced no fragments", kw)
+		}
+		for i, f := range frags {
+			want := Token{Text: f, Offset: at + rel[i]}
+			if !toks[want] {
+				t.Errorf("keyword %q: fragment %q at rel %d missing (tokens: %v)",
+					kw, f, rel[i], texts(TokenizeAll(Delimiter, stream)))
+			}
+		}
+	}
+}
+
+func TestDelimiterMissesMidWordKeyword(t *testing.T) {
+	// A keyword embedded mid-word is NOT delimiter-bounded in the traffic and
+	// must be missed -- this is the documented coverage loss (§7.1).
+	kw := []byte("evilpayloadxx") // 13 bytes, no internal delimiters
+	stream := []byte("prefix zzz" + string(kw) + "zzz suffix")
+	at := bytes.Index(stream, kw)
+	toks := tokenSet(TokenizeAll(Delimiter, stream))
+	frags, rel := SplitKeyword(Delimiter, kw)
+	found := 0
+	for i, f := range frags {
+		if toks[Token{Text: f, Offset: at + rel[i]}] {
+			found++
+		}
+	}
+	if len(frags) == 0 {
+		t.Fatal("expected at least one fragment for a plain-word keyword")
+	}
+	if found == len(frags) {
+		t.Fatal("mid-word keyword unexpectedly fully covered")
+	}
+}
+
+func TestSplitKeywordWindow(t *testing.T) {
+	frags, rel := SplitKeyword(Window, []byte("maliciously"))
+	if len(frags) != 2 {
+		t.Fatalf("got %d fragments, want 2", len(frags))
+	}
+	if string(frags[0][:]) != "maliciou" || rel[0] != 0 {
+		t.Fatalf("frag 0 = %q@%d", frags[0], rel[0])
+	}
+	if string(frags[1][:]) != "iciously" || rel[1] != 3 {
+		t.Fatalf("frag 1 = %q@%d", frags[1], rel[1])
+	}
+	frags, rel = SplitKeyword(Window, []byte("0123456789abcdef"))
+	if len(frags) != 2 || rel[0] != 0 || rel[1] != 8 {
+		t.Fatalf("exact multiple: frags=%d rel=%v", len(frags), rel)
+	}
+	// Sub-window keywords are unmatchable under window tokenization.
+	if frags, _ := SplitKeyword(Window, []byte("short")); frags != nil {
+		t.Fatal("short window keyword must yield nil")
+	}
+}
+
+func TestSplitKeywordDelimiterInternalWordStarts(t *testing.T) {
+	frags, rel := SplitKeyword(Delimiter, []byte("Content-Type: text/html"))
+	want := map[string]int{"Content-": 0, "text/htm": 14}
+	if len(frags) != len(want) {
+		t.Fatalf("got %d fragments %v, want %d", len(frags), frags, len(want))
+	}
+	for i, f := range frags {
+		name := string(f[:])
+		at, ok := want[name]
+		if !ok || at != rel[i] {
+			t.Fatalf("unexpected fragment %q@%d", name, rel[i])
+		}
+	}
+}
+
+func TestSplitKeywordEmpty(t *testing.T) {
+	for _, mode := range []Mode{Window, Delimiter} {
+		frags, rel := SplitKeyword(mode, nil)
+		if frags != nil || rel != nil {
+			t.Fatalf("mode %v: empty keyword must produce nothing", mode)
+		}
+	}
+}
+
+func TestSplitKeywordUncoverable(t *testing.T) {
+	// A long keyword of pure delimiters has no word start: nil in
+	// delimiter mode (contributes to detection loss).
+	if frags, _ := SplitKeyword(Delimiter, []byte("??????????")); frags != nil {
+		t.Fatalf("pure-delimiter keyword yielded fragments %q", frags)
+	}
+}
+
+func TestSplitKeywordFragmentsReconstruct(t *testing.T) {
+	// Property: fragments laid at their relative offsets reproduce the
+	// keyword bytes they cover, for both modes.
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		for _, mode := range []Mode{Window, Delimiter} {
+			frags, rel := SplitKeyword(mode, raw)
+			for i, fr := range frags {
+				n := TokenSize
+				if rel[i]+n > len(raw) {
+					n = len(raw) - rel[i]
+				}
+				if !bytes.Equal(fr[:n], raw[rel[i]:rel[i]+n]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelimiterBandwidthBelowWindow(t *testing.T) {
+	// Delimiter tokenization must emit substantially fewer tokens than
+	// window tokenization on typical text (paper Fig. 5: 2.5x vs 4x median
+	// total overhead).
+	text := bytes.Repeat([]byte(
+		"GET /index.html?q=hello&lang=en HTTP/1.1\r\nHost: www.example.com\r\n"+
+			"<div class=\"story\">The quick brown fox jumps over the lazy dog near the riverbank</div>\n"), 20)
+	w := len(TokenizeAll(Window, text))
+	d := len(TokenizeAll(Delimiter, text))
+	if d >= w {
+		t.Fatalf("delimiter tokens (%d) not fewer than window tokens (%d)", d, w)
+	}
+	if float64(d) > 0.8*float64(w) {
+		t.Fatalf("delimiter tokens (%d) not substantially fewer than window (%d)", d, w)
+	}
+}
+
+func TestIsDelimiter(t *testing.T) {
+	for _, b := range []byte("abcXYZ019_-") {
+		if IsDelimiter(b) {
+			t.Errorf("%q wrongly classified as delimiter", b)
+		}
+	}
+	for _, b := range []byte(" .?&=/:;\r\n\t!\"'<>") {
+		if !IsDelimiter(b) {
+			t.Errorf("%q wrongly classified as non-delimiter", b)
+		}
+	}
+}
+
+func TestAppendAfterFlushPanics(t *testing.T) {
+	tk := New(Window)
+	tk.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append after Flush must panic")
+		}
+	}()
+	tk.Append([]byte("x"))
+}
+
+func TestFlushTwicePanics(t *testing.T) {
+	tk := New(Delimiter)
+	tk.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Flush must panic")
+		}
+	}()
+	tk.Flush()
+}
+
+func TestSkipBinaryContent(t *testing.T) {
+	// text | 1000 bytes binary | text: offsets after the gap must account
+	// for the skipped bytes, the boundary must not form tokens, and the
+	// first word after the gap must be anchored.
+	for _, mode := range []Mode{Window, Delimiter} {
+		tk := New(mode)
+		var toks []Token
+		toks = append(toks, tk.Append([]byte("evilword1 before"))...)
+		toks = append(toks, tk.Skip(1000)...)
+		toks = append(toks, tk.Append([]byte("evilword2 after"))...)
+		toks = append(toks, tk.Flush()...)
+
+		set := tokenSet(toks)
+		var w1, w2 Token
+		copy(w1.Text[:], "evilword")
+		w1.Offset = 0
+		copy(w2.Text[:], "evilword")
+		w2.Offset = len("evilword1 before") + 1000
+		if !set[w1] {
+			t.Errorf("mode %v: missing pre-gap token", mode)
+		}
+		if !set[w2] {
+			t.Errorf("mode %v: missing post-gap token at adjusted offset (got %v)", mode, toks)
+		}
+		for _, tok := range toks {
+			if tok.Offset > 10 && tok.Offset < len("evilword1 before")+1000 {
+				t.Errorf("mode %v: token emitted inside the binary gap: %+v", mode, tok)
+			}
+		}
+	}
+}
+
+func TestSkipZeroActsAsSegmentBreak(t *testing.T) {
+	tk := New(Delimiter)
+	var toks []Token
+	toks = append(toks, tk.Append([]byte("abcdefgh"))...)
+	toks = append(toks, tk.Skip(0)...)
+	toks = append(toks, tk.Append([]byte("ijklmnop"))...)
+	toks = append(toks, tk.Flush()...)
+	set := tokenSet(toks)
+	var second Token
+	copy(second.Text[:], "ijklmnop")
+	second.Offset = 8
+	if !set[second] {
+		t.Fatalf("post-break word not anchored: %v", toks)
+	}
+	// No token may span the break.
+	for _, tok := range toks {
+		if tok.Offset < 8 && tok.Offset+TokenSize > 8 && tok.Text[7] != Pad {
+			for i := tok.Offset; i < 8; i++ {
+				if tok.Text[i-tok.Offset] != "abcdefgh"[i] {
+					t.Fatalf("token spans the segment break: %+v", tok)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Endpoint connection logic of BlindBox HTTPS: the handshake (§2.3), the
+// AES-GCM record layer, the token side-channel, receiver-side validation
+// (§3.4), and the endpoint half of the rule-preparation exchange (§3.3).
+
+package transport
+
+import (
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/core"
+	"repro/internal/dpienc"
+	"repro/internal/ot"
+	"repro/internal/ruleprep"
+	"repro/internal/tokenize"
+)
+
+// RGMaterial is the rule-generator configuration endpoints install before
+// using BlindBox HTTPS (the paper's "BlindBox HTTPS configuration which
+// includes RG's public key", §2.3). TagKey authorizes keyword fragments
+// inside the garbled circuit.
+type RGMaterial struct {
+	TagKey bbcrypto.Block
+}
+
+// ConnConfig configures one endpoint connection.
+type ConnConfig struct {
+	// Core selects protocol, tokenization mode and initial salt.
+	Core core.Config
+	// RG is the installed rule-generator material.
+	RG RGMaterial
+}
+
+// Conn is a BlindBox HTTPS connection endpoint. It implements
+// io.ReadWriteCloser for text payloads; binary (untokenized) payloads go
+// through WriteBinary.
+type Conn struct {
+	raw      net.Conn
+	isClient bool
+	cfg      ConnConfig
+	keys     bbcrypto.SessionKeys
+	// mbPresent records whether a middlebox interposed on the handshake.
+	mbPresent bool
+
+	aead           cipher.AEAD
+	seqOut, seqIn  uint64
+	writeMu        sync.Mutex
+	pipe           *core.SenderPipeline
+	validator      *core.Validator
+	readBuf        []byte
+	readErr        error
+	wroteClose     bool
+	validationSkip bool
+}
+
+// Dial opens a BlindBox HTTPS connection to addr (typically the middlebox
+// in front of the server).
+func Dial(addr string, cfg ConnConfig) (*Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Client(raw, cfg)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Client runs the client side of the handshake over an established
+// transport.
+func Client(raw net.Conn, cfg ConnConfig) (*Conn, error) {
+	c := &Conn{raw: raw, isClient: true, cfg: cfg}
+	if err := c.handshake(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Server runs the server side of the handshake over an accepted transport.
+// The server adopts the client's protocol parameters.
+func Server(raw net.Conn, cfg ConnConfig) (*Conn, error) {
+	c := &Conn{raw: raw, isClient: false, cfg: cfg}
+	if err := c.handshake(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Conn) handshake() error {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	my := Hello{
+		PublicKey: priv.PublicKey().Bytes(),
+		Protocol:  c.cfg.Core.Protocol,
+		Mode:      byte(c.cfg.Core.Mode),
+		Salt0:     c.cfg.Core.Salt0,
+	}
+	var peer Hello
+	if c.isClient {
+		if err := WriteRecord(c.raw, RecHello, MarshalHello(my)); err != nil {
+			return err
+		}
+		typ, body, err := ReadRecord(c.raw)
+		if err != nil {
+			return err
+		}
+		if typ != RecHelloReply {
+			return fmt.Errorf("transport: expected hello reply, got %d", typ)
+		}
+		if peer, err = UnmarshalHello(body); err != nil {
+			return err
+		}
+	} else {
+		typ, body, err := ReadRecord(c.raw)
+		if err != nil {
+			return err
+		}
+		if typ != RecHello {
+			return fmt.Errorf("transport: expected hello, got %d", typ)
+		}
+		if peer, err = UnmarshalHello(body); err != nil {
+			return err
+		}
+		// Adopt the client's parameters.
+		c.cfg.Core.Protocol = peer.Protocol
+		c.cfg.Core.Mode = tokenize.Mode(peer.Mode)
+		c.cfg.Core.Salt0 = peer.Salt0
+		my.Protocol, my.Mode, my.Salt0 = peer.Protocol, peer.Mode, peer.Salt0
+		if err := WriteRecord(c.raw, RecHelloReply, MarshalHello(my)); err != nil {
+			return err
+		}
+	}
+	c.mbPresent = peer.MBPresent
+
+	peerKey, err := ecdh.X25519().NewPublicKey(peer.PublicKey)
+	if err != nil {
+		return fmt.Errorf("transport: bad peer key: %w", err)
+	}
+	k0, err := priv.ECDH(peerKey)
+	if err != nil {
+		return err
+	}
+	c.keys = bbcrypto.DeriveSessionKeys(k0)
+	c.aead = bbcrypto.NewGCM(c.keys.KSSL)
+	c.pipe = core.NewSenderPipeline(c.keys, c.cfg.Core)
+	c.validator = core.NewValidator(c.keys, c.cfg.Core)
+
+	if c.mbPresent {
+		if err := c.servePreparation(); err != nil {
+			return fmt.Errorf("transport: rule preparation: %w", err)
+		}
+	}
+	return nil
+}
+
+// SessionKeys exposes the derived keys (tests and the probable-cause
+// decryption check need them).
+func (c *Conn) SessionKeys() bbcrypto.SessionKeys { return c.keys }
+
+// MBPresent reports whether a middlebox interposed on the handshake.
+func (c *Conn) MBPresent() bool { return c.mbPresent }
+
+// servePreparation answers the middlebox's obfuscated-rule-encryption
+// protocol until SubPrepDone (§3.3). The endpoint never learns the rules:
+// it garbles the generic function F and plays the OT sender.
+func (c *Conn) servePreparation() error {
+	ep := ruleprep.NewEndpoint(c.keys.K, c.cfg.RG.TagKey, c.keys.KRand)
+	var (
+		jobs   []*ruleprep.FragmentJob
+		sender *ot.ExtSender
+		pairs  [][2]bbcrypto.Block
+	)
+	for {
+		typ, body, err := ReadRecord(c.raw)
+		if err != nil {
+			return err
+		}
+		if typ != RecGarble {
+			return fmt.Errorf("unexpected record %d during preparation", typ)
+		}
+		if len(body) < 1 {
+			return errors.New("empty preparation message")
+		}
+		sub, payload := body[0], body[1:]
+		switch sub {
+		case SubPrepStart:
+			if len(payload) != 4 {
+				return errors.New("bad prep start")
+			}
+			n := int(binary.BigEndian.Uint32(payload))
+			if jobs, err = ep.GarbleAll(n); err != nil {
+				return err
+			}
+			pairs = pairs[:0]
+			for _, job := range jobs {
+				msg := make([]byte, 1, 1+8)
+				msg[0] = SubCircuit
+				var idx [4]byte
+				binary.BigEndian.PutUint32(idx[:], uint32(job.Index))
+				msg = append(msg, idx[:]...)
+				blob := job.G.Marshal()
+				var l [4]byte
+				binary.BigEndian.PutUint32(l[:], uint32(len(blob)))
+				msg = append(msg, l[:]...)
+				msg = append(msg, blob...)
+				msg = append(msg, MarshalBlocks(job.EndpointLabels)...)
+				if err := WriteRecord(c.raw, RecGarble, msg); err != nil {
+					return err
+				}
+				pairs = append(pairs, job.OTPairs()...)
+			}
+		case SubOTMsgA:
+			msgAs, err := UnmarshalByteSlices(payload)
+			if err != nil {
+				return err
+			}
+			sender = ot.NewExtSender()
+			msgBs, err := sender.BaseRespond(msgAs)
+			if err != nil {
+				return err
+			}
+			if err := WriteRecord(c.raw, RecGarble, append([]byte{SubOTMsgB}, MarshalByteSlices(msgBs)...)); err != nil {
+				return err
+			}
+		case SubOTU:
+			if sender == nil {
+				return errors.New("OT correction before base phase")
+			}
+			u, err := UnmarshalByteSlices(payload)
+			if err != nil {
+				return err
+			}
+			masked, err := sender.Send(u, pairs)
+			if err != nil {
+				return err
+			}
+			flat := make([]bbcrypto.Block, 0, 2*len(masked))
+			for _, p := range masked {
+				flat = append(flat, p[0], p[1])
+			}
+			if err := WriteRecord(c.raw, RecGarble, append([]byte{SubOTMasked}, MarshalBlocks(flat)...)); err != nil {
+				return err
+			}
+		case SubPrepDone:
+			return nil
+		default:
+			return fmt.Errorf("unknown preparation message %d", sub)
+		}
+	}
+}
+
+// record plaintext kinds.
+const (
+	kindText   = 0
+	kindBinary = 1
+)
+
+func (c *Conn) nonce(seq uint64, outbound bool) []byte {
+	n := make([]byte, 12)
+	dir := byte(0)
+	if c.isClient == outbound {
+		// Client→server records use direction 0; server→client use 1.
+		dir = 0
+	} else {
+		dir = 1
+	}
+	n[0] = dir
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n
+}
+
+// Write sends text (inspectable) payload. It tokenizes, encrypts tokens,
+// and sends the SSL data record, splitting large writes.
+func (c *Conn) Write(p []byte) (int, error) {
+	return c.write(p, false)
+}
+
+// WriteBinary sends payload the IDS does not inspect (images, video): the
+// data is SSL-protected but produces no tokens (§3 bandwidth optimization).
+func (c *Conn) WriteBinary(p []byte) (int, error) {
+	return c.write(p, true)
+}
+
+func (c *Conn) write(p []byte, binary_ bool) (int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.wroteClose {
+		return 0, errors.New("transport: write after close")
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxDataRecord {
+			n = maxDataRecord
+		}
+		chunk := p[:n]
+		p = p[n:]
+
+		var (
+			toks  []dpienc.EncryptedToken
+			reset *core.SaltReset
+		)
+		if binary_ {
+			toks, reset = c.pipe.ProcessBinary(len(chunk))
+		} else {
+			toks, reset = c.pipe.ProcessText(chunk)
+		}
+		if reset != nil {
+			var s [8]byte
+			binary.BigEndian.PutUint64(s[:], reset.Salt0)
+			if err := WriteRecord(c.raw, RecSalt, s[:]); err != nil {
+				return total, err
+			}
+		}
+		if len(toks) > 0 {
+			body := MarshalTokens(toks, c.cfg.Core.Protocol == dpienc.ProtocolIII)
+			if err := WriteRecord(c.raw, RecTokens, body); err != nil {
+				return total, err
+			}
+		}
+		pt := make([]byte, 1+len(chunk))
+		if binary_ {
+			pt[0] = kindBinary
+		}
+		copy(pt[1:], chunk)
+		ct := c.aead.Seal(nil, c.nonce(c.seqOut, true), pt, []byte{byte(RecData)})
+		c.seqOut++
+		if err := WriteRecord(c.raw, RecData, ct); err != nil {
+			return total, err
+		}
+		total += len(chunk)
+	}
+	return total, nil
+}
+
+// CloseWrite flushes trailing tokens and signals end-of-stream; reads may
+// continue.
+func (c *Conn) CloseWrite() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.wroteClose {
+		return nil
+	}
+	c.wroteClose = true
+	if toks := c.pipe.Flush(); len(toks) > 0 {
+		body := MarshalTokens(toks, c.cfg.Core.Protocol == dpienc.ProtocolIII)
+		if err := WriteRecord(c.raw, RecTokens, body); err != nil {
+			return err
+		}
+	}
+	return WriteRecord(c.raw, RecClose, nil)
+}
+
+// Close closes the connection, sending the end-of-stream first.
+func (c *Conn) Close() error {
+	_ = c.CloseWrite()
+	return c.raw.Close()
+}
+
+// SetValidationDisabled turns off receiver-side token validation — used
+// only by tests modeling a lazy receiver; an honest BlindBox receiver
+// always validates (§3.4).
+func (c *Conn) SetValidationDisabled(v bool) { c.validationSkip = v }
+
+// Read returns decrypted, validated payload bytes (both text and binary
+// kinds). It returns io.EOF after the peer's RecClose.
+func (c *Conn) Read(p []byte) (int, error) {
+	for len(c.readBuf) == 0 {
+		if c.readErr != nil {
+			return 0, c.readErr
+		}
+		if err := c.readRecord(); err != nil {
+			c.readErr = err
+			return 0, err
+		}
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+func (c *Conn) readRecord() error {
+	typ, body, err := ReadRecord(c.raw)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case RecSalt:
+		// The validator's own pipeline resets deterministically at the
+		// same byte counts; the explicit announcement is for the
+		// middlebox.
+		return nil
+	case RecTokens:
+		toks, err := UnmarshalTokens(body, c.cfg.Core.Protocol == dpienc.ProtocolIII)
+		if err != nil {
+			return err
+		}
+		if !c.validationSkip {
+			c.validator.ReceiveTokens(toks)
+		}
+		return nil
+	case RecData:
+		pt, err := c.aead.Open(nil, c.nonce(c.seqIn, false), body, []byte{byte(RecData)})
+		if err != nil {
+			return fmt.Errorf("transport: record authentication failed: %w", err)
+		}
+		c.seqIn++
+		if len(pt) < 1 {
+			return errors.New("transport: empty data record")
+		}
+		kind, payload := pt[0], pt[1:]
+		if !c.validationSkip {
+			switch kind {
+			case kindText:
+				if err := c.validator.ValidateText(payload); err != nil {
+					return err
+				}
+			case kindBinary:
+				if err := c.validator.ValidateBinary(len(payload)); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("transport: unknown data kind %d", kind)
+			}
+		}
+		c.readBuf = append(c.readBuf, payload...)
+		return nil
+	case RecClose:
+		if !c.validationSkip {
+			if err := c.validator.Finish(); err != nil {
+				return err
+			}
+		}
+		return io.EOF
+	default:
+		return fmt.Errorf("transport: unexpected record type %d", typ)
+	}
+}
+
+var _ io.ReadWriteCloser = (*Conn)(nil)

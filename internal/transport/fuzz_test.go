@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dpienc"
+)
+
+// FuzzUnmarshalHello checks hello parsing never panics and accepted
+// hellos round-trip.
+func FuzzUnmarshalHello(f *testing.F) {
+	f.Add(MarshalHello(Hello{PublicKey: make([]byte, 32), Protocol: 2, Mode: 1, Salt0: 7}))
+	f.Add([]byte{})
+	f.Add([]byte{32, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := UnmarshalHello(data)
+		if err != nil {
+			return
+		}
+		enc := MarshalHello(h)
+		h2, err := UnmarshalHello(enc)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if !bytes.Equal(h2.PublicKey, h.PublicKey) || h2.Salt0 != h.Salt0 ||
+			h2.Protocol != h.Protocol || h2.Mode != h.Mode || h2.MBPresent != h.MBPresent {
+			t.Fatal("hello round trip diverged")
+		}
+	})
+}
+
+// FuzzUnmarshalTokens checks token-batch parsing on arbitrary bytes for
+// both protocol families.
+func FuzzUnmarshalTokens(f *testing.F) {
+	f.Add(MarshalTokens([]dpienc.EncryptedToken{{Offset: 3}}, false), false)
+	f.Add(MarshalTokens([]dpienc.EncryptedToken{{Offset: 3}, {Offset: 9}}, true), true)
+	f.Add([]byte{0, 0, 0, 200}, false)
+	f.Fuzz(func(t *testing.T, data []byte, protoIII bool) {
+		toks, err := UnmarshalTokens(data, protoIII)
+		if err != nil {
+			return
+		}
+		enc := MarshalTokens(toks, protoIII)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("token batch round trip diverged (%d tokens)", len(toks))
+		}
+	})
+}
+
+// FuzzUnmarshalByteSlices checks the length-prefixed list codec.
+func FuzzUnmarshalByteSlices(f *testing.F) {
+	f.Add(MarshalByteSlices([][]byte{[]byte("a"), {}, []byte("bcd")}))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slices, err := UnmarshalByteSlices(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(MarshalByteSlices(slices), data) {
+			t.Fatal("slice list round trip diverged")
+		}
+	})
+}
+
+// FuzzReadRecord checks record framing against arbitrary byte streams.
+func FuzzReadRecord(f *testing.F) {
+	var buf bytes.Buffer
+	WriteRecord(&buf, RecData, []byte("payload"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{byte(RecClose), 0, 0, 0, 0})
+	f.Add([]byte{1, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := ReadRecord(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteRecord(&out, typ, body); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatal("record round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// muxPair builds a client/server mux over a loopback connection.
+func muxPair(t *testing.T) (*Mux, *Mux) {
+	t.Helper()
+	client, server := pair(t, ConnConfig{Core: core.DefaultConfig()})
+	mc := NewMux(client, true)
+	ms := NewMux(server, false)
+	t.Cleanup(func() { mc.Close(); ms.Close() })
+	return mc, ms
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	mc, ms := muxPair(t)
+	done := make(chan error, 1)
+	go func() {
+		st, err := ms.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		data, err := io.ReadAll(st)
+		if err != nil {
+			done <- err
+			return
+		}
+		st.Write(data)
+		st.Close()
+		done <- nil
+	}()
+	st, err := mc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("GET /stream-one HTTP/1.1\r\n\r\n")
+	st.Write(msg)
+	st.Close()
+	echo, err := io.ReadAll(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(echo, msg) {
+		t.Fatalf("echo = %q", echo)
+	}
+}
+
+func TestManyStreamsOneHandshake(t *testing.T) {
+	// The whole point of the mux: many requests amortize one setup.
+	mc, ms := muxPair(t)
+	const n = 20
+	go func() {
+		for {
+			st, err := ms.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				data, err := io.ReadAll(st)
+				if err != nil {
+					return
+				}
+				st.Write(data)
+				st.Close()
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := mc.Open()
+			if err != nil {
+				errs <- err
+				return
+			}
+			msg := []byte(fmt.Sprintf("request number %d with padding words", i))
+			if _, err := st.Write(msg); err != nil {
+				errs <- err
+				return
+			}
+			st.Close()
+			echo, err := io.ReadAll(st)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(echo, msg) {
+				errs <- fmt.Errorf("stream %d: echo mismatch", i)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamIDsDoNotCollide(t *testing.T) {
+	mc, ms := muxPair(t)
+	c1, err := mc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := mc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := ms.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ID()%2 != 1 || c2.ID()%2 != 1 {
+		t.Fatalf("client stream ids %d/%d not odd", c1.ID(), c2.ID())
+	}
+	if s1.ID()%2 != 0 {
+		t.Fatalf("server stream id %d not even", s1.ID())
+	}
+	if c1.ID() == c2.ID() {
+		t.Fatal("duplicate client stream ids")
+	}
+}
+
+func TestStreamBinaryBody(t *testing.T) {
+	mc, ms := muxPair(t)
+	go func() {
+		st, err := ms.Accept()
+		if err != nil {
+			return
+		}
+		data, _ := io.ReadAll(st)
+		st.WriteBinary(data)
+		st.Close()
+	}()
+	st, err := mc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte{0xCC, 0x01, 0xFF}, 20000) // > 1 frame
+	st.WriteBinary(blob)
+	st.Close()
+	echo, err := io.ReadAll(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(echo, blob) {
+		t.Fatalf("binary echo corrupted: %d vs %d bytes", len(echo), len(blob))
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	mc, _ := muxPair(t)
+	st, err := mc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := st.Write([]byte("late")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestMuxCloseUnblocksStreams(t *testing.T) {
+	mc, ms := muxPair(t)
+	st, err := mc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("x")) // materialize the stream at the peer
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := st.Read(buf); err != nil {
+				readErr <- err
+				return
+			}
+		}
+	}()
+	ms.Close()
+	mc.Close()
+	if err := <-readErr; err == nil {
+		t.Fatal("blocked read not released by mux close")
+	}
+	if _, err := ms.Accept(); err == nil {
+		t.Fatal("accept after close succeeded")
+	}
+}

@@ -1,0 +1,282 @@
+// Wire format of BlindBox HTTPS. The paper's prototype opens three sockets
+// (SSL data, encrypted tokens, garbled-circuit channel, §6); we multiplex
+// the three logical channels over one connection with typed records, which
+// simplifies middlebox interposition without changing the protocol content.
+
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/dpienc"
+)
+
+// RecordType identifies the logical channel of a record.
+type RecordType byte
+
+const (
+	// RecHello carries the client handshake: X25519 public key and the
+	// connection configuration.
+	RecHello RecordType = iota + 1
+	// RecHelloReply carries the server handshake.
+	RecHelloReply
+	// RecData is an AES-GCM-protected application data record (the
+	// "primary SSL stream").
+	RecData
+	// RecTokens carries DPIEnc-encrypted tokens.
+	RecTokens
+	// RecSalt announces a counter-table reset (the new salt0).
+	RecSalt
+	// RecGarble carries a rule-preparation message between the middlebox
+	// and one endpoint; it is never forwarded across the middlebox.
+	RecGarble
+	// RecClose signals an orderly end of the sender's stream.
+	RecClose
+)
+
+// MaxRecordLen bounds a record body; garbled circuits dominate (a few MB
+// for our AES circuit), so the cap is generous.
+const MaxRecordLen = 64 << 20
+
+// maxDataRecord bounds the plaintext of one data record; larger writes are
+// split. 16 KiB matches TLS record sizing.
+const maxDataRecord = 16 << 10
+
+// WriteRecord frames and writes one record.
+func WriteRecord(w io.Writer, typ RecordType, body []byte) error {
+	if len(body) > MaxRecordLen {
+		return fmt.Errorf("transport: record body %d exceeds cap", len(body))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(typ)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadRecord reads one framed record.
+func ReadRecord(r io.Reader) (RecordType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxRecordLen {
+		return 0, nil, fmt.Errorf("transport: record body %d exceeds cap", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return RecordType(hdr[0]), body, nil
+}
+
+// Hello is the cleartext handshake payload. The middlebox sets MBPresent
+// when forwarding, informing the endpoints that a rule-preparation
+// exchange will follow the handshake.
+type Hello struct {
+	PublicKey []byte // X25519, 32 bytes
+	Protocol  dpienc.Protocol
+	Mode      byte // tokenize.Mode
+	Salt0     uint64
+	MBPresent bool
+}
+
+// MarshalHello encodes a Hello.
+func MarshalHello(h Hello) []byte {
+	out := make([]byte, 0, 32+11)
+	out = append(out, byte(len(h.PublicKey)))
+	out = append(out, h.PublicKey...)
+	out = append(out, byte(h.Protocol), h.Mode)
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], h.Salt0)
+	out = append(out, s[:]...)
+	if h.MBPresent {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// UnmarshalHello decodes a Hello.
+func UnmarshalHello(data []byte) (Hello, error) {
+	var h Hello
+	if len(data) < 1 {
+		return h, errors.New("transport: short hello")
+	}
+	kl := int(data[0])
+	if len(data) < 1+kl+11 {
+		return h, errors.New("transport: short hello")
+	}
+	h.PublicKey = append([]byte(nil), data[1:1+kl]...)
+	rest := data[1+kl:]
+	h.Protocol = dpienc.Protocol(rest[0])
+	h.Mode = rest[1]
+	h.Salt0 = binary.BigEndian.Uint64(rest[2:10])
+	h.MBPresent = rest[10] == 1
+	return h, nil
+}
+
+// SetMBPresent flips the MBPresent flag inside an encoded hello in place —
+// what the middlebox does when forwarding handshakes.
+func SetMBPresent(encoded []byte) error {
+	if len(encoded) < 1 {
+		return errors.New("transport: short hello")
+	}
+	kl := int(encoded[0])
+	if len(encoded) < 1+kl+11 {
+		return errors.New("transport: short hello")
+	}
+	encoded[1+kl+10] = 1
+	return nil
+}
+
+// Token wire format: offset (8) + C1 (5) + optional C2 (16, Protocol III).
+func tokenSize(protoIII bool) int {
+	if protoIII {
+		return 8 + dpienc.CiphertextSize + bbcrypto.BlockSize
+	}
+	return 8 + dpienc.CiphertextSize
+}
+
+// MarshalTokens encodes a token batch.
+func MarshalTokens(toks []dpienc.EncryptedToken, protoIII bool) []byte {
+	sz := tokenSize(protoIII)
+	out := make([]byte, 4, 4+len(toks)*sz)
+	binary.BigEndian.PutUint32(out, uint32(len(toks)))
+	var tmp [8]byte
+	for _, t := range toks {
+		binary.BigEndian.PutUint64(tmp[:], uint64(t.Offset))
+		out = append(out, tmp[:]...)
+		out = append(out, t.C1[:]...)
+		if protoIII {
+			out = append(out, t.C2[:]...)
+		}
+	}
+	return out
+}
+
+// UnmarshalTokens decodes a token batch.
+func UnmarshalTokens(data []byte, protoIII bool) ([]dpienc.EncryptedToken, error) {
+	if len(data) < 4 {
+		return nil, errors.New("transport: short token batch")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	sz := tokenSize(protoIII)
+	if len(data) != n*sz {
+		return nil, fmt.Errorf("transport: token batch size %d != %d*%d", len(data), n, sz)
+	}
+	toks := make([]dpienc.EncryptedToken, n)
+	for i := range toks {
+		toks[i].Offset = int(binary.BigEndian.Uint64(data))
+		data = data[8:]
+		copy(toks[i].C1[:], data)
+		data = data[dpienc.CiphertextSize:]
+		if protoIII {
+			copy(toks[i].C2[:], data)
+			data = data[bbcrypto.BlockSize:]
+		}
+	}
+	return toks, nil
+}
+
+// Rule-preparation subtypes carried inside RecGarble records.
+const (
+	// SubPrepStart (MB→EP): uint32 fragment count.
+	SubPrepStart byte = iota + 1
+	// SubCircuit (EP→MB): uint32 index, uint32 len, garbled blob, then
+	// 256 endpoint-input labels.
+	SubCircuit
+	// SubOTMsgA (MB→EP): 128 base-OT first messages.
+	SubOTMsgA
+	// SubOTMsgB (EP→MB): 128 base-OT responses.
+	SubOTMsgB
+	// SubOTU (MB→EP): the IKNP correction matrix.
+	SubOTU
+	// SubOTMasked (EP→MB): the masked label pairs.
+	SubOTMasked
+	// SubPrepDone (MB→EP): setup complete, data may flow.
+	SubPrepDone
+)
+
+// MarshalByteSlices length-prefixes a list of byte slices.
+func MarshalByteSlices(slices [][]byte) []byte {
+	total := 4
+	for _, s := range slices {
+		total += 4 + len(s)
+	}
+	out := make([]byte, 4, total)
+	binary.BigEndian.PutUint32(out, uint32(len(slices)))
+	var tmp [4]byte
+	for _, s := range slices {
+		binary.BigEndian.PutUint32(tmp[:], uint32(len(s)))
+		out = append(out, tmp[:]...)
+		out = append(out, s...)
+	}
+	return out
+}
+
+// UnmarshalByteSlices inverts MarshalByteSlices.
+func UnmarshalByteSlices(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("transport: short slice list")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if n > MaxRecordLen {
+		return nil, errors.New("transport: slice list too long")
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		if len(data) < 4 {
+			return nil, errors.New("transport: truncated slice list")
+		}
+		l := int(binary.BigEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < l {
+			return nil, errors.New("transport: truncated slice entry")
+		}
+		out[i] = data[:l:l]
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return nil, errors.New("transport: trailing bytes in slice list")
+	}
+	return out, nil
+}
+
+// MarshalBlocks packs 16-byte blocks.
+func MarshalBlocks(blocks []bbcrypto.Block) []byte {
+	out := make([]byte, 4, 4+len(blocks)*bbcrypto.BlockSize)
+	binary.BigEndian.PutUint32(out, uint32(len(blocks)))
+	for _, b := range blocks {
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// UnmarshalBlocks inverts MarshalBlocks.
+func UnmarshalBlocks(data []byte) ([]bbcrypto.Block, error) {
+	if len(data) < 4 {
+		return nil, errors.New("transport: short block list")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n*bbcrypto.BlockSize {
+		return nil, errors.New("transport: block list size mismatch")
+	}
+	out := make([]bbcrypto.Block, n)
+	for i := range out {
+		copy(out[i][:], data[i*bbcrypto.BlockSize:])
+	}
+	return out, nil
+}
