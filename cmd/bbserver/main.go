@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net"
 	"os"
 
@@ -54,7 +53,7 @@ func main() {
 func handle(raw net.Conn, cfg blindbox.ConnConfig, mode string, pageBytes int) {
 	conn, err := blindbox.Server(raw, cfg)
 	if err != nil {
-		raw.Close()
+		_ = raw.Close()
 		log.Printf("handshake: %v", err)
 		return
 	}
@@ -65,14 +64,22 @@ func handle(raw net.Conn, cfg blindbox.ConnConfig, mode string, pageBytes int) {
 		return
 	}
 	log.Printf("request: %d bytes (mb on path: %v)", len(req), conn.MBPresent())
+	var werr error
 	switch mode {
 	case "page":
-		body := corpus.SynthesizeText(rand.New(rand.NewSource(int64(len(req)))), pageBytes)
+		body := corpus.SynthesizeTextSeeded(int64(len(req)), pageBytes)
 		header := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", len(body))
-		conn.Write([]byte(header))
-		conn.Write(body)
+		if _, werr = conn.Write([]byte(header)); werr == nil {
+			_, werr = conn.Write(body)
+		}
 	default:
-		conn.Write(req)
+		_, werr = conn.Write(req)
 	}
-	conn.CloseWrite()
+	if werr != nil {
+		log.Printf("write: %v", werr)
+		return
+	}
+	if err := conn.CloseWrite(); err != nil {
+		log.Printf("close: %v", err)
+	}
 }

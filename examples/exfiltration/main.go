@@ -135,7 +135,7 @@ func acceptUploads(ln net.Listener, rg *blindbox.RuleGenerator) {
 		go func() {
 			conn, err := blindbox.Server(raw, cfg)
 			if err != nil {
-				raw.Close()
+				_ = raw.Close()
 				return
 			}
 			defer conn.Close()
@@ -144,7 +144,7 @@ func acceptUploads(ln net.Listener, rg *blindbox.RuleGenerator) {
 				return
 			}
 			fmt.Fprintf(conn, "received %d bytes", len(doc))
-			conn.CloseWrite()
+			_ = conn.CloseWrite()
 		}()
 	}
 }

@@ -68,9 +68,9 @@ alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"cmd injection"; content:"exec
 			log.Fatal(err)
 		}
 		defer conn.Close()
-		conn.Write([]byte(payload))
-		conn.CloseWrite()
-		io.ReadAll(conn)
+		_, _ = conn.Write([]byte(payload))
+		_ = conn.CloseWrite()
+		_, _ = io.ReadAll(conn)
 		fmt.Printf("--- %s sent (%d bytes)\n", label, len(payload))
 	}
 
@@ -107,7 +107,7 @@ func serveEcho(ln net.Listener, rg *blindbox.RuleGenerator) {
 		go func() {
 			conn, err := blindbox.Server(raw, cfg)
 			if err != nil {
-				raw.Close()
+				_ = raw.Close()
 				return
 			}
 			defer conn.Close()
@@ -115,8 +115,8 @@ func serveEcho(ln net.Listener, rg *blindbox.RuleGenerator) {
 			if err != nil {
 				return
 			}
-			conn.Write(data)
-			conn.CloseWrite()
+			_, _ = conn.Write(data)
+			_ = conn.CloseWrite()
 		}()
 	}
 }

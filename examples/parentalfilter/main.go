@@ -79,7 +79,7 @@ func main() {
 			fmt.Printf("browse %s: connection severed\n", host)
 			return
 		}
-		conn.CloseWrite()
+		_ = conn.CloseWrite()
 		body, err := io.ReadAll(conn)
 		if err != nil || len(body) == 0 {
 			fmt.Printf("browse %s: blocked\n", host)
@@ -115,15 +115,15 @@ func serveWeb(ln net.Listener, rg *blindbox.RuleGenerator) {
 		go func() {
 			conn, err := blindbox.Server(raw, cfg)
 			if err != nil {
-				raw.Close()
+				_ = raw.Close()
 				return
 			}
 			defer conn.Close()
 			if _, err := io.ReadAll(conn); err != nil {
 				return
 			}
-			conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n<html>a page</html>"))
-			conn.CloseWrite()
+			_, _ = conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n<html>a page</html>"))
+			_ = conn.CloseWrite()
 		}()
 	}
 }

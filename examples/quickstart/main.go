@@ -63,13 +63,13 @@ alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"botnet beacon"; content:"beac
 		if _, err := conn.Write([]byte(payload)); err != nil {
 			log.Fatal(err)
 		}
-		conn.CloseWrite()
+		_ = conn.CloseWrite()
 		echoed, err := io.ReadAll(conn)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("client: server echoed %d bytes\n", len(echoed))
-		conn.Close()
+		_ = conn.Close()
 	}
 
 	// 4. Drain alerts: exactly the attack connection should have fired.
@@ -108,7 +108,7 @@ func serveEcho(ln net.Listener, rg *blindbox.RuleGenerator) {
 		go func() {
 			conn, err := blindbox.Server(raw, cfg)
 			if err != nil {
-				raw.Close()
+				_ = raw.Close()
 				return
 			}
 			defer conn.Close()
@@ -116,8 +116,8 @@ func serveEcho(ln net.Listener, rg *blindbox.RuleGenerator) {
 			if err != nil {
 				return
 			}
-			conn.Write(data)
-			conn.CloseWrite()
+			_, _ = conn.Write(data)
+			_ = conn.CloseWrite()
 		}()
 	}
 }

@@ -78,8 +78,8 @@ alert tcp any any -> any any (msg:"path traversal"; content:"/../../etc/passwd";
 		if err != nil {
 			log.Fatal(err)
 		}
-		st.Write([]byte(req))
-		st.Close()
+		_, _ = st.Write([]byte(req))
+		_ = st.Close()
 		resp, err := io.ReadAll(st)
 		if err != nil {
 			log.Fatal(err)
@@ -120,22 +120,22 @@ func serveMux(ln net.Listener, rg *blindbox.RuleGenerator) {
 		go func() {
 			conn, err := blindbox.Server(raw, cfg)
 			if err != nil {
-				raw.Close()
+				_ = raw.Close()
 				return
 			}
 			mux := blindbox.NewMux(conn, false)
 			for {
 				st, err := mux.Accept()
 				if err != nil {
-					conn.Close()
+					_ = conn.Close()
 					return
 				}
 				go func() {
 					if _, err := io.ReadAll(st); err != nil {
 						return
 					}
-					st.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 14\r\n\r\n<html>ok</html>"))
-					st.Close()
+					_, _ = st.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 14\r\n\r\n<html>ok</html>"))
+					_ = st.Close()
 				}()
 			}
 		}()

@@ -55,23 +55,36 @@ func (b Block) Double() Block {
 // last byte), used as the point-and-permute colour bit.
 func (b Block) LSB() int { return int(b[BlockSize-1] & 1) }
 
+// must unwraps a constructor result, panicking on error. The constructors
+// it wraps (aes.NewCipher, cipher.NewGCM with fixed 16-byte keys) fail only
+// on programmer error, never on input data.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(fmt.Sprintf("bbcrypto: %v", err))
+	}
+	return v
+}
+
+// mustRead fills p from r, panicking on failure. Only used with
+// crypto/rand.Reader, whose failure means the platform entropy pool is
+// broken — unrecoverable for a cryptographic protocol.
+func mustRead(r io.Reader, p []byte) {
+	if _, err := io.ReadFull(r, p); err != nil {
+		panic(fmt.Sprintf("bbcrypto: crypto/rand failed: %v", err))
+	}
+}
+
 // RandomBlock returns a uniformly random block from crypto/rand.
 func RandomBlock() Block {
 	var b Block
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("bbcrypto: crypto/rand failed: %v", err))
-	}
+	mustRead(rand.Reader, b[:])
 	return b
 }
 
 // NewAES returns an AES cipher for the given 16-byte key. It panics on
 // failure, which can only happen for invalid key sizes (a programming error).
 func NewAES(key Block) cipher.Block {
-	c, err := aes.NewCipher(key[:])
-	if err != nil {
-		panic(fmt.Sprintf("bbcrypto: aes.NewCipher: %v", err))
-	}
-	return c
+	return must(aes.NewCipher(key[:]))
 }
 
 // EncryptBlock encrypts one block under key and returns the result.
@@ -203,11 +216,7 @@ func DeriveSessionKeys(k0 []byte) SessionKeys {
 // NewGCM returns an AES-GCM AEAD under the given key, used by the record
 // layer of the primary SSL channel.
 func NewGCM(key Block) cipher.AEAD {
-	aead, err := cipher.NewGCM(NewAES(key))
-	if err != nil {
-		panic(fmt.Sprintf("bbcrypto: cipher.NewGCM: %v", err))
-	}
-	return aead
+	return must(cipher.NewGCM(NewAES(key)))
 }
 
 // MAC computes the single-block AES MAC used by the obfuscated rule

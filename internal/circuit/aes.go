@@ -196,6 +196,7 @@ func constByte(v byte) cbyte {
 // ciphertext bits.
 func AESEncrypt(b *Builder, keyBits, ptBits []Ref, impl SBoxImpl) []Ref {
 	if len(keyBits) != 128 || len(ptBits) != 128 {
+		//lint:ignore todo-panic circuit-construction width invariant; a violation is a programming error, never reachable from wire data
 		panic("circuit: AESEncrypt wants 128+128 input bits")
 	}
 	toBytes := func(bits []Ref) []cbyte {

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 
@@ -151,7 +152,9 @@ func (v *Validator) consume(want []dpienc.EncryptedToken) error {
 	}
 	for i, w := range want {
 		got := v.pending[i]
-		if got.C1 != w.C1 || got.Offset != w.Offset || got.C2 != w.C2 {
+		if subtle.ConstantTimeCompare(got.C1[:], w.C1[:]) != 1 ||
+			got.Offset != w.Offset ||
+			subtle.ConstantTimeCompare(got.C2[:], w.C2[:]) != 1 {
 			return fmt.Errorf("%w: token at stream offset %d", ErrTokenMismatch, w.Offset)
 		}
 	}

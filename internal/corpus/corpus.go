@@ -38,6 +38,13 @@ video image media player stream render layout margin padding border
 
 var attrs = []string{"id", "class", "href", "src", "style", "data-v", "lang", "rel"}
 
+// SynthesizeTextSeeded is SynthesizeText with a self-contained
+// deterministic source, so callers outside the workload packages do not
+// need to import math/rand themselves.
+func SynthesizeTextSeeded(seed int64, n int) []byte {
+	return SynthesizeText(rand.New(rand.NewSource(seed)), n)
+}
+
 // SynthesizeText produces n bytes of HTML/JS-like text with web-typical
 // delimiter density.
 func SynthesizeText(rng *rand.Rand, n int) []byte {

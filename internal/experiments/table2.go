@@ -122,7 +122,9 @@ func Table2(opt Table2Options) ([]Table2Row, error) {
 
 	// --- Client: encrypt a 1500-byte packet --------------------------
 	packet := make([]byte, packetBytes)
-	rand.Read(packet)
+	// A failed entropy read leaves zeros; the text-like rewrite below makes
+	// the benchmark payload equally valid either way.
+	_, _ = rand.Read(packet)
 	for j := range packet {
 		packet[j] = 'a' + packet[j]%26 // text-like
 	}
@@ -210,14 +212,17 @@ func Table2(opt Table2Options) ([]Table2Row, error) {
 func vanillaHandshakeOp() func() {
 	peer, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
+		//lint:ignore todo-panic benchmark harness; a failed setup must abort the experiment, not skew the numbers
 		panic(err)
 	}
 	return func() {
 		priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 		if err != nil {
+			//lint:ignore todo-panic benchmark harness; a failed setup must abort the experiment, not skew the numbers
 			panic(err)
 		}
 		if _, err := priv.ECDH(peer.PublicKey()); err != nil {
+			//lint:ignore todo-panic benchmark harness; a failed setup must abort the experiment, not skew the numbers
 			panic(err)
 		}
 	}
@@ -246,6 +251,7 @@ func detectionCosts(k bbcrypto.Block, numKeywords int, minSample time.Duration) 
 	}
 	rs, err := rules.Parse("bench", string(lines))
 	if err != nil {
+		//lint:ignore todo-panic benchmark harness; a failed setup must abort the experiment, not skew the numbers
 		panic(err)
 	}
 

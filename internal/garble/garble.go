@@ -313,11 +313,15 @@ func Eval(c *circuit.Circuit, g *Garbled, inputLabels []Block) ([]bool, error) {
 // Equal reports whether two garbled circuits are bit-identical — the
 // middlebox's §3.3 consistency check between the two endpoints' circuits.
 func Equal(a, b *Garbled) bool {
+	// The fixed key and garbled tables are the public transcript both
+	// endpoints send to the middlebox; comparison timing reveals nothing.
+	//lint:ignore ct-compare fixed key and row counts are public transcript values
 	if a.FixedKey != b.FixedKey || a.Rows != b.Rows ||
 		len(a.Tables) != len(b.Tables) || len(a.Decode) != len(b.Decode) {
 		return false
 	}
 	for i := range a.Tables {
+		//lint:ignore ct-compare garbled tables are public transcript values
 		if a.Tables[i] != b.Tables[i] {
 			return false
 		}

@@ -119,14 +119,15 @@ func (p *Page) GzipTextBytes() int {
 	var buf bytes.Buffer
 	zw := gzip.NewWriter(&buf)
 	for i := range p.Resources {
-		zw.Write(p.Resources[i].ResponseHeader())
+		// gzip into a bytes.Buffer cannot fail.
+		_, _ = zw.Write(p.Resources[i].ResponseHeader())
 		for _, s := range p.Resources[i].Segments {
 			if !s.Binary {
-				zw.Write(s.Data)
+				_, _ = zw.Write(s.Data)
 			}
 		}
 	}
-	zw.Close()
+	_ = zw.Close()
 	return buf.Len() + p.BinaryBytes()
 }
 

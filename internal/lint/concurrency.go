@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexCopy flags locks passed by value: function parameters, results and
+// method receivers whose type is (or transitively contains, by value) a
+// sync.Mutex, RWMutex, WaitGroup, Once, Cond or Map. A copied lock guards
+// nothing; in the middlebox's per-connection state that turns into silent
+// data races under load.
+type MutexCopy struct{}
+
+// ID implements Rule.
+func (r *MutexCopy) ID() string { return "mutex-copy" }
+
+// Doc implements Rule.
+func (r *MutexCopy) Doc() string {
+	return "sync primitives must be passed by pointer, never copied by value"
+}
+
+// Check implements Rule.
+func (r *MutexCopy) Check(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			var fields []*ast.Field
+			if fd.Recv != nil {
+				fields = append(fields, fd.Recv.List...)
+			}
+			if fd.Type.Params != nil {
+				fields = append(fields, fd.Type.Params.List...)
+			}
+			if fd.Type.Results != nil {
+				fields = append(fields, fd.Type.Results.List...)
+			}
+			for _, field := range fields {
+				t := typeOf(pkg.Info, field.Type)
+				if t == nil {
+					continue
+				}
+				if lock := lockIn(t, nil); lock != "" {
+					report(field, "%s is passed by value and carries %s; pass a pointer", fieldDisplay(field), lock)
+				}
+			}
+		}
+	}
+}
+
+// lockIn returns the name of a sync primitive held by value inside t, or "".
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if l := lockIn(u.Field(i).Type(), seen); l != "" {
+				return l
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return ""
+}
+
+func fieldDisplay(field *ast.Field) string {
+	if len(field.Names) > 0 {
+		return "parameter " + field.Names[0].Name
+	}
+	return "parameter"
+}
+
+// LoopCapture flags `go func(){...}()` inside a loop when the function
+// literal captures the loop variable without rebinding it or passing it as
+// an argument. Before Go 1.22 every iteration shares one variable, so all
+// goroutines observe the final value. The rule disables itself when the
+// module's go directive is >= 1.22 (per-iteration variables), but stays in
+// the catalog for fixtures and for modules pinned to older semantics.
+type LoopCapture struct {
+	// GoMinor is the go.mod directive's minor version; >= 22 disables the
+	// rule.
+	GoMinor int
+}
+
+// ID implements Rule.
+func (r *LoopCapture) ID() string { return "loop-capture" }
+
+// Doc implements Rule.
+func (r *LoopCapture) Doc() string {
+	return "goroutines in loops must not capture the loop variable (pre-1.22 semantics)"
+}
+
+// Check implements Rule.
+func (r *LoopCapture) Check(pkg *Package, report Reporter) {
+	if r.GoMinor >= 22 {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loopVars := make(map[types.Object]string)
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{loop.Key, loop.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+				body = loop.Body
+			case *ast.ForStmt:
+				if init, ok := loop.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pkg.Info.Defs[id]; obj != nil {
+								loopVars[obj] = id.Name
+							}
+						}
+					}
+				}
+				body = loop.Body
+			default:
+				return true
+			}
+			if len(loopVars) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				g, ok := m.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(lit.Body, func(u ast.Node) bool {
+					id, ok := u.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if name, captured := loopVars[pkg.Info.Uses[id]]; captured {
+						report(id, "goroutine captures loop variable %s; pass it as an argument or rebind it (pre-1.22 loops share one variable)", name)
+						return false
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// ChanLeak flags sends on an unbuffered channel that is local to one
+// function and has no receiver anywhere in that function: the sending
+// goroutine blocks forever. The check is deliberately conservative — any
+// use that lets the channel escape (call argument, return, assignment,
+// struct field, select send) disables it.
+type ChanLeak struct{}
+
+// ID implements Rule.
+func (r *ChanLeak) ID() string { return "chan-leak" }
+
+// Doc implements Rule.
+func (r *ChanLeak) Doc() string {
+	return "sends on a function-local unbuffered channel need a receiver in scope"
+}
+
+// Check implements Rule.
+func (r *ChanLeak) Check(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			r.checkFunc(pkg, fd.Body, report)
+		}
+	}
+}
+
+// chanUse tallies how one local channel is used within its function.
+type chanUse struct {
+	firstSend ast.Node
+	sends     int
+	receives  int
+	escapes   bool
+}
+
+func (r *ChanLeak) checkFunc(pkg *Package, body *ast.BlockStmt, report Reporter) {
+	// 1. Collect unbuffered channels created with ch := make(chan T).
+	local := make(map[types.Object]*chanUse)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fn.Name != "make" {
+				continue
+			}
+			if _, builtin := pkg.Info.Uses[fn].(*types.Builtin); !builtin {
+				continue
+			}
+			if _, isChan := typeOf(pkg.Info, call).(*types.Chan); !isChan {
+				continue
+			}
+			if len(call.Args) >= 2 && !isZeroConst(pkg.Info, call.Args[1]) {
+				continue // buffered channel: sends may legitimately complete
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					local[obj] = &chanUse{}
+				}
+			}
+		}
+		return true
+	})
+	if len(local) == 0 {
+		return
+	}
+
+	// 2. Classify every use with a parent/ancestor stack.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if use, tracked := local[pkg.Info.Uses[id]]; tracked {
+				r.classify(id, stack, use, n)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	for _, use := range local {
+		if use.sends > 0 && use.receives == 0 && !use.escapes {
+			report(use.firstSend, "send on unbuffered channel with no receiver in this function; the goroutine blocks forever")
+		}
+	}
+}
+
+// classify folds one identifier use into the channel's tally. stack holds
+// the ancestors of id (nearest last).
+func (r *ChanLeak) classify(id *ast.Ident, stack []ast.Node, use *chanUse, n ast.Node) {
+	parent := ast.Node(nil)
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	inSelect := func() bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if _, ok := stack[i].(*ast.CommClause); ok {
+				return true
+			}
+		}
+		return false
+	}
+	switch p := parent.(type) {
+	case *ast.SendStmt:
+		if p.Chan != ast.Expr(id) {
+			use.escapes = true // the channel is the sent value
+			return
+		}
+		if inSelect() {
+			// A select send may have a default or other ready case; not a
+			// guaranteed block.
+			use.escapes = true
+			return
+		}
+		use.sends++
+		if use.firstSend == nil {
+			use.firstSend = p
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.ARROW {
+			use.receives++
+		} else {
+			use.escapes = true
+		}
+	case *ast.RangeStmt:
+		if p.X == ast.Expr(id) {
+			use.receives++
+		} else {
+			use.escapes = true
+		}
+	case *ast.CallExpr:
+		if fn, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			switch fn.Name {
+			case "close", "len", "cap":
+				return // neutral
+			}
+		}
+		use.escapes = true
+	case *ast.BinaryExpr:
+		// Comparisons (ch == nil) are neutral.
+	default:
+		use.escapes = true
+	}
+}
+
+// isZeroConst reports whether e is the constant 0.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+var (
+	_ Rule = (*MutexCopy)(nil)
+	_ Rule = (*LoopCapture)(nil)
+	_ Rule = (*ChanLeak)(nil)
+	_ Rule = (*TodoPanic)(nil)
+)

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CTCompare flags variable-time comparisons (==, !=, bytes.Equal,
+// bytes.Compare) on values that BlindBox treats as secret: wire labels,
+// token keys, MACs and session keys. A timing side channel on any of these
+// breaks the §3.1/§3.3 security argument, so comparisons must go through
+// crypto/subtle.ConstantTimeCompare or hmac.Equal.
+//
+// A value counts as secret when
+//   - its type is a named byte-array/slice type (or a struct containing
+//     one) declared in one of the crypto packages (internal/bbcrypto,
+//     internal/dpienc, internal/detect, internal/garble, internal/ot), or
+//   - its type is byte-sequence-like and its identifier contains a secret
+//     word (key, secret, mac, tag, label, kssl, krand, seed).
+//
+// Comparisons of public values (e.g. DPIEnc ciphertexts in the detection
+// index, garbled tables in transcript equality checks) are intentionally
+// variable-time; suppress them with a //lint:ignore ct-compare <why>.
+type CTCompare struct {
+	secretPkgs map[string]bool
+}
+
+// secretWords are identifier words that mark byte material as secret.
+var secretWords = map[string]bool{
+	"key": true, "keys": true, "secret": true, "secrets": true,
+	"mac": true, "macs": true, "tag": true, "tags": true,
+	"label": true, "labels": true, "kssl": true, "krand": true,
+	"seed": true, "seeds": true,
+}
+
+// NewCTCompare builds the rule for a module. modulePath anchors the
+// crypto-package set (modulePath + "/internal/bbcrypto", ...).
+func NewCTCompare(modulePath string) *CTCompare {
+	r := &CTCompare{secretPkgs: make(map[string]bool)}
+	for _, p := range []string{"bbcrypto", "dpienc", "detect", "garble", "ot"} {
+		r.secretPkgs[modulePath+"/internal/"+p] = true
+	}
+	return r
+}
+
+// ID implements Rule.
+func (r *CTCompare) ID() string { return "ct-compare" }
+
+// Doc implements Rule.
+func (r *CTCompare) Doc() string {
+	return "secret byte material must be compared in constant time (crypto/subtle, hmac.Equal)"
+}
+
+// Check implements Rule.
+func (r *CTCompare) Check(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				// x != nil is a presence check, not a content comparison.
+				if isNilExpr(pkg.Info, v.X) || isNilExpr(pkg.Info, v.Y) {
+					return true
+				}
+				if why, hit := r.secretOperand(pkg, v.X, v.Y); hit {
+					report(v, "variable-time %s on %s; use crypto/subtle.ConstantTimeCompare or hmac.Equal", v.Op, why)
+				}
+			case *ast.CallExpr:
+				obj := calleeObj(pkg.Info, v)
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "bytes" {
+					return true
+				}
+				if fn.Name() != "Equal" && fn.Name() != "Compare" {
+					return true
+				}
+				if why, hit := r.secretOperand(pkg, v.Args...); hit {
+					report(v, "bytes.%s on %s is variable-time; use crypto/subtle.ConstantTimeCompare or hmac.Equal", fn.Name(), why)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// secretOperand reports whether any operand is secret material, and why.
+func (r *CTCompare) secretOperand(pkg *Package, ops ...ast.Expr) (string, bool) {
+	for _, op := range ops {
+		t := typeOf(pkg.Info, op)
+		if t == nil || isUntypedNil(t) {
+			continue
+		}
+		if named := r.secretType(t, nil); named != "" {
+			return "value of secret type " + named, true
+		}
+		if isByteSeq(t) || containsByteArray(t, nil) {
+			name := exprName(op)
+			for _, w := range splitWords(name) {
+				if secretWords[w] {
+					return "secret-named value " + name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// secretType returns the name of the first named byte-carrying type from a
+// crypto package found in t, or "".
+func (r *CTCompare) secretType(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && r.secretPkgs[obj.Pkg().Path()] && containsByteArray(t, nil) {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := r.secretType(u.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return r.secretType(u.Elem(), seen)
+	}
+	return ""
+}
+
+// containsByteArray reports whether t transitively contains a byte array or
+// byte slice by value.
+func containsByteArray(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if isByteSeq(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsByteArray(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsByteArray(u.Elem(), seen)
+	}
+	return false
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil || info.Uses[id] == nil
+}

@@ -1,0 +1,11 @@
+// Package chanleak exercises the chan-leak rule: the receiver-less send in
+// bad.go must fire; the received, buffered and escaping forms in good.go
+// must not.
+package chanleak
+
+func bad() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{}
+	}()
+}

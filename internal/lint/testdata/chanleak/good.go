@@ -1,0 +1,21 @@
+package chanleak
+
+func goodReceived() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+func goodBuffered() error {
+	errs := make(chan error, 1)
+	errs <- nil
+	return <-errs
+}
+
+func goodEscapes(hand func(chan<- int)) {
+	ch := make(chan int)
+	hand(ch)
+	ch <- 1
+}

@@ -1,0 +1,29 @@
+// Package ctcompare exercises the ct-compare rule: bad.go must fire on
+// every comparison, good.go must stay silent.
+package ctcompare
+
+import (
+	"bytes"
+
+	"repro/internal/bbcrypto"
+)
+
+// badTyped compares a named secret type from a crypto package.
+func badTyped(a, b bbcrypto.Block) bool {
+	return a == b
+}
+
+// badEqual uses bytes.Equal on secret-named byte slices.
+func badEqual(macA, macB []byte) bool {
+	return bytes.Equal(macA, macB)
+}
+
+// badCompare uses bytes.Compare on secret-named byte slices.
+func badCompare(tagA, tagB []byte) int {
+	return bytes.Compare(tagA, tagB)
+}
+
+// badNamed compares secret-named byte arrays with !=.
+func badNamed(sessionKey, candidate [16]byte) bool {
+	return sessionKey != candidate
+}

@@ -1,0 +1,29 @@
+package ctcompare
+
+import (
+	"crypto/hmac"
+	"crypto/subtle"
+
+	"repro/internal/bbcrypto"
+)
+
+// goodSubtle is the required constant-time idiom for secret types.
+func goodSubtle(a, b bbcrypto.Block) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+// goodHMAC is the other accepted constant-time idiom.
+func goodHMAC(macA, macB []byte) bool {
+	return hmac.Equal(macA, macB)
+}
+
+// goodPublic compares byte material that is neither secret-typed nor
+// secret-named.
+func goodPublic(bufA, bufB [4]byte) bool {
+	return bufA == bufB
+}
+
+// goodNil is a presence check, not a content comparison.
+func goodNil(key []byte) bool {
+	return key != nil
+}

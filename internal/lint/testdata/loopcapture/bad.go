@@ -1,0 +1,12 @@
+// Package loopcapture exercises the loop-capture rule (forced on in the
+// fixture test with GoMinor < 22): the shared-variable capture in bad.go
+// must fire, the rebinding and argument-passing forms in good.go must not.
+package loopcapture
+
+func bad(items []int, out chan<- int) {
+	for _, v := range items {
+		go func() {
+			out <- v
+		}()
+	}
+}

@@ -1,0 +1,18 @@
+package loopcapture
+
+func goodRebind(items []int, out chan<- int) {
+	for _, v := range items {
+		v := v
+		go func() {
+			out <- v
+		}()
+	}
+}
+
+func goodArg(items []int, out chan<- int) {
+	for _, v := range items {
+		go func(v int) {
+			out <- v
+		}(v)
+	}
+}

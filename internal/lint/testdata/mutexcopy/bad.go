@@ -1,0 +1,19 @@
+// Package mutexcopy exercises the mutex-copy rule: both by-value lock
+// parameters in bad.go must fire, the pointer forms in good.go must not.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func bad(mu sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func badStruct(g guarded) int {
+	return g.n
+}

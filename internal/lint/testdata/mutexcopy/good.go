@@ -1,0 +1,14 @@
+package mutexcopy
+
+import "sync"
+
+func good(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func goodStruct(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

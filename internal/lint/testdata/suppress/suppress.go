@@ -1,0 +1,19 @@
+// Package suppress exercises the //lint:ignore machinery: justified
+// directives silence their finding, while unused and malformed directives
+// are themselves reported under the lint-directive pseudo-rule.
+package suppress
+
+func lineAbove() {
+	//lint:ignore todo-panic fixture demonstrating a justified suppression
+	panic("suppressed by the directive on the previous line")
+}
+
+func sameLine() {
+	panic("suppressed") //lint:ignore todo-panic fixture demonstrating same-line suppression
+}
+
+//lint:ignore weak-rand this directive matches no finding and must be reported
+var unused = 0
+
+//lint:ignore
+var malformed = 0

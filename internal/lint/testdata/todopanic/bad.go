@@ -1,0 +1,10 @@
+// Package todopanic exercises the todo-panic rule: the bare library panic
+// in bad.go must fire, the must* helper in good.go must not.
+package todopanic
+
+func Bad(n int) int {
+	if n < 0 {
+		panic("todo: negative input")
+	}
+	return n
+}

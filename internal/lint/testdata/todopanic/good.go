@@ -1,0 +1,12 @@
+package todopanic
+
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("mustPositive: non-positive input")
+	}
+	return n
+}
+
+func Checked(n int) (int, error) {
+	return mustPositive(n), nil
+}

@@ -1,0 +1,10 @@
+// Package uncheckederr exercises the unchecked-err rule: both dropped
+// errors in bad.go must fire, none of the forms in good.go may.
+package uncheckederr
+
+import "io"
+
+func bad(w io.Writer, c io.Closer) {
+	w.Write([]byte("dropped"))
+	c.Close()
+}

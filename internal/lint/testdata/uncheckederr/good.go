@@ -1,0 +1,19 @@
+package uncheckederr
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+func good(w io.Writer, c io.Closer) error {
+	if _, err := w.Write([]byte("checked")); err != nil {
+		return err
+	}
+	_, _ = w.Write([]byte("explicitly discarded"))
+	defer c.Close()
+	var b strings.Builder
+	b.WriteString("strings.Builder is documented never to fail")
+	fmt.Fprintf(w, "the fmt print family is exempt: %s", b.String())
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package allowed is on the weak-rand allowlist in the fixture test, the
+// way internal/corpus and internal/experiments are in the default rule
+// set: workload synthesis legitimately wants fast seeded randomness.
+package allowed
+
+import "math/rand"
+
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

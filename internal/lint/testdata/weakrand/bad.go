@@ -1,0 +1,9 @@
+// Package weakrand exercises the weak-rand rule: the math/rand import in
+// bad.go must fire, the crypto/rand import in good.go must not.
+package weakrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Int()
+}

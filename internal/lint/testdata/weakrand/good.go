@@ -1,0 +1,8 @@
+package weakrand
+
+import "crypto/rand"
+
+func good(p []byte) error {
+	_, err := rand.Read(p)
+	return err
+}

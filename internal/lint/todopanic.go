@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TodoPanic flags bare panic calls in library packages. A production
+// middlebox must degrade, not crash: panics are reserved for must*
+// helpers (whose name announces the contract) and for package main, where
+// top-level exits are the caller's business. Re-panics inside recover
+// handlers are allowed.
+type TodoPanic struct{}
+
+// ID implements Rule.
+func (r *TodoPanic) ID() string { return "todo-panic" }
+
+// Doc implements Rule.
+func (r *TodoPanic) Doc() string {
+	return "library code must not panic outside must* helpers; return an error"
+}
+
+// Check implements Rule.
+func (r *TodoPanic) Check(pkg *Package, report Reporter) {
+	if pkg.Pkg != nil && pkg.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					if _, builtin := obj.(*types.Builtin); !builtin {
+						return true // a shadowing local named panic
+					}
+				}
+				report(call, "panic in library function %s; return an error or move it into a must* helper", name)
+				return true
+			})
+		}
+	}
+}
+
+var _ Rule = (*TodoPanic)(nil)

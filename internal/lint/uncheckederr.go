@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErr flags call statements that drop an error return on the
+// floor. In a middlebox, an ignored transport or crypto error usually means
+// traffic silently bypasses inspection. Deliberately discarded errors must
+// be spelled `_ = f()` (visible in review) or carry a //lint:ignore.
+//
+// `defer f()` and `go f()` are not flagged (the deferred-Close idiom), and
+// neither are fmt's print family (output-only by convention, the errcheck
+// default) or writers documented never to fail (strings.Builder,
+// bytes.Buffer, hash.Hash, math/rand.Rand — see NeverFail).
+type UncheckedErr struct {
+	// NeverFail lists additional receiver types whose methods' errors are
+	// always nil (e.g. "bbcrypto.PRG"); matched against the receiver
+	// expression's type with any leading * and package-path prefix
+	// stripped.
+	NeverFail []string
+}
+
+// ID implements Rule.
+func (r *UncheckedErr) ID() string { return "unchecked-err" }
+
+// Doc implements Rule.
+func (r *UncheckedErr) Doc() string {
+	return "error returns must be handled or explicitly discarded with _ ="
+}
+
+// Check implements Rule.
+func (r *UncheckedErr) Check(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			t := typeOf(pkg.Info, call)
+			if t == nil || !returnsError(t) || r.exemptCallee(pkg.Info, call) {
+				return true
+			}
+			report(es, "result of %s includes an error that is dropped; handle it or assign to _", callDisplay(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether a call result type includes error.
+func returnsError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// neverFailDefaults are receiver types whose Write/Read/print methods are
+// documented to always return a nil error.
+var neverFailDefaults = []string{
+	"strings.Builder", "bytes.Buffer", "hash.Hash",
+	"math/rand.Rand", "math/rand/v2.Rand",
+}
+
+// exemptCallee reports whether the callee's error is conventionally
+// ignorable.
+func (r *UncheckedErr) exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := typeOf(info, sel.X); t != nil {
+			name := strings.TrimPrefix(t.String(), "*")
+			for _, never := range append(neverFailDefaults, r.NeverFail...) {
+				if name == never || strings.HasSuffix(name, "/"+never) {
+					return true
+				}
+			}
+		}
+	}
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		// Formatted printing is output-only by convention (the errcheck
+		// default most projects adopt); a failing report writer surfaces on
+		// its Close.
+		return true
+	}
+	return false
+}
+
+// callDisplay renders a compact callee name for the report message.
+func callDisplay(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}
+
+var _ Rule = (*UncheckedErr)(nil)

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// WeakRand forbids math/rand (and math/rand/v2) outside an explicit
+// allowlist. BlindBox derives garbling randomness and salts from
+// cryptographic sources (crypto/rand, or the krand-seeded AES-CTR PRG of
+// internal/bbcrypto); math/rand anywhere near those paths silently voids
+// the security proof. Synthetic-workload packages (internal/corpus,
+// internal/experiments) legitimately want fast seeded randomness and are
+// allowlisted by default.
+type WeakRand struct {
+	allow []string
+}
+
+// NewWeakRand builds the rule with the given allowlisted import paths
+// (exact match or path prefix).
+func NewWeakRand(allow []string) *WeakRand { return &WeakRand{allow: allow} }
+
+// ID implements Rule.
+func (r *WeakRand) ID() string { return "weak-rand" }
+
+// Doc implements Rule.
+func (r *WeakRand) Doc() string {
+	return "math/rand is forbidden outside synthetic-workload packages; use crypto/rand or bbcrypto.PRG"
+}
+
+// Check implements Rule.
+func (r *WeakRand) Check(pkg *Package, report Reporter) {
+	for _, a := range r.allow {
+		if pkg.ImportPath == a || strings.HasPrefix(pkg.ImportPath, a+"/") {
+			return
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				report(imp, "import of %s in a non-workload package; use crypto/rand or a krand-seeded bbcrypto.PRG", path)
+			}
+		}
+	}
+}
+
+var _ Rule = (*WeakRand)(nil)
+var _ Rule = (*CTCompare)(nil)

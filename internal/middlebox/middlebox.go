@@ -8,6 +8,7 @@ package middlebox
 
 import (
 	"crypto/ed25519"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -224,7 +225,7 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 			return err
 		}
 		for b := range labelsC[i] {
-			if labelsC[i][b] != labelsS[i][b] {
+			if subtle.ConstantTimeCompare(labelsC[i][b][:], labelsS[i][b][:]) != 1 {
 				return errors.New("middlebox: endpoints disagree on OT labels")
 			}
 		}
@@ -256,8 +257,8 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 	kill := func() {
 		stopOnce.Do(func() {
 			close(stop)
-			client.Close()
-			server.Close()
+			_ = client.Close()
+			_ = server.Close()
 		})
 	}
 	go func() {

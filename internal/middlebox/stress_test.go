@@ -1,0 +1,111 @@
+package middlebox
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// TestConcurrentSessionsStress hammers one middlebox with many concurrent
+// BlindBox sessions — a mix of clean and attack traffic, with stats and
+// alert readers running alongside the flows. Its main job is to give the
+// race detector (go test -race, part of the CI gate) real contention over
+// the per-connection flow state, the alert callback and the atomic
+// counters; it also checks that every session still echoes correctly and
+// every attack session raises an alert under load.
+func TestConcurrentSessionsStress(t *testing.T) {
+	h := newHarness(t, `alert tcp any any -> any any (msg:"kw"; content:"attackkw"; sid:7;)`, false)
+
+	// Rule preparation garbles an AES circuit per session, which is what
+	// bounds the session count here — especially under the race detector.
+	workers, sessionsPerGoro := 4, 2
+	if testing.Short() {
+		workers, sessionsPerGoro = 2, 1
+	}
+	clean := []byte("GET /home.html HTTP/1.1\r\nHost: innocent.example\r\n\r\n")
+	attack := []byte("POST /x HTTP/1.1\r\n\r\npayload with attackkw inside it")
+
+	runSession := func(msg []byte) error {
+		conn, err := transport.Dial(h.mbAddr, transport.ConnConfig{
+			Core: core.DefaultConfig(), RG: transport.RGMaterial{TagKey: h.tagKey},
+		})
+		if err != nil {
+			return fmt.Errorf("dial: %w", err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(msg); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		if err := conn.CloseWrite(); err != nil {
+			return fmt.Errorf("close write: %w", err)
+		}
+		echoed, err := io.ReadAll(conn)
+		if err != nil {
+			return fmt.Errorf("read: %w", err)
+		}
+		if !bytes.Equal(echoed, msg) {
+			return fmt.Errorf("echo mismatch: got %d bytes, want %d", len(echoed), len(msg))
+		}
+		return nil
+	}
+
+	// Observer goroutine: concurrent readers of the middlebox counters and
+	// the alert log while flows are in flight.
+	stop := make(chan struct{})
+	var observer sync.WaitGroup
+	observer.Add(1)
+	go func() {
+		defer observer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.mb.Stats()
+				_ = h.snapshot()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var attacks atomic.Int64
+	errs := make(chan error, workers*sessionsPerGoro)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < sessionsPerGoro; s++ {
+				msg := clean
+				if (w+s)%2 == 0 {
+					msg = attack
+					attacks.Add(1)
+				}
+				if err := runSession(msg); err != nil {
+					errs <- fmt.Errorf("worker %d session %d: %w", w, s, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	observer.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	want := int(attacks.Load())
+	waitFor(t, func() bool { return len(h.snapshot()) >= want })
+	if got := h.mb.Stats().TokensScanned; got == 0 {
+		t.Fatal("middlebox scanned no tokens under load")
+	}
+}

@@ -15,6 +15,7 @@
 package ruleprep
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"runtime"
@@ -196,7 +197,7 @@ func (m *Middlebox) Verify(jobS, jobR *FragmentJob) error {
 		return errors.New("ruleprep: endpoint label count mismatch")
 	}
 	for b := range jobS.EndpointLabels {
-		if jobS.EndpointLabels[b] != jobR.EndpointLabels[b] {
+		if subtle.ConstantTimeCompare(jobS.EndpointLabels[b][:], jobR.EndpointLabels[b][:]) != 1 {
 			return errors.New("ruleprep: endpoints disagree on input labels")
 		}
 	}
@@ -226,9 +227,9 @@ func (m *Middlebox) Evaluate(i int, job *FragmentJob, otLabels []bbcrypto.Block)
 	if err != nil {
 		return dpienc.TokenKey{}, err
 	}
-	var key dpienc.TokenKey
+	var key, bottom dpienc.TokenKey
 	copy(key[:], circuit.BitsToBytes(bits))
-	if key == (dpienc.TokenKey{}) {
+	if subtle.ConstantTimeCompare(key[:], bottom[:]) == 1 {
 		return dpienc.TokenKey{}, ErrUnauthorized
 	}
 	return key, nil
@@ -266,7 +267,7 @@ func RunLocal(epS, epR *Endpoint, mb *Middlebox) ([]*dpienc.TokenKey, int, error
 			return nil, 0, err
 		}
 		for b := range gotS {
-			if gotS[b] != gotR[b] {
+			if subtle.ConstantTimeCompare(gotS[b][:], gotR[b][:]) != 1 {
 				return nil, 0, errors.New("ruleprep: endpoints disagree on OT labels")
 			}
 		}

@@ -62,16 +62,23 @@ func tokenValue(t [tokenize.TokenSize]byte) *big.Int {
 	return new(big.Int).SetUint64(binary.BigEndian.Uint64(t[:]))
 }
 
+// mustInt draws a uniform value below max from crypto/rand, panicking when
+// the platform entropy pool fails (unrecoverable).
+func mustInt(max *big.Int) *big.Int {
+	v, err := rand.Int(rand.Reader, max)
+	if err != nil {
+		panic("strawman: fe randomness: " + err.Error())
+	}
+	return v
+}
+
 // Encrypt encrypts a token: the token value T is secret-shared as
 // a_1+...+a_{n-1} = T (mod q) across the vector, and component i carries
 // g^{r·a_i} for a per-ciphertext random r. One exponentiation per
 // component, as in KSW.
 func (s *FEScheme) Encrypt(t tokenize.Token) *FECiphertext {
 	T := tokenValue(t.Text)
-	r, err := rand.Int(rand.Reader, s.q)
-	if err != nil {
-		panic("strawman: fe randomness: " + err.Error())
-	}
+	r := mustInt(s.q)
 	n := feVectorLen
 	ct := &FECiphertext{C: make([]*big.Int, n)}
 	// Component 0 encodes the constant 1; components 1..n-1 share T.
@@ -79,10 +86,7 @@ func (s *FEScheme) Encrypt(t tokenize.Token) *FECiphertext {
 	exps[0] = big.NewInt(1)
 	sum := new(big.Int)
 	for i := 1; i < n-1; i++ {
-		a, err := rand.Int(rand.Reader, s.q)
-		if err != nil {
-			panic("strawman: fe randomness: " + err.Error())
-		}
+		a := mustInt(s.q)
 		exps[i] = a
 		sum.Add(sum, a)
 	}
@@ -102,10 +106,7 @@ func (s *FEScheme) Encrypt(t tokenize.Token) *FECiphertext {
 // zero exactly when the token equals the keyword.
 func (s *FEScheme) KeyGen(kw [tokenize.TokenSize]byte) *FEKey {
 	K := tokenValue(kw)
-	rho, err := rand.Int(rand.Reader, s.q)
-	if err != nil {
-		panic("strawman: fe randomness: " + err.Error())
-	}
+	rho := mustInt(s.q)
 	n := feVectorLen
 	key := &FEKey{V: make([]*big.Int, n)}
 	negK := new(big.Int).Neg(K)

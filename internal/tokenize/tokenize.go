@@ -126,6 +126,7 @@ func (t *Tokenizer) Mode() Mode { return t.mode }
 // complete, in stream order.
 func (t *Tokenizer) Append(data []byte) []Token {
 	if t.closed {
+		//lint:ignore todo-panic use-after-Flush is a caller programming error, never reachable from wire data
 		panic("tokenize: Append after Flush")
 	}
 	t.buf = append(t.buf, data...)
@@ -138,6 +139,7 @@ func (t *Tokenizer) Append(data []byte) []Token {
 // tokenizer cannot be used after Flush.
 func (t *Tokenizer) Flush() []Token {
 	if t.closed {
+		//lint:ignore todo-panic use-after-Flush is a caller programming error, never reachable from wire data
 		panic("tokenize: double Flush")
 	}
 	t.closed = true
@@ -154,9 +156,11 @@ func (t *Tokenizer) Flush() []Token {
 // the buffered text.
 func (t *Tokenizer) Skip(n int) []Token {
 	if t.closed {
+		//lint:ignore todo-panic use-after-Flush is a caller programming error, never reachable from wire data
 		panic("tokenize: Skip after Flush")
 	}
 	if n < 0 {
+		//lint:ignore todo-panic negative length is a caller programming error; stream lengths are validated at the transport layer
 		panic("tokenize: negative Skip")
 	}
 	toks := t.drain(true)
@@ -186,6 +190,7 @@ func (t *Tokenizer) drain(final bool) []Token {
 	case Delimiter:
 		return t.drainDelimiter(final)
 	default:
+		//lint:ignore todo-panic exhaustive switch over the Mode enum; a new mode without a case is a programming error
 		panic("tokenize: unknown mode")
 	}
 }
@@ -374,6 +379,7 @@ func SplitKeyword(mode Mode, kw []byte) (frags [][TokenSize]byte, rel []int) {
 		}
 		return frags, rel
 	default:
+		//lint:ignore todo-panic exhaustive switch over the Mode enum; a new mode without a case is a programming error
 		panic("tokenize: unknown mode")
 	}
 }

@@ -70,7 +70,7 @@ func Dial(addr string, cfg ConnConfig) (*Conn, error) {
 	}
 	c, err := Client(raw, cfg)
 	if err != nil {
-		raw.Close()
+		_ = raw.Close()
 		return nil, err
 	}
 	return c, nil

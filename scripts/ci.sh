@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# ci.sh — the full BlindBox verification gate, runnable locally or in CI.
+#
+#   scripts/ci.sh            # everything: vet, build, bblint, tests, race, fuzz smoke
+#   scripts/ci.sh quick      # vet + build + bblint + unit tests only
+#
+# Every stage uses only the Go toolchain; the module has no dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+FUZZTIME="${FUZZTIME:-10s}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "bblint (static analysis)"
+go run ./cmd/bblint ./...
+
+step "go test"
+go test ./...
+
+if [ "$MODE" = "quick" ]; then
+    echo "quick gate passed."
+    exit 0
+fi
+
+step "go test -race"
+go test -race ./...
+
+# Fuzz smoke: each corpus gets a short budget. `go test -fuzz` accepts a
+# single fuzz target per invocation, so loop over every target explicitly.
+step "fuzz smoke (${FUZZTIME} per target)"
+while read -r pkg target; do
+    echo "--- ${pkg} ${target}"
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+done <<'EOF'
+./internal/tokenize FuzzStreamingEquivalence
+./internal/tokenize FuzzSplitKeywordConsistency
+./internal/rules FuzzParseRule
+./internal/rules FuzzParse
+./internal/garble FuzzUnmarshal
+./internal/transport FuzzUnmarshalHello
+./internal/transport FuzzUnmarshalTokens
+./internal/transport FuzzUnmarshalByteSlices
+./internal/transport FuzzReadRecord
+./internal/dpienc FuzzEncryptRecoverRoundTrip
+./internal/dpienc FuzzCounterResetSync
+./internal/detect FuzzIndexConsistency
+EOF
+
+echo
+echo "full gate passed."
