@@ -9,6 +9,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	mrand "math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bbcrypto"
@@ -198,6 +199,70 @@ func BenchmarkDetectBlindBox3KRules(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng.ProcessToken(et)
 	}
+}
+
+// BenchmarkScanBatch3KRules: the batched detection path over record-sized
+// token batches against the 3K-rule set — the per-token overhead ScanBatch
+// amortizes relative to BenchmarkDetectBlindBox3KRules.
+func BenchmarkScanBatch3KRules(b *testing.B) {
+	eng, et := detectEngine(b, 9900, nil)
+	batch := make([]dpienc.EncryptedToken, 512)
+	for i := range batch {
+		batch[i] = et
+	}
+	var dst []detect.Event
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = eng.ScanBatch(batch, dst[:0])
+	}
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkDetectBlindBox3KRulesParallel scans record-sized batches on one
+// engine per goroutine — the middlebox pool's shard confinement without the
+// network. tokens/s is the aggregate across GOMAXPROCS engines; on >= 4
+// cores it should be >= 2x BenchmarkScanBatch3KRules' rate.
+func BenchmarkDetectBlindBox3KRulesParallel(b *testing.B) {
+	n := runtime.GOMAXPROCS(0)
+	engines := make(chan *detect.Engine, n)
+	var et dpienc.EncryptedToken
+	for i := 0; i < n; i++ {
+		eng, tok := detectEngine(b, 9900, nil)
+		et = tok
+		engines <- eng
+	}
+	batch := make([]dpienc.EncryptedToken, 512)
+	for i := range batch {
+		batch[i] = et
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		eng := <-engines
+		defer func() { engines <- eng }()
+		var dst []detect.Event
+		for pb.Next() {
+			dst = eng.ScanBatch(batch, dst[:0])
+		}
+	})
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkEncryptTokensBatch: batched DPIEnc over record-sized token
+// slices with a reused output buffer (the transport hot path).
+func BenchmarkEncryptTokensBatch(b *testing.B) {
+	s := dpienc.NewSender(bbcrypto.Block{1}, bbcrypto.Block{2}, dpienc.ProtocolII, 0)
+	toks := make([]tokenize.Token, 512)
+	for i := range toks {
+		copy(toks[i].Text[:], fmt.Sprintf("tk%06x", i%64))
+		toks[i].Offset = i * 8
+	}
+	var out []dpienc.EncryptedToken
+	b.SetBytes(512 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = s.EncryptTokensInto(out[:0], toks)
+	}
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds(), "tokens/s")
 }
 
 // BenchmarkDetectSearchable3KRules: the linear-scan strawman at 9900

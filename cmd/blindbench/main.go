@@ -4,7 +4,8 @@
 // Usage:
 //
 //	blindbench -experiment all
-//	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|setup|ablation
+//	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|pipeline|setup|ablation
+//	blindbench -experiment pipeline -parallel 4 -out BENCH_pipeline.json
 //
 // Absolute numbers reflect this host, not the paper's DPDK testbed; the
 // reproduced quantities are the comparative shapes (see EXPERIMENTS.md).
@@ -23,8 +24,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, setup, ablation")
+	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, ablation")
 	fast := flag.Bool("fast", false, "reduce sample sizes for a quicker run")
+	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = GOMAXPROCS)")
+	out := flag.String("out", "BENCH_pipeline.json", "path for the pipeline experiment's machine-readable result (empty disables)")
 	flag.Parse()
 
 	runners := map[string]func(fast bool) error{
@@ -36,10 +39,11 @@ func main() {
 		"fig6":       runFig6,
 		"accuracy":   runAccuracy,
 		"throughput": runThroughput,
+		"pipeline":   func(fast bool) error { return runPipeline(fast, *parallel, *out) },
 		"setup":      runSetup,
 		"ablation":   runAblation,
 	}
-	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "setup", "ablation"}
+	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "ablation"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -145,6 +149,28 @@ func runThroughput(fast bool) error {
 		}
 		fmt.Printf("aggregate over %d parallel connections: %.0f Mbps (GOMAXPROCS=%d)\n",
 			conns, agg, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+func runPipeline(fast bool, workers int, out string) error {
+	opt := experiments.DefaultPipelineOptions()
+	opt.Workers = workers
+	if fast {
+		opt.Rules = 500
+		opt.TrafficBytes = 1 << 20
+		opt.Conns = 4
+	}
+	res, err := experiments.Pipeline(opt)
+	if err != nil {
+		return err
+	}
+	experiments.PrintPipeline(os.Stdout, res)
+	if out != "" {
+		if err := experiments.WritePipelineJSON(out, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
 	}
 	return nil
 }

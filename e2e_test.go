@@ -1,0 +1,280 @@
+// End-to-end conformance suite: full client -> middlebox -> server sessions
+// over all three protocols, run once through the sequential pipeline and
+// once through the parallel one (sharded detection pool + parallel sender
+// encryption). Detection must be equivalent — same alerts, same order
+// within each connection direction — on the same seeded corpora.
+package blindbox
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/detect"
+	"repro/internal/middlebox"
+)
+
+// canonAlert is an Alert reduced to its pipeline-independent fields: the
+// recovered key value is excluded (session keys differ per run), but
+// whether a key was recovered is kept.
+type canonAlert struct {
+	Secondary bool
+	SIDs      string
+	Kind      detect.EventKind
+	SID       int
+	KwIdx     int
+	Offset    int
+	HasKey    bool
+}
+
+func canonicalize(a Alert) canonAlert {
+	c := canonAlert{Secondary: a.Secondary}
+	if a.Secondary {
+		c.SIDs = fmt.Sprint(a.SecondarySIDs)
+		return c
+	}
+	c.Kind = a.Event.Kind
+	if a.Event.Rule != nil {
+		c.SID = a.Event.Rule.SID
+	}
+	c.KwIdx = a.Event.KeywordIndex
+	c.Offset = a.Event.Offset
+	c.HasKey = a.Event.HasSSLKey
+	return c
+}
+
+// dirAlerts groups one session's canonical alerts by direction: alerts are
+// ordered within a direction, unordered across directions.
+type dirAlerts map[middlebox.Direction][]canonAlert
+
+type conformanceCase struct {
+	name      string
+	cfg       Config
+	rulesText string
+	secondary bool
+}
+
+func conformanceCases() []conformanceCase {
+	single := strings.Join([]string{
+		`alert tcp any any -> any any (msg:"kw1"; content:"attack01"; sid:1;)`,
+		`alert tcp any any -> any any (msg:"kw2"; content:"exfilkw9"; sid:2;)`,
+	}, "\n")
+	multi := single + "\n" +
+		`alert tcp any any -> any any (msg:"multi"; content:"evilhdrX"; content:"attack01"; sid:3;)`
+	ids := multi + "\n" +
+		`alert tcp any any -> any any (msg:"pc"; content:"attack01"; pcre:"/attack01=[0-9]+/"; sid:4;)`
+	return []conformanceCase{
+		{"protocolI-delimiter", Config{Protocol: ProtocolI, Mode: DelimiterTokens}, single, false},
+		{"protocolII-delimiter", Config{Protocol: ProtocolII, Mode: DelimiterTokens}, multi, false},
+		{"protocolIII-window", Config{Protocol: ProtocolIII, Mode: WindowTokens}, ids, true},
+	}
+}
+
+// conformancePayload builds one seeded traffic sample with the suite's
+// attack keywords planted at delimiter boundaries.
+func conformancePayload(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	base := corpus.SynthesizeText(rng, n)
+	kws := []string{"attack01", "exfilkw9", "evilhdrX", "attack01=777"}
+	var buf bytes.Buffer
+	chunk := len(base) / (len(kws) + 1)
+	for i, kw := range kws {
+		buf.Write(base[i*chunk : (i+1)*chunk])
+		buf.WriteString(" " + kw + " ")
+	}
+	buf.Write(base[(len(kws))*chunk:])
+	return buf.Bytes()
+}
+
+// runConformance drives `sessions` sequential client sessions through one
+// middlebox and returns each session's per-direction alert sequences. The
+// parallel variant turns on every concurrency feature this PR adds; the
+// sequential variant turns them all off.
+func runConformance(t *testing.T, tc conformanceCase, sequential bool, sessions int) []dirAlerts {
+	t.Helper()
+	g, err := NewRuleGenerator("ConformanceRG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ParseRules("e2e", tc.rulesText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu     sync.Mutex
+		alerts []Alert
+	)
+	mbCfg := MiddleboxConfig{
+		Ruleset:     g.Sign(rs),
+		RGPublicKey: g.PublicKey(),
+		Secondary:   tc.secondary,
+		Sequential:  sequential,
+		OnAlert: func(a Alert) {
+			mu.Lock()
+			alerts = append(alerts, a)
+			mu.Unlock()
+		},
+	}
+	if !sequential {
+		mbCfg.DetectShards = 4
+		mbCfg.ShardQueue = 8 // small queue: exercise back-pressure
+	}
+	mb, err := NewMiddlebox(mbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLn.Close()
+	mbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mbLn.Close()
+	epCfg := ConnConfig{Core: DefaultConfig(), RG: RGMaterial{TagKey: g.TagKey()}}
+	go func() {
+		for {
+			raw, err := serverLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn, err := Server(raw, epCfg)
+				if err != nil {
+					raw.Close()
+					return
+				}
+				data, err := io.ReadAll(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				conn.Write(data)
+				conn.CloseWrite()
+				conn.Close()
+			}()
+		}
+	}()
+	go mb.Serve(mbLn, serverLn.Addr().String())
+
+	for s := 0; s < sessions; s++ {
+		ccfg := ConnConfig{Core: tc.cfg, RG: RGMaterial{TagKey: g.TagKey()}}
+		if !sequential {
+			ccfg.EncryptWorkers = 3
+		}
+		conn, err := Dial(mbLn.Addr().String(), ccfg)
+		if err != nil {
+			t.Fatalf("session %d: %v", s, err)
+		}
+		payload := conformancePayload(1000+int64(s), 8<<10)
+		for off := 0; off < len(payload); off += 3000 {
+			end := off + 3000
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := conn.Write(payload[off:end]); err != nil {
+				t.Fatalf("session %d write: %v", s, err)
+			}
+		}
+		if err := conn.CloseWrite(); err != nil {
+			t.Fatalf("session %d: %v", s, err)
+		}
+		echoed, err := io.ReadAll(conn)
+		if err != nil {
+			t.Fatalf("session %d read: %v", s, err)
+		}
+		if !bytes.Equal(echoed, payload) {
+			t.Fatalf("session %d echo mismatch: %d bytes, want %d", s, len(echoed), len(payload))
+		}
+		conn.Close()
+	}
+	// Drain queued detection work so the alert log is complete.
+	if err := mb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	byConn := map[uint64]dirAlerts{}
+	for _, a := range alerts {
+		da, ok := byConn[a.ConnID]
+		if !ok {
+			da = dirAlerts{}
+			byConn[a.ConnID] = da
+		}
+		da[a.Direction] = append(da[a.Direction], canonicalize(a))
+	}
+	if len(byConn) != sessions {
+		t.Fatalf("%d connections alerted, want %d (every session carries attack keywords)",
+			len(byConn), sessions)
+	}
+	// Sessions ran one after another, so ascending ConnID is session order.
+	ids := make([]uint64, 0, len(byConn))
+	for id := range byConn {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]dirAlerts, 0, sessions)
+	for _, id := range ids {
+		out = append(out, byConn[id])
+	}
+	return out
+}
+
+// TestE2EConformanceSequentialVsParallel is the suite's core claim: for
+// identical seeded corpora, the parallel pipeline (sharded detection, small
+// shard queues, parallel sender encryption) produces exactly the alert
+// sequences of the sequential pipeline, per session and direction, on all
+// three protocols.
+func TestE2EConformanceSequentialVsParallel(t *testing.T) {
+	sessions := 3
+	if testing.Short() {
+		sessions = 2
+	}
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := runConformance(t, tc, true, sessions)
+			par := runConformance(t, tc, false, sessions)
+			total := 0
+			for s := 0; s < sessions; s++ {
+				for _, dir := range []middlebox.Direction{middlebox.ClientToServer, middlebox.ServerToClient} {
+					a, b := seq[s][dir], par[s][dir]
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("session %d %s: alert sequences differ\nsequential: %+v\nparallel:   %+v",
+							s, dir, a, b)
+					}
+					total += len(a)
+				}
+			}
+			if total == 0 {
+				t.Fatal("no alerts on either pipeline — the conformance check was vacuous")
+			}
+			if tc.cfg.Protocol == ProtocolIII {
+				recovered := false
+				for s := 0; s < sessions; s++ {
+					for _, as := range seq[s] {
+						for _, a := range as {
+							if a.HasKey || a.Secondary {
+								recovered = true
+							}
+						}
+					}
+				}
+				if !recovered {
+					t.Fatal("Protocol III conformance ran without probable-cause recovery")
+				}
+			}
+		})
+	}
+}

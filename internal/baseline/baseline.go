@@ -7,6 +7,8 @@
 package baseline
 
 import (
+	"sort"
+
 	"repro/internal/ahocorasick"
 	"repro/internal/rules"
 )
@@ -91,6 +93,9 @@ func (ids *IDS) Inspect(payload []byte) Result {
 			res.RuleSIDs = append(res.RuleSIDs, rule.SID)
 		}
 	}
+	// The keyword-offset pass above iterates a map; sort so Inspect is
+	// deterministic for a given payload (alert conformance depends on it).
+	sort.Ints(res.RuleSIDs)
 	return res
 }
 

@@ -9,6 +9,7 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/bbcrypto"
 	"repro/internal/detect"
@@ -48,6 +49,9 @@ type SenderPipeline struct {
 	cfg Config
 	tk  *tokenize.Tokenizer
 	enc *dpienc.Sender
+	// workers is the fan-out of the stateless AES step; <=1 keeps it on
+	// the calling goroutine.
+	workers int
 }
 
 // NewSenderPipeline creates the sender side of one connection direction.
@@ -59,28 +63,73 @@ func NewSenderPipeline(keys bbcrypto.SessionKeys, cfg Config) *SenderPipeline {
 	}
 }
 
+// SetParallelism sets the number of goroutines used for the stateless AES
+// step of token encryption: n of 1 (the default) keeps encryption on the
+// calling goroutine, n > 1 fans each batch out over up to n goroutines, and
+// n <= 0 means GOMAXPROCS. The §3.2 counter-table assignment is always
+// sequential, so parallelism never changes the produced token stream —
+// only how fast it is computed.
+func (p *SenderPipeline) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.workers = n
+}
+
+// Parallelism reports the configured AES fan-out.
+func (p *SenderPipeline) Parallelism() int {
+	if p.workers <= 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// encryptInto routes a token batch through the sequential or parallel
+// encryptor, reusing dst's backing array when large enough.
+func (p *SenderPipeline) encryptInto(dst []dpienc.EncryptedToken, toks []tokenize.Token) []dpienc.EncryptedToken {
+	if p.workers > 1 {
+		return p.enc.EncryptTokensParallelInto(dst, toks, p.workers)
+	}
+	return p.enc.EncryptTokensInto(dst, toks)
+}
+
 // ProcessText tokenizes and encrypts a chunk of inspectable (text) payload,
 // returning the encrypted tokens and, if the counter table reset, the salt
 // announcement. The reset is checked before encrypting, so an announced
 // salt always precedes the tokens that use it.
 func (p *SenderPipeline) ProcessText(data []byte) ([]dpienc.EncryptedToken, *SaltReset) {
+	return p.ProcessTextInto(nil, data)
+}
+
+// ProcessTextInto is ProcessText writing the encrypted tokens into dst's
+// backing array when it has capacity — the allocation-free form the
+// transport hot path pairs with dpienc.GetTokenBuf/PutTokenBuf.
+func (p *SenderPipeline) ProcessTextInto(dst []dpienc.EncryptedToken, data []byte) ([]dpienc.EncryptedToken, *SaltReset) {
 	reset := p.accountAndMaybeReset(len(data))
-	toks := p.tk.Append(data)
-	return p.enc.EncryptTokens(toks), reset
+	return p.encryptInto(dst, p.tk.Append(data)), reset
 }
 
 // ProcessBinary accounts for payload the IDS does not inspect (images,
 // video): no new tokens are formed, but stream offsets advance and
 // buffered text is finalized (possibly emitting its trailing tokens).
 func (p *SenderPipeline) ProcessBinary(n int) ([]dpienc.EncryptedToken, *SaltReset) {
+	return p.ProcessBinaryInto(nil, n)
+}
+
+// ProcessBinaryInto is ProcessBinary reusing dst's backing array.
+func (p *SenderPipeline) ProcessBinaryInto(dst []dpienc.EncryptedToken, n int) ([]dpienc.EncryptedToken, *SaltReset) {
 	reset := p.accountAndMaybeReset(n)
-	toks := p.tk.Skip(n)
-	return p.enc.EncryptTokens(toks), reset
+	return p.encryptInto(dst, p.tk.Skip(n)), reset
 }
 
 // Flush finalizes the stream, returning the trailing tokens.
 func (p *SenderPipeline) Flush() []dpienc.EncryptedToken {
-	return p.enc.EncryptTokens(p.tk.Flush())
+	return p.FlushInto(nil)
+}
+
+// FlushInto is Flush reusing dst's backing array.
+func (p *SenderPipeline) FlushInto(dst []dpienc.EncryptedToken) []dpienc.EncryptedToken {
+	return p.encryptInto(dst, p.tk.Flush())
 }
 
 func (p *SenderPipeline) accountAndMaybeReset(n int) *SaltReset {

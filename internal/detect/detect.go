@@ -202,14 +202,34 @@ func (e *Engine) Reset(salt0 uint64) {
 }
 
 // ProcessToken runs one encrypted token through BlindBox Detect and returns
-// any detection events. Tokens must be processed in stream order.
+// any detection events. Tokens must be processed in stream order. For batch
+// workloads prefer ScanBatch, which amortizes call overhead and reuses the
+// caller's event buffer.
 func (e *Engine) ProcessToken(et dpienc.EncryptedToken) []Event {
+	return e.scanToken(et, nil)
+}
+
+// ScanBatch runs a batch of encrypted tokens (in stream order) through the
+// engine, appending detection events to dst and returning the extended
+// slice. Events appear in the same stream-offset order per-token Scan
+// (ProcessToken) would produce. Passing dst with spare capacity — typically
+// a buffer reused across batches, truncated with dst[:0] — makes the hot
+// path allocation-free.
+func (e *Engine) ScanBatch(ets []dpienc.EncryptedToken, dst []Event) []Event {
+	for i := range ets {
+		dst = e.scanToken(ets[i], dst)
+	}
+	return dst
+}
+
+// scanToken is the per-token §3.2 step shared by ProcessToken and
+// ScanBatch; it appends events to dst.
+func (e *Engine) scanToken(et dpienc.EncryptedToken, dst []Event) []Event {
 	e.tokensSeen++
 	hits := e.index.Lookup(et.C1)
 	if len(hits) == 0 {
-		return nil
+		return dst
 	}
-	var events []Event
 	for _, ent := range hits {
 		// §3.2 steps 1.1.2–1.1.3: advance the counter, re-encrypt, and
 		// replace the node in the search structure.
@@ -220,24 +240,25 @@ func (e *Engine) ProcessToken(et dpienc.EncryptedToken) []Event {
 		e.index.Update(ent, old, ent.cur)
 
 		for _, ref := range ent.refs {
-			events = append(events, e.recordFragment(ref, ent, et, saltUsed)...)
+			dst = e.recordFragment(ref, ent, et, saltUsed, dst)
 		}
 	}
 	e.maybePrune(et.Offset)
-	return events
+	return dst
 }
 
-// recordFragment folds one fragment sighting into keyword and rule state.
-func (e *Engine) recordFragment(ref fragRef, ent *entry, et dpienc.EncryptedToken, saltUsed uint64) []Event {
+// recordFragment folds one fragment sighting into keyword and rule state,
+// appending resulting events to dst.
+func (e *Engine) recordFragment(ref fragRef, ent *entry, et dpienc.EncryptedToken, saltUsed uint64, dst []Event) []Event {
 	ks := ref.kw
 	start := et.Offset - ks.rel[ref.idx]
 	if start < 0 {
-		return nil
+		return dst
 	}
 	bits := ks.cands[start] | 1<<uint(ref.idx)
 	ks.cands[start] = bits
 	if bits != (uint64(1)<<uint(ks.nFrags))-1 {
-		return nil
+		return dst
 	}
 	delete(ks.cands, start)
 	if len(ks.matchOffsets) < maxMatchOffsets {
@@ -255,16 +276,16 @@ func (e *Engine) recordFragment(ref fragRef, ent *entry, et dpienc.EncryptedToke
 		ev.SSLKey = dpienc.RecoverSSLKey(ent.tk, saltUsed, et.C2)
 		ev.HasSSLKey = true
 	}
-	events := []Event{ev}
+	dst = append(dst, ev)
 	if !ks.rule.alerted && e.ruleSatisfied(ks.rule) {
 		ks.rule.alerted = true
 		rev := Event{Kind: RuleMatch, Rule: ks.rule.rule, Offset: start}
 		if ev.HasSSLKey {
 			rev.SSLKey, rev.HasSSLKey = ev.SSLKey, true
 		}
-		events = append(events, rev)
+		dst = append(dst, rev)
 	}
-	return events
+	return dst
 }
 
 // ruleSatisfied reports whether every keyword of the rule has a match

@@ -1,0 +1,153 @@
+// Batched and parallel DPIEnc encryption. The §3.2 counter table makes
+// token *assignment* (which salt encrypts which occurrence) inherently
+// sequential, but once a token's salt is fixed, the AES work is independent
+// of every other token. This file splits encryption into those two steps so
+// batches amortize per-token call overhead and the AES step can fan out
+// across cores while preserving exact stream order.
+
+package dpienc
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/tokenize"
+)
+
+// TokenAssignment is the counter-table outcome for one token: the cached
+// per-token AES cipher and the salt its next occurrence must be encrypted
+// under. Assignments are produced in stream order by AssignTokens; after
+// that, encrypting them is order-independent.
+type TokenAssignment struct {
+	blk    cipher.Block
+	salt   uint64
+	offset int
+}
+
+// AssignTokens advances the §3.2 counter table over toks (which must be in
+// stream order) and appends one assignment per token to dst, returning the
+// extended slice. This is the only stateful step of token encryption; the
+// returned assignments may then be encrypted in any order, or concurrently
+// on disjoint ranges, via EncryptAssigned.
+func (s *Sender) AssignTokens(toks []tokenize.Token, dst []TokenAssignment) []TokenAssignment {
+	stride := s.saltStride()
+	for _, t := range toks {
+		blk, ok := s.keys[t.Text]
+		if !ok {
+			tk := ComputeTokenKey(s.k, t.Text)
+			blk = bbcrypto.NewAES(tk)
+			s.keys[t.Text] = blk
+		}
+		ct := s.counts[t.Text]
+		s.counts[t.Text] = ct + stride
+		if ct+stride > s.maxCt {
+			s.maxCt = ct + stride
+		}
+		dst = append(dst, TokenAssignment{blk: blk, salt: s.salt0 + ct, offset: t.Offset})
+	}
+	return dst
+}
+
+// EncryptAssigned encrypts assigned[i] into out[i] for every assignment
+// (out must be at least as long as assigned). It reads only immutable
+// Sender state (protocol, kSSL) and the stateless AES ciphers, so disjoint
+// (assigned, out) ranges of one batch may be encrypted concurrently.
+func (s *Sender) EncryptAssigned(assigned []TokenAssignment, out []EncryptedToken) {
+	protoIII := s.protocol == ProtocolIII
+	for i, a := range assigned {
+		out[i].Offset = a.offset
+		out[i].C1 = encryptWith(a.blk, a.salt)
+		if protoIII {
+			var pt, full bbcrypto.Block
+			binary.BigEndian.PutUint64(pt[8:], a.salt+1)
+			a.blk.Encrypt(full[:], pt[:])
+			out[i].C2 = full.XOR(s.kSSL)
+		} else {
+			out[i].C2 = bbcrypto.Block{}
+		}
+	}
+}
+
+// minParallelBatch is the batch size below which fanning encryption out to
+// worker goroutines costs more than it saves.
+const minParallelBatch = 128
+
+// EncryptAssignedParallel is EncryptAssigned with the AES work split across
+// up to `workers` goroutines. Each worker owns a contiguous range of the
+// batch, so out keeps exact stream order; small batches fall back to the
+// sequential path.
+func (s *Sender) EncryptAssignedParallel(assigned []TokenAssignment, out []EncryptedToken, workers int) {
+	if workers > len(assigned)/minParallelBatch {
+		workers = len(assigned) / minParallelBatch
+	}
+	if workers <= 1 {
+		s.EncryptAssigned(assigned, out)
+		return
+	}
+	chunk := (len(assigned) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < len(assigned); start += chunk {
+		end := start + chunk
+		if end > len(assigned) {
+			end = len(assigned)
+		}
+		wg.Add(1)
+		go func(a []TokenAssignment, o []EncryptedToken) {
+			defer wg.Done()
+			s.EncryptAssigned(a, o)
+		}(assigned[start:end], out[start:end])
+	}
+	wg.Wait()
+}
+
+// EncryptTokensInto encrypts a batch of tokens in order, reusing dst's
+// backing array when it is large enough. The assignment scratch buffer
+// lives on the Sender, so steady-state batch encryption allocates nothing.
+func (s *Sender) EncryptTokensInto(dst []EncryptedToken, toks []tokenize.Token) []EncryptedToken {
+	s.scratch = s.AssignTokens(toks, s.scratch[:0])
+	dst = GrowTokenBuf(dst, len(toks))
+	s.EncryptAssigned(s.scratch, dst)
+	return dst
+}
+
+// EncryptTokensParallelInto is EncryptTokensInto with the stateless AES
+// step fanned out across up to `workers` goroutines. The counter-table
+// assignment stays sequential, so the produced stream is byte-identical to
+// the sequential path.
+func (s *Sender) EncryptTokensParallelInto(dst []EncryptedToken, toks []tokenize.Token, workers int) []EncryptedToken {
+	s.scratch = s.AssignTokens(toks, s.scratch[:0])
+	dst = GrowTokenBuf(dst, len(toks))
+	s.EncryptAssignedParallel(s.scratch, dst, workers)
+	return dst
+}
+
+// GrowTokenBuf resizes buf to n elements, reallocating only when the
+// capacity is insufficient.
+func GrowTokenBuf(buf []EncryptedToken, n int) []EncryptedToken {
+	if cap(buf) < n {
+		return make([]EncryptedToken, n)
+	}
+	return buf[:n]
+}
+
+// tokenBufPool recycles encrypted-token batch buffers across connections:
+// the sender hot path produces one ciphertext slice per data record, and at
+// millions of flows those allocations dominate the encryption cost.
+var tokenBufPool = sync.Pool{
+	New: func() any { return make([]EncryptedToken, 0, 512) },
+}
+
+// GetTokenBuf returns a reusable encrypted-token buffer of length zero.
+// Return it with PutTokenBuf once the batch has been marshaled or consumed;
+// the contents must not be retained afterwards.
+func GetTokenBuf() []EncryptedToken {
+	return tokenBufPool.Get().([]EncryptedToken)[:0]
+}
+
+// PutTokenBuf recycles a buffer obtained from GetTokenBuf (growing it in
+// the meantime is fine — the grown backing array is what gets pooled).
+func PutTokenBuf(buf []EncryptedToken) {
+	tokenBufPool.Put(buf[:0])
+}

@@ -1,0 +1,131 @@
+package dpienc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/tokenize"
+)
+
+// randomStream builds a seeded token stream with plenty of repeats, so the
+// counter table exercises multi-occurrence salts.
+func randomStream(rng *rand.Rand, n int) []tokenize.Token {
+	vocab := make([][tokenize.TokenSize]byte, 1+rng.Intn(8))
+	for i := range vocab {
+		rng.Read(vocab[i][:])
+	}
+	toks := make([]tokenize.Token, n)
+	off := 0
+	for i := range toks {
+		toks[i].Text = vocab[rng.Intn(len(vocab))]
+		toks[i].Offset = off
+		off += 1 + rng.Intn(4)
+	}
+	return toks
+}
+
+func tokensEqual(a, b EncryptedToken) bool {
+	return a.C1 == b.C1 && a.C2 == b.C2 && a.Offset == b.Offset
+}
+
+// TestEncryptTokensMatchesEncryptToken is the batch/sequential differential
+// property of the issue: for 1k randomized seeded streams, EncryptTokens
+// over any partition of the stream yields exactly the per-token
+// EncryptToken results, under every protocol.
+func TestEncryptTokensMatchesEncryptToken(t *testing.T) {
+	k := bbcrypto.DeriveBlock([]byte("batch-test"), "k")
+	kSSL := bbcrypto.DeriveBlock([]byte("batch-test"), "kssl")
+	for iter := 0; iter < 1000; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		proto := Protocol(1 + iter%3)
+		salt0 := rng.Uint64() >> 1
+		stream := randomStream(rng, 1+rng.Intn(96))
+
+		seq := NewSender(k, kSSL, proto, salt0)
+		want := make([]EncryptedToken, len(stream))
+		for i, tok := range stream {
+			want[i] = seq.EncryptToken(tok)
+		}
+
+		batch := NewSender(k, kSSL, proto, salt0)
+		var buf []EncryptedToken
+		var got []EncryptedToken
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(len(stream)-off)
+			buf = batch.EncryptTokensInto(buf, stream[off:off+n])
+			got = append(got, buf...)
+			off += n
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d batch tokens, want %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			if !tokensEqual(got[i], want[i]) {
+				t.Fatalf("iter %d proto %s: token %d differs: %+v vs %+v",
+					iter, proto, i, got[i], want[i])
+			}
+		}
+		// Counter tables must have advanced identically.
+		if seq.maxCt != batch.maxCt || len(seq.counts) != len(batch.counts) {
+			t.Fatalf("iter %d: counter tables diverged", iter)
+		}
+	}
+}
+
+// TestEncryptAssignedParallelMatchesSequential pins that the parallel AES
+// fan-out preserves exact stream order and values.
+func TestEncryptAssignedParallelMatchesSequential(t *testing.T) {
+	k := bbcrypto.DeriveBlock([]byte("par-test"), "k")
+	kSSL := bbcrypto.DeriveBlock([]byte("par-test"), "kssl")
+	for _, proto := range []Protocol{ProtocolII, ProtocolIII} {
+		rng := rand.New(rand.NewSource(42))
+		stream := randomStream(rng, 4096)
+
+		a := NewSender(k, kSSL, proto, 7)
+		asgA := a.AssignTokens(stream, nil)
+		seq := make([]EncryptedToken, len(stream))
+		a.EncryptAssigned(asgA, seq)
+
+		b := NewSender(k, kSSL, proto, 7)
+		asgB := b.AssignTokens(stream, nil)
+		for _, workers := range []int{1, 2, 3, 8, 64} {
+			par := make([]EncryptedToken, len(stream))
+			b.EncryptAssignedParallel(asgB, par, workers)
+			for i := range seq {
+				if !tokensEqual(par[i], seq[i]) {
+					t.Fatalf("proto %s workers %d: token %d differs", proto, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTokenBufPool checks the pooled buffers start empty and survive growth.
+func TestTokenBufPool(t *testing.T) {
+	buf := GetTokenBuf()
+	if len(buf) != 0 {
+		t.Fatalf("pooled buffer has length %d", len(buf))
+	}
+	buf = append(buf, EncryptedToken{Offset: 1})
+	PutTokenBuf(buf)
+	again := GetTokenBuf()
+	if len(again) != 0 {
+		t.Fatalf("recycled buffer has length %d", len(again))
+	}
+	PutTokenBuf(again)
+}
+
+// TestEncryptTokensIntoReusesBuffer pins the zero-allocation steady state:
+// a large-enough dst is reused, not reallocated.
+func TestEncryptTokensIntoReusesBuffer(t *testing.T) {
+	s := NewSender(bbcrypto.Block{1}, bbcrypto.Block{2}, ProtocolII, 0)
+	rng := rand.New(rand.NewSource(9))
+	stream := randomStream(rng, 64)
+	dst := make([]EncryptedToken, 0, 128)
+	out := s.EncryptTokensInto(dst, stream)
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("EncryptTokensInto reallocated despite sufficient capacity")
+	}
+}

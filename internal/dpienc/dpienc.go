@@ -146,6 +146,10 @@ type Sender struct {
 	// AES call but caching also saves the AES key schedule for repeats.
 	keys map[[tokenize.TokenSize]byte]cipher.Block
 
+	// scratch is the reusable assignment buffer of the batch path
+	// (EncryptTokensInto): batches allocate nothing in steady state.
+	scratch []TokenAssignment
+
 	bytesSinceReset int
 	resetInterval   int
 }
@@ -210,13 +214,12 @@ func (s *Sender) EncryptToken(t tokenize.Token) EncryptedToken {
 	return out
 }
 
-// EncryptTokens encrypts a batch of tokens in order.
+// EncryptTokens encrypts a batch of tokens in order. It is the allocating
+// convenience form of EncryptTokensInto (see batch.go), which amortizes
+// per-token call overhead by splitting counter-table assignment from the
+// AES work.
 func (s *Sender) EncryptTokens(toks []tokenize.Token) []EncryptedToken {
-	out := make([]EncryptedToken, len(toks))
-	for i, t := range toks {
-		out[i] = s.EncryptToken(t)
-	}
-	return out
+	return s.EncryptTokensInto(nil, toks)
 }
 
 // AccountBytes informs the sender that n bytes of traffic were processed.

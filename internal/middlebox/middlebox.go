@@ -60,8 +60,14 @@ type Config struct {
 	Ruleset *rules.SignedRuleset
 	// RGPublicKey verifies the ruleset's provenance.
 	RGPublicKey ed25519.PublicKey
-	// OnAlert receives detection reports; may be nil. Called from
-	// detection goroutines.
+	// OnAlert receives detection reports; may be nil. It is called from
+	// detection goroutines and MUST be safe for concurrent use: with the
+	// parallel pipeline, alerts of different connections (and of the two
+	// directions of one connection) may be delivered concurrently and in
+	// any relative order. Within one connection direction, alerts are
+	// always delivered in stream order — the flow is pinned to a single
+	// detection shard. A slow OnAlert stalls its shard (back-pressure),
+	// never loses alerts.
 	OnAlert func(Alert)
 	// NewIndex supplies the detection search structure per engine; nil
 	// uses the paper's tree.
@@ -69,6 +75,18 @@ type Config struct {
 	// Secondary enables the Protocol III decryption element and
 	// secondary full-rules inspection of flows with probable cause.
 	Secondary bool
+	// Sequential disables the sharded detection pool and runs detection
+	// inline on the forwarding goroutines, as the seed implementation
+	// did. Used by the conformance suite to compare pipelines; production
+	// configurations should leave it false.
+	Sequential bool
+	// DetectShards overrides the number of detection worker shards
+	// (default GOMAXPROCS). Each shard is one goroutine owning the
+	// engines of the flows pinned to it.
+	DetectShards int
+	// ShardQueue overrides the per-shard bounded queue depth in token
+	// batches (default 64). Smaller values tighten back-pressure.
+	ShardQueue int
 }
 
 // Stats aggregates middlebox counters.
@@ -85,11 +103,22 @@ type Stats struct {
 type Middlebox struct {
 	cfg       Config
 	secondary *baseline.IDS
+	pool      *detectPool
 	connSeq   atomic.Uint64
-	stats     struct {
+
+	// lifecycle: Close waits for active connections, then drains the
+	// detection pool.
+	mu     sync.Mutex
+	closed bool
+	connWG sync.WaitGroup
+
+	stats struct {
 		tokens, bytes, alerts, blocked, conns, keys atomic.Uint64
 	}
 }
+
+// ErrClosed is returned for connections arriving after Close.
+var ErrClosed = errors.New("middlebox: closed")
 
 // New validates the ruleset signature and builds the middlebox.
 func New(cfg Config) (*Middlebox, error) {
@@ -103,7 +132,41 @@ func New(cfg Config) (*Middlebox, error) {
 	if cfg.Secondary {
 		mb.secondary = baseline.New(cfg.Ruleset.Ruleset)
 	}
+	if !cfg.Sequential {
+		mb.pool = newDetectPool(mb, cfg.DetectShards, cfg.ShardQueue)
+	}
 	return mb, nil
+}
+
+// beginConn registers one active connection, failing after Close.
+func (mb *Middlebox) beginConn() error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.connWG.Add(1)
+	return nil
+}
+
+// Close drains the middlebox: it stops admitting connections, waits for
+// in-flight connections to finish (callers should close their listeners
+// first, or kill connections, so this terminates), then drains the
+// detection shards so every queued batch is scanned and every alert
+// delivered. Close is idempotent.
+func (mb *Middlebox) Close() error {
+	mb.mu.Lock()
+	wasClosed := mb.closed
+	mb.closed = true
+	mb.mu.Unlock()
+	if wasClosed {
+		return nil
+	}
+	mb.connWG.Wait()
+	if mb.pool != nil {
+		mb.pool.close()
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -150,6 +213,10 @@ func (mb *Middlebox) HandleConn(client net.Conn, forwardAddr string) error {
 
 // Interpose runs the middlebox over two established transports.
 func (mb *Middlebox) Interpose(client, server net.Conn) error {
+	if err := mb.beginConn(); err != nil {
+		return err
+	}
+	defer mb.connWG.Done()
 	id := mb.connSeq.Add(1)
 	mb.stats.conns.Add(1)
 
@@ -245,29 +312,29 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 		}
 	}
 
-	// 3. Detection threads: one per direction.
+	// 3. Detection: one forwarding goroutine per direction. With the
+	// parallel pipeline the forwarding goroutines stay I/O-bound and the
+	// scanning happens on the flows' detection shards (see pool.go).
 	var idx1, idx2 detect.Index
 	if mb.cfg.NewIndex != nil {
 		idx1, idx2 = mb.cfg.NewIndex(), mb.cfg.NewIndex()
 	}
 	var fwdWG sync.WaitGroup
 	fwdWG.Add(2)
-	stop := make(chan struct{})
 	var stopOnce sync.Once
 	kill := func() {
 		stopOnce.Do(func() {
-			close(stop)
 			_ = client.Close()
 			_ = server.Close()
 		})
 	}
 	go func() {
 		defer fwdWG.Done()
-		mb.forward(id, ClientToServer, client, server, mb.newFlow(cfg, keys, idx1), kill)
+		mb.forward(client, server, mb.newFlow(id, ClientToServer, cfg, keys, idx1, kill))
 	}()
 	go func() {
 		defer fwdWG.Done()
-		mb.forward(id, ServerToClient, server, client, mb.newFlow(cfg, keys, idx2), kill)
+		mb.forward(server, client, mb.newFlow(id, ServerToClient, cfg, keys, idx2, kill))
 	}()
 	fwdWG.Wait()
 	return nil
@@ -378,10 +445,27 @@ func (mb *Middlebox) runPrep(leg net.Conn, prep *ruleprep.Middlebox) ([]*rulepre
 	return jobs, perFrag, nil
 }
 
-// flow is per-direction detection state.
+// flow is per-direction detection state. With the parallel pipeline its
+// mutable fields are confined: the engine and the probable-cause state are
+// touched either by the flow's single detection shard (during jobs) or by
+// the forwarding goroutine strictly after a detection barrier (flow.wait),
+// never concurrently.
 type flow struct {
+	id     uint64
+	dir    Direction
 	cfg    core.Config
 	engine *detect.Engine
+	// kill severs both legs of the connection (idempotent).
+	kill func()
+	// shard is the detection shard this flow is pinned to (parallel mode).
+	shard int
+	// pending counts queued detection jobs; wait() is the barrier.
+	pending sync.WaitGroup
+	// blocked is set (once) when a block-action rule matched.
+	blocked atomic.Bool
+	// scratch is the sequential-mode event buffer, reused across batches.
+	scratch []detect.Event
+
 	// Protocol III decryption element state.
 	recovered  bool
 	sslKey     bbcrypto.Block
@@ -397,9 +481,12 @@ const (
 	maxPlaintextBytes  = 4 << 20
 )
 
-func (mb *Middlebox) newFlow(cfg core.Config, keys detect.TokenKeys, idx detect.Index) *flow {
-	return &flow{
-		cfg: cfg,
+func (mb *Middlebox) newFlow(id uint64, dir Direction, cfg core.Config, keys detect.TokenKeys, idx detect.Index, kill func()) *flow {
+	fl := &flow{
+		id:   id,
+		dir:  dir,
+		cfg:  cfg,
+		kill: kill,
 		engine: detect.NewEngine(mb.cfg.Ruleset.Ruleset, keys, detect.Config{
 			Mode:     cfg.Mode,
 			Protocol: cfg.Protocol,
@@ -407,65 +494,98 @@ func (mb *Middlebox) newFlow(cfg core.Config, keys detect.TokenKeys, idx detect.
 			Index:    idx,
 		}),
 	}
-}
-
-// forward is one detection thread: it relays records from src to dst,
-// inspecting the token channel and enforcing rule actions.
-func (mb *Middlebox) forward(id uint64, dir Direction, src, dst net.Conn, fl *flow, kill func()) {
 	if dir == ServerToClient {
 		fl.dirByte = 1
 	}
+	if mb.pool != nil {
+		fl.shard = mb.pool.shardIndex(id, dir)
+	}
+	return fl
+}
+
+// enqueue hands a detection job for this flow to its shard.
+func (fl *flow) enqueue(p *detectPool, job detectJob) {
+	// The submitting goroutine is the only one calling wait(), so the
+	// Add-before-Wait ordering WaitGroup requires holds by program order.
+	fl.pending.Add(1)
+	p.submit(job)
+}
+
+// wait is the detection barrier: it returns once every queued batch of this
+// flow has been scanned and its events dispatched.
+func (fl *flow) wait() {
+	fl.pending.Wait()
+}
+
+// forward relays records from src to dst while feeding the token channel to
+// detection. In parallel mode token batches are queued on the flow's shard
+// and only data/close records wait for detection (the barrier); in
+// sequential mode scanning happens inline, as in the paper's per-connection
+// detection threads.
+func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 	for {
 		typ, body, err := transport.ReadRecord(src)
 		if err != nil {
-			kill()
+			fl.kill()
 			return
 		}
-		block := false
 		switch typ {
 		case transport.RecSalt:
 			if len(body) == 8 {
-				fl.engine.Reset(binary.BigEndian.Uint64(body))
+				salt := binary.BigEndian.Uint64(body)
+				if mb.pool != nil {
+					// Resets ride the shard queue so they stay ordered
+					// with the surrounding token batches.
+					fl.enqueue(mb.pool, detectJob{fl: fl, salt: salt, reset: true})
+				} else {
+					fl.engine.Reset(salt)
+				}
 			}
 		case transport.RecTokens:
 			toks, err := transport.UnmarshalTokens(body, fl.cfg.Protocol == dpienc.ProtocolIII)
 			if err != nil {
-				kill()
+				fl.kill()
 				return
 			}
 			mb.stats.tokens.Add(uint64(len(toks)))
-			for _, et := range toks {
-				for _, ev := range fl.engine.ProcessToken(et) {
-					if mb.handleEvent(id, dir, fl, ev) {
-						block = true
-					}
+			if mb.pool != nil {
+				fl.enqueue(mb.pool, detectJob{fl: fl, toks: toks})
+			} else {
+				fl.scratch = fl.engine.ScanBatch(toks, fl.scratch[:0])
+				for _, ev := range fl.scratch {
+					mb.dispatchEvent(fl, ev)
 				}
 			}
 		case transport.RecData:
+			// Detection barrier: the block policy and the probable-cause
+			// element must have seen every token preceding this payload.
+			fl.wait()
 			mb.stats.bytes.Add(uint64(len(body)))
 			if mb.cfg.Secondary && fl.cfg.Protocol == dpienc.ProtocolIII {
-				mb.captureData(id, dir, fl, body)
+				mb.captureData(fl, body)
 			}
 		case transport.RecClose:
+			fl.wait()
 			if fl.recovered && len(fl.plaintext) > 0 {
-				mb.secondaryInspect(id, dir, fl)
+				mb.secondaryInspect(fl)
 			}
 		}
-		if err := transport.WriteRecord(dst, typ, body); err != nil {
-			kill()
+		if fl.blocked.Load() {
+			// dispatchEvent already severed the connection and counted the
+			// block; do not forward the record that completed the match.
 			return
 		}
-		if block {
-			mb.stats.blocked.Add(1)
-			kill()
+		if err := transport.WriteRecord(dst, typ, body); err != nil {
+			fl.kill()
 			return
 		}
 	}
 }
 
-// handleEvent reports an event and returns whether the connection must be
-// blocked.
-func (mb *Middlebox) handleEvent(id uint64, dir Direction, fl *flow, ev detect.Event) bool {
+// dispatchEvent reports one detection event and enforces the rule action.
+// It runs on the flow's detection shard (parallel mode) or the forwarding
+// goroutine (sequential mode) — never both concurrently.
+func (mb *Middlebox) dispatchEvent(fl *flow, ev detect.Event) {
 	mb.stats.alerts.Add(1)
 	if ev.HasSSLKey && !fl.recovered {
 		fl.recovered = true
@@ -476,14 +596,19 @@ func (mb *Middlebox) handleEvent(id uint64, dir Direction, fl *flow, ev detect.E
 		}
 	}
 	if mb.cfg.OnAlert != nil {
-		mb.cfg.OnAlert(Alert{ConnID: id, Direction: dir, Event: ev})
+		mb.cfg.OnAlert(Alert{ConnID: fl.id, Direction: fl.dir, Event: ev})
 	}
-	return ev.Kind == detect.RuleMatch && ev.Rule.Action == rules.Block
+	if ev.Kind == detect.RuleMatch && ev.Rule.Action == rules.Block {
+		if fl.blocked.CompareAndSwap(false, true) {
+			mb.stats.blocked.Add(1)
+			fl.kill()
+		}
+	}
 }
 
 // captureData buffers or decrypts one data record for the probable-cause
 // element.
-func (mb *Middlebox) captureData(id uint64, dir Direction, fl *flow, body []byte) {
+func (mb *Middlebox) captureData(fl *flow, body []byte) {
 	if !fl.recovered {
 		if len(fl.ciphertext) < maxBufferedRecords {
 			fl.ciphertext = append(fl.ciphertext, append([]byte(nil), body...))
@@ -521,11 +646,11 @@ func (mb *Middlebox) decryptRecord(fl *flow, body []byte) {
 // secondaryInspect runs the full plaintext IDS (regexps included) over the
 // decrypted flow — the paper's "forwarded to any other system (Snort, Bro)
 // for more complex processing".
-func (mb *Middlebox) secondaryInspect(id uint64, dir Direction, fl *flow) {
+func (mb *Middlebox) secondaryInspect(fl *flow) {
 	res := mb.secondary.Inspect(fl.plaintext)
 	if len(res.RuleSIDs) == 0 || mb.cfg.OnAlert == nil {
 		return
 	}
 	mb.stats.alerts.Add(uint64(len(res.RuleSIDs)))
-	mb.cfg.OnAlert(Alert{ConnID: id, Direction: dir, Secondary: true, SecondarySIDs: res.RuleSIDs})
+	mb.cfg.OnAlert(Alert{ConnID: fl.id, Direction: fl.dir, Secondary: true, SecondarySIDs: res.RuleSIDs})
 }

@@ -30,6 +30,13 @@ type harness struct {
 
 func newHarness(t *testing.T, rulesText string, secondary bool) *harness {
 	t.Helper()
+	return newHarnessConfigured(t, rulesText, func(cfg *Config) { cfg.Secondary = secondary })
+}
+
+// newHarnessConfigured builds the harness with an arbitrary Config tweak
+// applied after the defaults (which record alerts into h.alerts).
+func newHarnessConfigured(t *testing.T, rulesText string, mutate func(*Config)) *harness {
+	t.Helper()
 	g, err := rules.NewGenerator("TestRG")
 	if err != nil {
 		t.Fatal(err)
@@ -39,16 +46,19 @@ func newHarness(t *testing.T, rulesText string, secondary bool) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{}
-	mb, err := New(Config{
+	cfg := Config{
 		Ruleset:     g.Sign(rs),
 		RGPublicKey: g.PublicKey(),
-		Secondary:   secondary,
 		OnAlert: func(a Alert) {
 			h.mu.Lock()
 			h.alerts = append(h.alerts, a)
 			h.mu.Unlock()
 		},
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	mb, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,125 @@
+// Sharded detection worker pool: the concurrency architecture of the
+// middlebox hot path.
+//
+// The paper's middlebox runs one "detection thread" per connection
+// direction (§6); at scale that means thousands of CPU-heavy goroutines
+// thrashing schedulers and caches. Instead, forwarding goroutines stay
+// I/O-bound and hand token *batches* to a fixed set of detection shards
+// (default GOMAXPROCS). Correctness hinges on two invariants:
+//
+//  1. Per-flow pinning. Every flow (connection direction) is pinned to one
+//     shard for its lifetime, so its engine — whose §3.2 fragment counters
+//     must see tokens in stream order for the implicit counter salts to
+//     stay in sync with the sender — is only ever touched by that shard's
+//     single worker goroutine. No locks exist on the hot path; engines are
+//     confined, not shared. Counter-table resets (RecSalt) travel through
+//     the same shard queue, keeping them ordered with the token stream.
+//
+//  2. Detection barrier. The forwarding goroutine waits for the flow's
+//     queued batches to finish before it forwards a data or close record
+//     (flow.wait). Rule actions (block) and probable-cause decisions
+//     therefore observe every token that preceded the payload, exactly as
+//     in the sequential pipeline; token records themselves are forwarded
+//     without waiting, which is what lets detection of one record overlap
+//     the network read of the next.
+//
+// Back-pressure: shard queues are bounded channels. A flow whose shard is
+// saturated blocks in submit, which stops it from reading more records —
+// the TCP receive window then pushes back on the sender, exactly like a
+// slow sequential middlebox would.
+package middlebox
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/detect"
+	"repro/internal/dpienc"
+)
+
+// defaultShardQueue is the default per-shard queue bound, in batches. One
+// batch is one RecTokens record (≤ maxDataRecord bytes of traffic), so the
+// default bounds in-flight detection work per shard to a few MB.
+const defaultShardQueue = 64
+
+// detectJob is one unit of shard work: either a token batch or a
+// counter-table reset, always for a single flow.
+type detectJob struct {
+	fl   *flow
+	toks []dpienc.EncryptedToken // nil for resets
+	salt uint64
+	// reset distinguishes a salt reset from an empty token batch.
+	reset bool
+}
+
+// detectPool fans detection jobs across shard workers.
+type detectPool struct {
+	shards []chan detectJob
+	wg     sync.WaitGroup
+}
+
+// newDetectPool starts `shards` single-goroutine workers (0 means
+// GOMAXPROCS) with queue depth `depth` (0 means defaultShardQueue).
+func newDetectPool(mb *Middlebox, shards, depth int) *detectPool {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = defaultShardQueue
+	}
+	p := &detectPool{shards: make([]chan detectJob, shards)}
+	for i := range p.shards {
+		ch := make(chan detectJob, depth)
+		p.shards[i] = ch
+		p.wg.Add(1)
+		go p.worker(mb, ch)
+	}
+	return p
+}
+
+// shardIndex pins a flow to a shard. Both directions of one connection land
+// on different shards when possible, so a single busy connection can use
+// two cores.
+func (p *detectPool) shardIndex(connID uint64, dir Direction) int {
+	i := connID * 2
+	if dir == ServerToClient {
+		i++
+	}
+	return int(i % uint64(len(p.shards)))
+}
+
+// submit enqueues a job on the flow's shard. It blocks when the shard queue
+// is full — that is the back-pressure policy. The flow's pending count must
+// already be incremented (flow.enqueue does both).
+func (p *detectPool) submit(job detectJob) {
+	p.shards[job.fl.shard] <- job
+}
+
+// worker drains one shard. The events scratch buffer is reused across
+// batches, so steady-state detection allocates only on matches that grow
+// it.
+func (p *detectPool) worker(mb *Middlebox, ch chan detectJob) {
+	defer p.wg.Done()
+	var scratch []detect.Event
+	for job := range ch {
+		fl := job.fl
+		if job.reset {
+			fl.engine.Reset(job.salt)
+		} else {
+			scratch = fl.engine.ScanBatch(job.toks, scratch[:0])
+			for _, ev := range scratch {
+				mb.dispatchEvent(fl, ev)
+			}
+		}
+		fl.pending.Done()
+	}
+}
+
+// close shuts the shard queues and waits for the workers to drain every
+// queued job — the graceful-drain half of Middlebox.Close.
+func (p *detectPool) close() {
+	for _, ch := range p.shards {
+		close(ch)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,214 @@
+package middlebox
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/transport"
+)
+
+// TestOnAlertConcurrentCallbackSafety pins the documented OnAlert contract:
+// callbacks may fire concurrently across connections (the callback below is
+// intentionally exercised under the race detector in CI), but within one
+// connection direction alerts arrive in stream order. The keyword appears
+// several times per payload, so each flow produces an ordered event
+// sequence to check.
+func TestOnAlertConcurrentCallbackSafety(t *testing.T) {
+	type flowKey struct {
+		conn uint64
+		dir  Direction
+	}
+	var (
+		mu       sync.Mutex
+		offsets  = map[flowKey][]int{}
+		inflight atomic.Int64
+		maxSeen  atomic.Int64
+	)
+	h := newHarnessWithAlert(t,
+		`alert tcp any any -> any any (msg:"kw"; content:"attackkw"; sid:7;)`,
+		func(a Alert) {
+			n := inflight.Add(1)
+			for {
+				old := maxSeen.Load()
+				if n <= old || maxSeen.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			if a.Event.Kind == detect.KeywordMatch {
+				mu.Lock()
+				k := flowKey{a.ConnID, a.Direction}
+				offsets[k] = append(offsets[k], a.Event.Offset)
+				mu.Unlock()
+			}
+			inflight.Add(-1)
+		})
+
+	payload := []byte("first attackkw then more text attackkw and attackkw again plus attackkw end")
+	const sessions = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := transport.Dial(h.mbAddr, transport.ConnConfig{
+				Core: core.DefaultConfig(), RG: transport.RGMaterial{TagKey: h.tagKey},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			if _, err := conn.Write(payload); err != nil {
+				errs <- err
+				return
+			}
+			if err := conn.CloseWrite(); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := io.ReadAll(conn); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Drain the shards so every queued alert has been delivered.
+	if err := h.mb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	c2s := 0
+	for k, offs := range offsets {
+		for i := 1; i < len(offs); i++ {
+			if offs[i] < offs[i-1] {
+				t.Fatalf("flow %v: alert offsets out of stream order: %v", k, offs)
+			}
+		}
+		if k.dir == ClientToServer {
+			c2s++
+			if len(offs) != 4 {
+				t.Fatalf("flow %v: %d keyword alerts, want 4 (offsets %v)", k, len(offs), offs)
+			}
+		}
+	}
+	if c2s != sessions {
+		t.Fatalf("client-to-server alert flows = %d, want %d", c2s, sessions)
+	}
+}
+
+// TestCloseDrainsAndRejectsNewConns checks the graceful-drain contract:
+// Close returns only after queued detection work is flushed, and later
+// connections are refused.
+func TestCloseDrainsAndRejectsNewConns(t *testing.T) {
+	h := newHarness(t, `alert tcp any any -> any any (msg:"kw"; content:"attackkw"; sid:7;)`, false)
+	conn := h.dial(t, core.DefaultConfig())
+	if _, err := conn.Write([]byte("carrying attackkw onward")); err != nil {
+		t.Fatal(err)
+	}
+	conn.CloseWrite()
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close every alert of the finished session must be visible —
+	// no waitFor polling needed.
+	found := false
+	for _, a := range h.snapshot() {
+		if a.Event.Kind == detect.RuleMatch && a.Event.Rule.SID == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("alert lost across Close drain")
+	}
+	if err := h.mb.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// New connections are refused (the proxy leg errors out quickly).
+	c2, s2 := net.Pipe()
+	defer c2.Close()
+	defer s2.Close()
+	done := make(chan error, 1)
+	go func() { done <- h.mb.Interpose(c2, s2) }()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Interpose after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Interpose did not return after Close")
+	}
+}
+
+// TestSequentialConfigDisablesPool checks the conformance escape hatch: a
+// Sequential middlebox has no shards yet detects identically.
+func TestSequentialConfigDisablesPool(t *testing.T) {
+	h := newHarnessSequential(t, `alert tcp any any -> any any (msg:"kw"; content:"attackkw"; sid:7;)`)
+	if h.mb.pool != nil {
+		t.Fatal("Sequential config built a detection pool")
+	}
+	conn := h.dial(t, core.DefaultConfig())
+	if _, err := conn.Write([]byte("payload with attackkw inside")); err != nil {
+		t.Fatal(err)
+	}
+	conn.CloseWrite()
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		for _, a := range h.snapshot() {
+			if a.Event.Kind == detect.RuleMatch && a.Event.Rule.SID == 7 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestShardIndexPinsFlows sanity-checks the pinning function: stable per
+// flow, spread across shards, directions of one connection separated when
+// more than one shard exists.
+func TestShardIndexPinsFlows(t *testing.T) {
+	p := &detectPool{shards: make([]chan detectJob, 4)}
+	for id := uint64(1); id < 100; id++ {
+		a := p.shardIndex(id, ClientToServer)
+		if a != p.shardIndex(id, ClientToServer) {
+			t.Fatal("shard pinning is not stable")
+		}
+		b := p.shardIndex(id, ServerToClient)
+		if a == b {
+			t.Fatalf("conn %d: both directions pinned to shard %d", id, a)
+		}
+		if a < 0 || a >= 4 || b < 0 || b >= 4 {
+			t.Fatalf("shard out of range: %d/%d", a, b)
+		}
+	}
+}
+
+// newHarnessWithAlert is newHarness with a custom OnAlert callback.
+func newHarnessWithAlert(t *testing.T, rulesText string, onAlert func(Alert)) *harness {
+	t.Helper()
+	return newHarnessConfigured(t, rulesText, func(cfg *Config) { cfg.OnAlert = onAlert })
+}
+
+// newHarnessSequential is newHarness with the sequential (poolless) pipeline.
+func newHarnessSequential(t *testing.T, rulesText string) *harness {
+	t.Helper()
+	return newHarnessConfigured(t, rulesText, func(cfg *Config) { cfg.Sequential = true })
+}

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/transport"
 )
 
@@ -107,5 +109,119 @@ func TestConcurrentSessionsStress(t *testing.T) {
 	waitFor(t, func() bool { return len(h.snapshot()) >= want })
 	if got := h.mb.Stats().TokensScanned; got == 0 {
 		t.Fatal("middlebox scanned no tokens under load")
+	}
+}
+
+// TestPoolStressCancellationAndDrain aims the race detector at the worker
+// pool's ugliest path: connections that vanish abruptly mid-stream while
+// their detection batches are still queued on a shard, interleaved with
+// sessions that complete normally. Afterwards Middlebox.Close must drain
+// and return, with no alert duplicated (the alerted-once rule invariant
+// must survive concurrent batch scans) and none lost from the sessions
+// that completed.
+func TestPoolStressCancellationAndDrain(t *testing.T) {
+	h := newHarness(t, `alert tcp any any -> any any (msg:"kw"; content:"attackkw"; sid:7;)`, false)
+
+	sessions := 6
+	if testing.Short() {
+		sessions = 4
+	}
+	attack := []byte("POST /x HTTP/1.1\r\n\r\npayload with attackkw inside it " +
+		"and again attackkw to keep shards busy")
+
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			raw, err := net.Dial("tcp", h.mbAddr)
+			if err != nil {
+				errs <- fmt.Errorf("session %d dial: %w", s, err)
+				return
+			}
+			conn, err := transport.Client(raw, transport.ConnConfig{
+				Core: core.DefaultConfig(), RG: transport.RGMaterial{TagKey: h.tagKey},
+			})
+			if err != nil {
+				raw.Close()
+				errs <- fmt.Errorf("session %d handshake: %w", s, err)
+				return
+			}
+			if _, err := conn.Write(attack); err != nil {
+				raw.Close()
+				errs <- fmt.Errorf("session %d write: %w", s, err)
+				return
+			}
+			if s%2 == 1 {
+				// Abrupt mid-stream cancellation: kill the TCP socket with
+				// detection work possibly still queued for this flow.
+				raw.Close()
+				return
+			}
+			if err := conn.CloseWrite(); err != nil {
+				errs <- fmt.Errorf("session %d close write: %w", s, err)
+				return
+			}
+			echoed, err := io.ReadAll(conn)
+			if err != nil {
+				errs <- fmt.Errorf("session %d read: %w", s, err)
+				return
+			}
+			if !bytes.Equal(echoed, attack) {
+				errs <- fmt.Errorf("session %d echo mismatch: %d bytes", s, len(echoed))
+				return
+			}
+			conn.Close()
+			completed.Add(1)
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Graceful drain: Close must finish even though half the sessions died
+	// abruptly, and it must flush every queued batch first.
+	done := make(chan error, 1)
+	go func() { done <- h.mb.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Middlebox.Close did not drain")
+	}
+
+	// No duplicated alerts: a rule fires at most once per flow.
+	type flowKey struct {
+		conn uint64
+		dir  Direction
+		sid  int
+	}
+	ruleMatches := map[flowKey]int{}
+	c2sConns := map[uint64]bool{}
+	for _, a := range h.snapshot() {
+		if a.Event.Kind != detect.RuleMatch {
+			continue
+		}
+		k := flowKey{a.ConnID, a.Direction, a.Event.Rule.SID}
+		ruleMatches[k]++
+		if ruleMatches[k] > 1 {
+			t.Fatalf("rule %d alerted %d times on flow %d/%v", k.sid, ruleMatches[k], k.conn, k.dir)
+		}
+		if a.Direction == ClientToServer {
+			c2sConns[a.ConnID] = true
+		}
+	}
+	// No lost alerts: every session that completed its echo round-trip must
+	// have produced a client->server rule match (cancelled ones may or may
+	// not, depending on how far they got).
+	if int64(len(c2sConns)) < completed.Load() {
+		t.Fatalf("%d flows alerted client->server, want at least %d (completed sessions)",
+			len(c2sConns), completed.Load())
 	}
 }

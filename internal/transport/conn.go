@@ -37,6 +37,12 @@ type ConnConfig struct {
 	Core core.Config
 	// RG is the installed rule-generator material.
 	RG RGMaterial
+	// EncryptWorkers fans the stateless AES step of outgoing token
+	// encryption across this many goroutines (negative means GOMAXPROCS);
+	// 0 or 1 keeps encryption on the writing goroutine. The on-wire token
+	// stream is byte-identical either way — only the sender's CPU use
+	// changes.
+	EncryptWorkers int
 }
 
 // Conn is a BlindBox HTTPS connection endpoint. It implements
@@ -155,6 +161,9 @@ func (c *Conn) handshake() error {
 	c.keys = bbcrypto.DeriveSessionKeys(k0)
 	c.aead = bbcrypto.NewGCM(c.keys.KSSL)
 	c.pipe = core.NewSenderPipeline(c.keys, c.cfg.Core)
+	if c.cfg.EncryptWorkers != 0 {
+		c.pipe.SetParallelism(c.cfg.EncryptWorkers)
+	}
 	c.validator = core.NewValidator(c.keys, c.cfg.Core)
 
 	if c.mbPresent {
@@ -300,6 +309,10 @@ func (c *Conn) write(p []byte, binary_ bool) (int, error) {
 		return 0, errors.New("transport: write after close")
 	}
 	total := 0
+	// The per-record ciphertext slice comes from the shared pool and is
+	// recycled once its batch has been marshaled onto the wire.
+	toks := dpienc.GetTokenBuf()
+	defer func() { dpienc.PutTokenBuf(toks) }()
 	for len(p) > 0 {
 		n := len(p)
 		if n > maxDataRecord {
@@ -308,14 +321,11 @@ func (c *Conn) write(p []byte, binary_ bool) (int, error) {
 		chunk := p[:n]
 		p = p[n:]
 
-		var (
-			toks  []dpienc.EncryptedToken
-			reset *core.SaltReset
-		)
+		var reset *core.SaltReset
 		if binary_ {
-			toks, reset = c.pipe.ProcessBinary(len(chunk))
+			toks, reset = c.pipe.ProcessBinaryInto(toks[:0], len(chunk))
 		} else {
-			toks, reset = c.pipe.ProcessText(chunk)
+			toks, reset = c.pipe.ProcessTextInto(toks[:0], chunk)
 		}
 		if reset != nil {
 			var s [8]byte
@@ -354,7 +364,9 @@ func (c *Conn) CloseWrite() error {
 		return nil
 	}
 	c.wroteClose = true
-	if toks := c.pipe.Flush(); len(toks) > 0 {
+	toks := c.pipe.FlushInto(dpienc.GetTokenBuf())
+	defer dpienc.PutTokenBuf(toks)
+	if len(toks) > 0 {
 		body := MarshalTokens(toks, c.cfg.Core.Protocol == dpienc.ProtocolIII)
 		if err := WriteRecord(c.raw, RecTokens, body); err != nil {
 			return err

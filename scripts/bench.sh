@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — pipeline benchmarks + the tokens/sec regression gate.
+#
+#   scripts/bench.sh          # run benchmarks, write BENCH_pipeline.json,
+#                             # gate against scripts/bench_baseline.json
+#   scripts/bench.sh ci       # same on the reduced corpus (CI job)
+#   scripts/bench.sh update   # refresh the checked-in baseline
+#
+# The gate fails when tokens/sec regresses more than 15% below the baseline
+# (override with BENCH_TOLERANCE, e.g. BENCH_TOLERANCE=0.25). Cross-run
+# comparison only applies when the baseline was recorded on a host with the
+# same core count; host-independent same-run invariants always apply.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-check}"
+OUT="BENCH_pipeline.json"
+BASELINE="scripts/bench_baseline.json"
+
+case "$MODE" in
+    check|update|ci) ;;
+    *) echo "usage: $0 [check|update|ci]" >&2; exit 2 ;;
+esac
+
+FAST=""
+if [ "$MODE" = ci ]; then
+    FAST="-fast"
+fi
+
+printf '\n=== micro-benchmarks (-benchmem) ===\n'
+go test -run '^$' \
+    -bench 'DetectBlindBox3KRules$|DetectBlindBox3KRulesParallel|ScanBatch3KRules|EncryptTokensBatch|EncryptTokenBlindBox$' \
+    -benchmem -benchtime "${BENCH_TIME:-0.3s}" .
+
+printf '\n=== pipeline stage timings ===\n'
+go run ./cmd/blindbench -experiment pipeline $FAST -parallel "${BENCH_WORKERS:-0}" -out "$OUT"
+
+if [ "$MODE" = update ]; then
+    cp "$OUT" "$BASELINE"
+    echo "baseline updated: $BASELINE"
+    exit 0
+fi
+
+printf '\n=== regression gate ===\n'
+go run ./scripts/benchgate -current "$OUT" -baseline "$BASELINE"

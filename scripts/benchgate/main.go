@@ -1,0 +1,91 @@
+// Command benchgate guards against performance regressions in the
+// batched/parallel pipeline. It reads a freshly generated BENCH_pipeline.json
+// and fails when tokens/sec fell more than the tolerance below the
+// checked-in baseline (scripts/bench_baseline.json).
+//
+// Two layers of checks:
+//
+//  1. Same-run invariants, valid on any host: the batched detection path
+//     and the parallel encryption path must not be slower than their
+//     per-token/sequential forms beyond a looser allowance (they measure
+//     the same work in the same process, so only scheduling noise
+//     separates them).
+//  2. Cross-run comparison against the baseline, applied only when the
+//     baseline was recorded on a matching host (same core count) —
+//     absolute tokens/sec on different hardware is not comparable.
+//
+// BENCH_TOLERANCE overrides the default 0.15 (15%) cross-run tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	current := flag.String("current", "BENCH_pipeline.json", "freshly generated pipeline result")
+	baseline := flag.String("baseline", "scripts/bench_baseline.json", "checked-in baseline result")
+	flag.Parse()
+
+	tol := 0.15
+	if v := os.Getenv("BENCH_TOLERANCE"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed < 0 || parsed >= 1 {
+			fmt.Fprintf(os.Stderr, "benchgate: bad BENCH_TOLERANCE %q\n", v)
+			os.Exit(2)
+		}
+		tol = parsed
+	}
+
+	cur, err := experiments.ReadPipelineJSON(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	check := func(name string, got, min float64) {
+		if got < min {
+			failed = true
+			fmt.Printf("FAIL %-44s %.3g < %.3g\n", name, got, min)
+		} else {
+			fmt.Printf("ok   %-44s %.3g >= %.3g\n", name, got, min)
+		}
+	}
+
+	// Same-run invariants. The allowance is looser than the cross-run
+	// tolerance: these compare two timings taken seconds apart, so pure
+	// scheduler noise is the dominant error.
+	sameRun := tol + 0.10
+	check("detect batch/per-token speedup", cur.DetectBatchSpeedup, 1-sameRun)
+	check("encrypt parallel/sequential speedup", cur.EncryptSpeedup, 1-sameRun)
+
+	base, err := experiments.ReadPipelineJSON(*baseline)
+	switch {
+	case err != nil:
+		fmt.Printf("benchgate: no usable baseline (%v); cross-run comparison skipped\n", err)
+	case base.Cores != cur.Cores || base.GoMaxProcs != cur.GoMaxProcs:
+		fmt.Printf("benchgate: baseline host (%d cores, GOMAXPROCS %d) != this host (%d, %d); cross-run comparison skipped\n",
+			base.Cores, base.GoMaxProcs, cur.Cores, cur.GoMaxProcs)
+	case base.Rules != cur.Rules || base.TrafficBytes != cur.TrafficBytes || base.Mode != cur.Mode:
+		fmt.Printf("benchgate: baseline corpus (%d rules, %d bytes, %s) != current (%d, %d, %s); cross-run comparison skipped\n",
+			base.Rules, base.TrafficBytes, base.Mode, cur.Rules, cur.TrafficBytes, cur.Mode)
+	default:
+		floor := 1 - tol
+		check("detect per-token tokens/sec vs baseline", cur.DetectSeqTokensPerSec, floor*base.DetectSeqTokensPerSec)
+		check("detect batch tokens/sec vs baseline", cur.DetectBatchTokensPerSec, floor*base.DetectBatchTokensPerSec)
+		check("detect parallel tokens/sec vs baseline", cur.DetectParTokensPerSec, floor*base.DetectParTokensPerSec)
+		check("encrypt sequential tokens/sec vs baseline", cur.EncryptSeqTokensPerSec, floor*base.EncryptSeqTokensPerSec)
+		check("encrypt parallel tokens/sec vs baseline", cur.EncryptParTokensPerSec, floor*base.EncryptParTokensPerSec)
+	}
+
+	if failed {
+		fmt.Println("benchgate: REGRESSION (rerun on an idle machine, or refresh the baseline with scripts/bench.sh update)")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
