@@ -40,13 +40,16 @@
 package blindbox
 
 import (
+	"io"
 	"net"
+	"net/http"
 
 	"repro/internal/bbcrypto"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/dpienc"
 	"repro/internal/middlebox"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/tokenize"
 	"repro/internal/transport"
@@ -160,3 +163,26 @@ func ParseRule(line string) (*Rule, error) { return rules.ParseRule(line) }
 
 // SessionKeys are the three per-connection keys (kSSL, k, krand) of §2.3.
 type SessionKeys = bbcrypto.SessionKeys
+
+// Metrics is a metrics registry: install one in MiddleboxConfig.Metrics or
+// ConnConfig.Metrics and serve it with AdminMux. A nil *Metrics disables
+// collection at near-zero cost.
+type Metrics = obs.Registry
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// AdminMux serves r as Prometheus text on /metrics, JSON on /metrics.json,
+// a liveness probe on /healthz, and net/http/pprof under /debug/pprof/.
+func AdminMux(r *Metrics) *http.ServeMux { return obs.AdminMux(r) }
+
+// Span is one per-flow trace record (see the obs package for the schema).
+type Span = obs.Span
+
+// TraceSink receives pipeline spans; install one in MiddleboxConfig.Trace
+// or ConnConfig.Trace.
+type TraceSink = obs.Sink
+
+// NewTraceSink writes spans to w as JSON lines, one span per line, buffered
+// — the format `bbtrace -spans` consumes. Call Flush before closing w.
+func NewTraceSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }

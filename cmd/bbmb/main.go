@@ -6,19 +6,29 @@
 // Usage:
 //
 //	bbmb -listen :8443 -forward server:9443 -rules rules.txt -rgconfig rg.json [-secondary]
+//	     [-admin :8081] [-trace spans.jsonl] [-log-level info]
 //
-// The ruleset and RG configuration are produced by bbrulegen.
+// The ruleset and RG configuration are produced by bbrulegen. With -admin,
+// the middlebox serves Prometheus metrics on /metrics, a JSON snapshot on
+// /metrics.json, and net/http/pprof under /debug/pprof/. With -trace, every
+// pipeline span (handshake, prep, scan, forward) is appended to the given
+// JSONL file, summarizable with `bbtrace -spans`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	blindbox "repro"
 	"repro/internal/middlebox"
+	"repro/internal/obs"
 	"repro/internal/rgconfig"
 )
 
@@ -28,11 +38,20 @@ func main() {
 	rulesPath := flag.String("rules", "", "signed ruleset file from bbrulegen (required)")
 	rgPath := flag.String("rgconfig", "", "rule-generator public configuration from bbrulegen (required)")
 	secondary := flag.Bool("secondary", false, "enable the Protocol III decryption element and secondary inspection")
+	admin := flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
+	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	flag.Parse()
 	if *forward == "" || *rulesPath == "" || *rgPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	signed, err := rgconfig.LoadSignedRuleset(*rulesPath)
 	if err != nil {
@@ -43,18 +62,45 @@ func main() {
 		log.Fatalf("loading RG config: %v", err)
 	}
 
+	reg := obs.NewRegistry()
+	var trace obs.Sink
+	flushTrace := func() {}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening trace file: %v", err)
+		}
+		sink := obs.NewJSONLSink(f)
+		flushTrace = func() {
+			if err := sink.Flush(); err != nil {
+				logger.Error("flushing trace file", "err", err)
+			}
+		}
+		// The sink buffers; drain it every second so the span file tails
+		// usefully while the daemon runs (shutdown flushes the remainder).
+		go func() {
+			for range time.Tick(time.Second) {
+				flushTrace()
+			}
+		}()
+		trace = sink
+	}
+
 	mb, err := blindbox.NewMiddlebox(middlebox.Config{
 		Ruleset:     signed,
 		RGPublicKey: pub,
 		Secondary:   *secondary,
+		Metrics:     reg,
+		Trace:       trace,
+		Logger:      logger,
 		OnAlert: func(a blindbox.Alert) {
 			switch {
 			case a.Secondary:
-				log.Printf("ALERT conn=%d %s secondary rules=%v", a.ConnID, a.Direction, a.SecondarySIDs)
+				logger.Warn("alert", "conn", a.ConnID, "dir", a.Direction, "secondary", true, "sids", a.SecondarySIDs)
 			case a.Event.Kind == blindbox.RuleMatch:
-				log.Printf("ALERT conn=%d %s sid=%d msg=%q offset=%d action=%v",
-					a.ConnID, a.Direction, a.Event.Rule.SID, a.Event.Rule.Msg,
-					a.Event.Offset, a.Event.Rule.Action)
+				logger.Warn("alert", "conn", a.ConnID, "dir", a.Direction,
+					"sid", a.Event.Rule.SID, "msg", a.Event.Rule.Msg,
+					"offset", a.Event.Offset, "action", a.Event.Rule.Action.String())
 			}
 		},
 	})
@@ -62,12 +108,37 @@ func main() {
 		log.Fatalf("middlebox: %v", err)
 	}
 
+	if *admin != "" {
+		aln, err := obs.ServeAdmin(*admin, reg, logger)
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		defer aln.Close()
+		fmt.Printf("bbmb: admin endpoint on http://%s/metrics (pprof under /debug/pprof/)\n", aln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Serve only returns on listener failure, and log.Fatal skips deferred
+	// cleanup — drain in-flight detection and the span buffer on SIGINT/TERM.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigC
+		logger.Info("shutting down", "signal", sig.String())
+		_ = ln.Close()
+		if err := mb.Close(); err != nil {
+			logger.Error("draining middlebox", "err", err)
+		}
+		flushTrace()
+		os.Exit(0)
+	}()
 	p1, p2, _ := signed.Ruleset.ProtocolBreakdown()
 	fmt.Printf("bbmb: %d rules (%.0f%% protocol I, %.0f%% <= II), listening on %s, forwarding to %s\n",
 		len(signed.Ruleset.Rules), p1*100, p2*100, ln.Addr(), *forward)
-	log.Fatal(mb.Serve(ln, *forward))
+	err = mb.Serve(ln, *forward)
+	flushTrace()
+	log.Fatal(err)
 }

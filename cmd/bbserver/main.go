@@ -5,6 +5,10 @@
 // Usage:
 //
 //	bbserver -listen :9443 -rgconfig blindbox.endpoint.json [-mode echo|page] [-bytes 65536]
+//	         [-admin :8082]
+//
+// With -admin, the server exposes its endpoint metrics (handshake duration,
+// records written) on /metrics plus net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -12,11 +16,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 
 	blindbox "repro"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/rgconfig"
 )
 
@@ -25,6 +31,7 @@ func main() {
 	rgPath := flag.String("rgconfig", "", "endpoint RG configuration from bbrulegen (required)")
 	mode := flag.String("mode", "echo", "echo: return the request; page: return a synthetic page")
 	pageBytes := flag.Int("bytes", 64<<10, "synthetic page size for -mode page")
+	admin := flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
 	flag.Parse()
 	if *rgPath == "" {
 		flag.Usage()
@@ -35,6 +42,17 @@ func main() {
 		log.Fatalf("loading RG config: %v", err)
 	}
 	cfg := blindbox.ConnConfig{Core: blindbox.DefaultConfig(), RG: rg}
+
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		aln, err := obs.ServeAdmin(*admin, reg, obs.NewLogger(os.Stderr, slog.LevelInfo))
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		defer aln.Close()
+		fmt.Printf("bbserver: admin endpoint on http://%s/metrics\n", aln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -10,6 +10,10 @@
 // Inspect a trace:
 //
 //	bbtrace -inspect trace.pcap -rules out.rules.json [-tokens delimiter]
+//
+// Summarize a JSONL span file written by bbmb -trace (or any obs.JSONLSink):
+//
+//	bbtrace -spans spans.jsonl
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bbcrypto"
@@ -25,6 +31,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/detect"
 	"repro/internal/dpienc"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/pcapio"
 	"repro/internal/rgconfig"
@@ -35,7 +42,8 @@ import (
 func main() {
 	gen := flag.String("gen", "", "write a synthetic attack trace to this pcap file")
 	inspect := flag.String("inspect", "", "inspect this pcap file")
-	rulesPath := flag.String("rules", "", "signed ruleset from bbrulegen (required)")
+	spans := flag.String("spans", "", "summarize this JSONL span file (from bbmb -trace)")
+	rulesPath := flag.String("rules", "", "signed ruleset from bbrulegen (required for -gen/-inspect)")
 	flows := flag.Int("flows", 100, "flows to generate")
 	flowBytes := flag.Int("flowbytes", 8<<10, "benign bytes per flow")
 	attacks := flag.Float64("attacks", 1.5, "mean injected attacks per flow")
@@ -44,6 +52,12 @@ func main() {
 	tokens := flag.String("tokens", "delimiter", "tokenization for -inspect: window or delimiter")
 	flag.Parse()
 
+	if *spans != "" {
+		if err := summarizeSpans(*spans); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *rulesPath == "" || (*gen == "") == (*inspect == "") {
 		flag.Usage()
 		os.Exit(2)
@@ -67,6 +81,70 @@ func main() {
 	if err := inspectPcap(*inspect, rs, mode); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// summarizeSpans aggregates a JSONL span stream per span name: count,
+// total/mean/max duration, and the tokens and bytes the spans covered. It
+// also reports how many distinct flows appear and any spans that ended in
+// error.
+func summarizeSpans(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(spans) == 0 {
+		fmt.Printf("%s: no spans\n", path)
+		return nil
+	}
+
+	type agg struct {
+		count, errs   int
+		total, max    time.Duration
+		tokens, bytes int
+	}
+	byName := map[string]*agg{}
+	flows := map[uint64]bool{}
+	for _, sp := range spans {
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{}
+			byName[sp.Name] = a
+		}
+		a.count++
+		d := time.Duration(sp.Dur)
+		a.total += d
+		if d > a.max {
+			a.max = d
+		}
+		a.tokens += sp.Tokens
+		a.bytes += sp.Bytes
+		if sp.Err != "" {
+			a.errs++
+		}
+		flows[sp.Flow] = true
+	}
+
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d spans over %d flows\n", path, len(spans), len(flows))
+	fmt.Printf("%-10s %8s %12s %12s %12s %10s %12s %6s\n",
+		"span", "count", "total", "mean", "max", "tokens", "bytes", "errs")
+	for _, name := range names {
+		a := byName[name]
+		fmt.Printf("%-10s %8d %12s %12s %12s %10d %12d %6d\n",
+			name, a.count, a.total.Round(time.Microsecond),
+			(a.total / time.Duration(a.count)).Round(time.Nanosecond),
+			a.max.Round(time.Microsecond), a.tokens, a.bytes, a.errs)
+	}
+	return nil
 }
 
 func generate(path string, rs *rules.Ruleset, flows, flowBytes int, attacks, misalign float64, seed int64) error {

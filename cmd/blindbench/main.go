@@ -5,13 +5,14 @@
 //
 //	blindbench -experiment all
 //	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|pipeline|setup|ablation
-//	blindbench -experiment pipeline -parallel 4 -out BENCH_pipeline.json
+//	blindbench -experiment pipeline -parallel 4 -out BENCH_pipeline.json [-metrics-out metrics.json]
 //
 // Absolute numbers reflect this host, not the paper's DPDK testbed; the
 // reproduced quantities are the comparative shapes (see EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -28,6 +30,7 @@ func main() {
 	fast := flag.Bool("fast", false, "reduce sample sizes for a quicker run")
 	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_pipeline.json", "path for the pipeline experiment's machine-readable result (empty disables)")
+	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's obs registry snapshot to this JSON file")
 	flag.Parse()
 
 	runners := map[string]func(fast bool) error{
@@ -39,7 +42,7 @@ func main() {
 		"fig6":       runFig6,
 		"accuracy":   runAccuracy,
 		"throughput": runThroughput,
-		"pipeline":   func(fast bool) error { return runPipeline(fast, *parallel, *out) },
+		"pipeline":   func(fast bool) error { return runPipeline(fast, *parallel, *out, *metricsOut) },
 		"setup":      runSetup,
 		"ablation":   runAblation,
 	}
@@ -153,13 +156,16 @@ func runThroughput(fast bool) error {
 	return nil
 }
 
-func runPipeline(fast bool, workers int, out string) error {
+func runPipeline(fast bool, workers int, out, metricsOut string) error {
 	opt := experiments.DefaultPipelineOptions()
 	opt.Workers = workers
 	if fast {
 		opt.Rules = 500
 		opt.TrafficBytes = 1 << 20
 		opt.Conns = 4
+	}
+	if metricsOut != "" {
+		opt.Metrics = obs.NewRegistry()
 	}
 	res, err := experiments.Pipeline(opt)
 	if err != nil {
@@ -171,6 +177,16 @@ func runPipeline(fast bool, workers int, out string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)
+	}
+	if metricsOut != "" {
+		data, err := json.MarshalIndent(opt.Metrics.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsOut)
 	}
 	return nil
 }

@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/bbcrypto"
 	"repro/internal/detect"
 	"repro/internal/dpienc"
+	"repro/internal/obs"
 	"repro/internal/ruleprep"
 	"repro/internal/rules"
 	"repro/internal/tokenize"
@@ -52,6 +54,20 @@ type SenderPipeline struct {
 	// workers is the fan-out of the stateless AES step; <=1 keeps it on
 	// the calling goroutine.
 	workers int
+	// obs is nil until Instrument: the uninstrumented hot path pays one
+	// pointer check per chunk and takes no timestamps.
+	obs *pipelineObs
+}
+
+// pipelineObs is the optional stage instrumentation of a SenderPipeline:
+// tokenize and encrypt latency histograms, plus spans when a trace sink is
+// set.
+type pipelineObs struct {
+	tokenize *obs.Histogram
+	encrypt  *obs.Histogram
+	trace    obs.Sink
+	flow     uint64
+	dir      string
 }
 
 // NewSenderPipeline creates the sender side of one connection direction.
@@ -84,6 +100,50 @@ func (p *SenderPipeline) Parallelism() int {
 	return p.workers
 }
 
+// Instrument enables per-chunk stage timing on this pipeline: tokenize and
+// encrypt latency histograms in r (obs.SenderTokenizeSeconds,
+// obs.SenderEncryptSeconds), DPIEnc counters on the underlying sender, and
+// — when trace is non-nil — tokenize/encrypt spans labeled with flow and
+// dir. Passing a nil registry and nil sink leaves the pipeline
+// uninstrumented (the default, zero-overhead state).
+func (p *SenderPipeline) Instrument(r *obs.Registry, trace obs.Sink, flow uint64, dir string) {
+	if r == nil && trace == nil {
+		p.obs = nil
+		return
+	}
+	p.obs = &pipelineObs{
+		tokenize: r.Histogram(obs.SenderTokenizeSeconds, obs.Help(obs.SenderTokenizeSeconds), obs.LatencyBuckets),
+		encrypt:  r.Histogram(obs.SenderEncryptSeconds, obs.Help(obs.SenderEncryptSeconds), obs.LatencyBuckets),
+		trace:    trace,
+		flow:     flow,
+		dir:      dir,
+	}
+	p.enc.Instrument(r)
+}
+
+// timedEncrypt is the instrumented tail of a Process*Into call: toks were
+// tokenized starting at t0 from `bytes` input bytes; the encrypt step is
+// timed here.
+func (p *SenderPipeline) timedEncrypt(dst []dpienc.EncryptedToken, toks []tokenize.Token, t0 time.Time, bytes int) []dpienc.EncryptedToken {
+	t1 := time.Now()
+	out := p.encryptInto(dst, toks)
+	t2 := time.Now()
+	o := p.obs
+	o.tokenize.Observe(t1.Sub(t0).Seconds())
+	o.encrypt.Observe(t2.Sub(t1).Seconds())
+	if o.trace != nil {
+		o.trace.Emit(obs.Span{
+			Flow: o.flow, Dir: o.dir, Name: obs.SpanTokenize,
+			Start: t0.UnixNano(), Dur: int64(t1.Sub(t0)), Tokens: len(toks), Bytes: bytes,
+		})
+		o.trace.Emit(obs.Span{
+			Flow: o.flow, Dir: o.dir, Name: obs.SpanEncrypt,
+			Start: t1.UnixNano(), Dur: int64(t2.Sub(t1)), Tokens: len(toks),
+		})
+	}
+	return out
+}
+
 // encryptInto routes a token batch through the sequential or parallel
 // encryptor, reusing dst's backing array when large enough.
 func (p *SenderPipeline) encryptInto(dst []dpienc.EncryptedToken, toks []tokenize.Token) []dpienc.EncryptedToken {
@@ -106,7 +166,11 @@ func (p *SenderPipeline) ProcessText(data []byte) ([]dpienc.EncryptedToken, *Sal
 // transport hot path pairs with dpienc.GetTokenBuf/PutTokenBuf.
 func (p *SenderPipeline) ProcessTextInto(dst []dpienc.EncryptedToken, data []byte) ([]dpienc.EncryptedToken, *SaltReset) {
 	reset := p.accountAndMaybeReset(len(data))
-	return p.encryptInto(dst, p.tk.Append(data)), reset
+	if p.obs == nil {
+		return p.encryptInto(dst, p.tk.Append(data)), reset
+	}
+	t0 := time.Now()
+	return p.timedEncrypt(dst, p.tk.Append(data), t0, len(data)), reset
 }
 
 // ProcessBinary accounts for payload the IDS does not inspect (images,
@@ -119,7 +183,11 @@ func (p *SenderPipeline) ProcessBinary(n int) ([]dpienc.EncryptedToken, *SaltRes
 // ProcessBinaryInto is ProcessBinary reusing dst's backing array.
 func (p *SenderPipeline) ProcessBinaryInto(dst []dpienc.EncryptedToken, n int) ([]dpienc.EncryptedToken, *SaltReset) {
 	reset := p.accountAndMaybeReset(n)
-	return p.encryptInto(dst, p.tk.Skip(n)), reset
+	if p.obs == nil {
+		return p.encryptInto(dst, p.tk.Skip(n)), reset
+	}
+	t0 := time.Now()
+	return p.timedEncrypt(dst, p.tk.Skip(n), t0, n), reset
 }
 
 // Flush finalizes the stream, returning the trailing tokens.
@@ -129,7 +197,11 @@ func (p *SenderPipeline) Flush() []dpienc.EncryptedToken {
 
 // FlushInto is Flush reusing dst's backing array.
 func (p *SenderPipeline) FlushInto(dst []dpienc.EncryptedToken) []dpienc.EncryptedToken {
-	return p.encryptInto(dst, p.tk.Flush())
+	if p.obs == nil {
+		return p.encryptInto(dst, p.tk.Flush())
+	}
+	t0 := time.Now()
+	return p.timedEncrypt(dst, p.tk.Flush(), t0, 0)
 }
 
 func (p *SenderPipeline) accountAndMaybeReset(n int) *SaltReset {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bbcrypto"
 	"repro/internal/dpienc"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/tokenize"
 )
@@ -123,6 +124,20 @@ type Engine struct {
 	tokensSeen uint64
 	// pruneWatermark drives candidate-map pruning.
 	pruneWatermark int
+
+	// tokensC/eventsC are nil until Instrument; uninstrumented engines pay
+	// only a nil check per batch.
+	tokensC *obs.Counter
+	eventsC *obs.Counter
+}
+
+// Instrument registers this engine's token and event counters in r (see
+// obs.DetectTokensTotal, obs.DetectEventsTotal). Counts are added at batch
+// granularity, so instrumentation stays off the per-token path. A nil
+// registry leaves the engine uninstrumented.
+func (e *Engine) Instrument(r *obs.Registry) {
+	e.tokensC = r.Counter(obs.DetectTokensTotal, obs.Help(obs.DetectTokensTotal))
+	e.eventsC = r.Counter(obs.DetectEventsTotal, obs.Help(obs.DetectEventsTotal))
 }
 
 // NewEngine compiles a ruleset against the token keys obtained from rule
@@ -206,7 +221,10 @@ func (e *Engine) Reset(salt0 uint64) {
 // workloads prefer ScanBatch, which amortizes call overhead and reuses the
 // caller's event buffer.
 func (e *Engine) ProcessToken(et dpienc.EncryptedToken) []Event {
-	return e.scanToken(et, nil)
+	evs := e.scanToken(et, nil)
+	e.tokensC.Inc()
+	e.eventsC.Add(uint64(len(evs)))
+	return evs
 }
 
 // ScanBatch runs a batch of encrypted tokens (in stream order) through the
@@ -216,9 +234,12 @@ func (e *Engine) ProcessToken(et dpienc.EncryptedToken) []Event {
 // a buffer reused across batches, truncated with dst[:0] — makes the hot
 // path allocation-free.
 func (e *Engine) ScanBatch(ets []dpienc.EncryptedToken, dst []Event) []Event {
+	before := len(dst)
 	for i := range ets {
 		dst = e.scanToken(ets[i], dst)
 	}
+	e.tokensC.Add(uint64(len(ets)))
+	e.eventsC.Add(uint64(len(dst) - before))
 	return dst
 }
 

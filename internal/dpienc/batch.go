@@ -32,6 +32,7 @@ type TokenAssignment struct {
 // returned assignments may then be encrypted in any order, or concurrently
 // on disjoint ranges, via EncryptAssigned.
 func (s *Sender) AssignTokens(toks []tokenize.Token, dst []TokenAssignment) []TokenAssignment {
+	s.tokensC.Add(uint64(len(toks)))
 	stride := s.saltStride()
 	for _, t := range toks {
 		blk, ok := s.keys[t.Text]

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/bbcrypto"
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -152,6 +153,11 @@ type Sender struct {
 
 	bytesSinceReset int
 	resetInterval   int
+
+	// tokensC/resetsC are nil until Instrument; the nil obs handles make
+	// uninstrumented senders pay only a nil check per batch.
+	tokensC *obs.Counter
+	resetsC *obs.Counter
 }
 
 // NewSender creates a Sender for session detection key k. kSSL is required
@@ -172,6 +178,14 @@ func NewSender(k, kSSL bbcrypto.Block, protocol Protocol, salt0 uint64) *Sender 
 // tests and benchmarks).
 func (s *Sender) SetResetInterval(p int) { s.resetInterval = p }
 
+// Instrument registers this sender's token and reset counters in r (see
+// obs.DPIEncTokensTotal, obs.DPIEncResetsTotal). A nil registry leaves the
+// sender uninstrumented.
+func (s *Sender) Instrument(r *obs.Registry) {
+	s.tokensC = r.Counter(obs.DPIEncTokensTotal, obs.Help(obs.DPIEncTokensTotal))
+	s.resetsC = r.Counter(obs.DPIEncResetsTotal, obs.Help(obs.DPIEncResetsTotal))
+}
+
 // Salt0 returns the current initial salt, which the sender announces to the
 // middlebox before sending encrypted tokens.
 func (s *Sender) Salt0() uint64 { return s.salt0 }
@@ -189,6 +203,7 @@ func (s *Sender) saltStride() uint64 {
 // EncryptToken encrypts one token. The caller must process tokens in stream
 // order for the counter tables at sender and middlebox to stay in sync.
 func (s *Sender) EncryptToken(t tokenize.Token) EncryptedToken {
+	s.tokensC.Inc()
 	blk, ok := s.keys[t.Text]
 	if !ok {
 		tk := ComputeTokenKey(s.k, t.Text)
@@ -236,6 +251,7 @@ func (s *Sender) AccountBytes(n int) (uint64, bool) {
 	s.salt0 += s.maxCt + 1
 	s.maxCt = 0
 	clear(s.counts)
+	s.resetsC.Inc()
 	return s.salt0, true
 }
 
@@ -245,6 +261,7 @@ func (s *Sender) Reset(newSalt0 uint64) {
 	s.maxCt = 0
 	s.bytesSinceReset = 0
 	clear(s.counts)
+	s.resetsC.Inc()
 }
 
 // RecoverSSLKey inverts the Protocol III embedding for a matched keyword:

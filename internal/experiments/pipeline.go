@@ -23,6 +23,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/detect"
 	"repro/internal/dpienc"
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -42,6 +43,11 @@ type PipelineOptions struct {
 	Conns int
 	// Batch is the token batch size, modeling one RecTokens record.
 	Batch int
+	// Metrics, when non-nil, backs the instrumented detection stage and is
+	// snapshotted into PipelineResult.Metrics. When nil, the stage still
+	// runs against a private registry (enabled but unscraped — the metrics
+	// overhead measurement), but no snapshot is embedded.
+	Metrics *obs.Registry
 }
 
 // DefaultPipelineOptions mirrors the throughput experiment's sizing.
@@ -58,6 +64,10 @@ type StageTimings struct {
 	DetectSeqNs   int64 `json:"detect_seq_ns"`
 	DetectBatchNs int64 `json:"detect_batch_ns"`
 	DetectParNs   int64 `json:"detect_par_ns"`
+	// DetectObsNs is the batched path with an enabled obs registry —
+	// the cost of metrics collection. Zero in baselines recorded before
+	// the field existed.
+	DetectObsNs int64 `json:"detect_obs_ns,omitempty"`
 }
 
 // PipelineResult is the machine-readable outcome written to
@@ -84,6 +94,18 @@ type PipelineResult struct {
 	EncryptSpeedup     float64 `json:"encrypt_speedup"`
 	DetectBatchSpeedup float64 `json:"detect_batch_speedup"`
 	DetectParSpeedup   float64 `json:"detect_par_speedup"`
+
+	// DetectObsTokensPerSec is the instrumented batched path's rate;
+	// DetectObsSpeedup is its ratio to the uninstrumented batched path
+	// (≈ 1.0 — metrics collection must be noise). Zero when read from a
+	// baseline that predates the instrumented stage.
+	DetectObsTokensPerSec float64 `json:"detect_obs_tokens_per_sec,omitempty"`
+	DetectObsSpeedup      float64 `json:"detect_obs_speedup,omitempty"`
+
+	// Metrics is the registry snapshot taken after the instrumented stage,
+	// present only when PipelineOptions.Metrics was set (blindbench
+	// -metrics-out).
+	Metrics map[string]any `json:"metrics,omitempty"`
 }
 
 func tokensPerSec(tokens int, ns int64) float64 {
@@ -183,7 +205,23 @@ func Pipeline(opt PipelineOptions) (PipelineResult, error) {
 	start = time.Now()
 	scratch = scanAll(engBatch, scratch)
 	res.Stages.DetectBatchNs = time.Since(start).Nanoseconds()
+
+	// Instrumented detection: the batched path again, with an enabled (but
+	// unscraped) obs registry — what a production middlebox with an admin
+	// endpoint pays per batch.
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	engObs := mkEngine()
+	engObs.Instrument(reg)
+	start = time.Now()
+	scratch = scanAll(engObs, scratch)
+	res.Stages.DetectObsNs = time.Since(start).Nanoseconds()
 	_ = scratch
+	if opt.Metrics != nil {
+		res.Metrics = opt.Metrics.Snapshot()
+	}
 
 	// Parallel detection: Conns per-connection engines drained by Workers
 	// goroutines, each engine owned by exactly one worker at a time —
@@ -223,6 +261,10 @@ func Pipeline(opt PipelineOptions) (PipelineResult, error) {
 	if res.DetectSeqTokensPerSec > 0 {
 		res.DetectBatchSpeedup = res.DetectBatchTokensPerSec / res.DetectSeqTokensPerSec
 		res.DetectParSpeedup = res.DetectParTokensPerSec / res.DetectSeqTokensPerSec
+	}
+	res.DetectObsTokensPerSec = tokensPerSec(res.Tokens, res.Stages.DetectObsNs)
+	if res.DetectBatchTokensPerSec > 0 {
+		res.DetectObsSpeedup = res.DetectObsTokensPerSec / res.DetectBatchTokensPerSec
 	}
 	return res, nil
 }
@@ -272,11 +314,15 @@ func PrintPipeline(w io.Writer, r PipelineResult) {
 		fmt.Sprintf("%.2fM", r.DetectSeqTokensPerSec/1e6))
 	t.row("detect batched", fmt.Sprintf("%.1f ms", float64(r.Stages.DetectBatchNs)/1e6),
 		fmt.Sprintf("%.2fM", r.DetectBatchTokensPerSec/1e6))
+	t.row("detect batched + metrics", fmt.Sprintf("%.1f ms", float64(r.Stages.DetectObsNs)/1e6),
+		fmt.Sprintf("%.2fM", r.DetectObsTokensPerSec/1e6))
 	t.row(fmt.Sprintf("detect parallel (%d conns)", r.Conns),
 		fmt.Sprintf("%.1f ms", float64(r.Stages.DetectParNs)/1e6),
 		fmt.Sprintf("%.2fM aggregate", r.DetectParTokensPerSec/1e6))
 	t.flush()
 	fmt.Fprintf(w, "speedups vs sequential: encrypt %.2fx, detect batched %.2fx, detect parallel %.2fx (aggregate over %d engines)\n",
 		r.EncryptSpeedup, r.DetectBatchSpeedup, r.DetectParSpeedup, r.Conns)
+	fmt.Fprintf(w, "metrics overhead: instrumented batched detection at %.2fx the uninstrumented rate\n",
+		r.DetectObsSpeedup)
 	fmt.Fprintln(w, "shape: assignment is the only sequential step; AES and per-connection detection scale with cores (§6)")
 }

@@ -91,6 +91,7 @@ func DefaultRules(modulePath string, goMinor int) []Rule {
 		&LoopCapture{GoMinor: goMinor},
 		&ChanLeak{},
 		&TodoPanic{},
+		NewObsStats([]string{modulePath + "/internal/obs"}),
 	}
 }
 

@@ -25,6 +25,7 @@ func fixtureRules() []Rule {
 		&LoopCapture{GoMinor: 21},
 		&ChanLeak{},
 		&TodoPanic{},
+		NewObsStats([]string{"repro/internal/obs"}),
 	}
 }
 
@@ -40,6 +41,7 @@ var fixtureRuleID = map[string]string{
 	"loopcapture":      "loop-capture",
 	"chanleak":         "chan-leak",
 	"todopanic":        "todo-panic",
+	"obsstats":         "obs-stats",
 	"suppress":         directiveRule,
 }
 
@@ -154,6 +156,7 @@ func TestDefaultRulesCatalog(t *testing.T) {
 	want := []string{
 		"ct-compare", "weak-rand", "unchecked-err",
 		"mutex-copy", "loop-capture", "chan-leak", "todo-panic",
+		"obs-stats",
 	}
 	rules := DefaultRules("repro", 22)
 	if len(rules) != len(want) {

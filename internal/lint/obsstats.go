@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsStats forbids hand-rolled statistics counters — struct fields of the
+// sync/atomic integer types whose names read like pipeline statistics —
+// outside internal/obs. Such fields inevitably drift from the /metrics
+// exposition: the middlebox once kept a private atomic stats struct that a
+// scrape could never see. Stats belong in an obs.Counter or obs.Gauge
+// registered against the catalog, so Stats()-style snapshots and the admin
+// endpoint read the same cells. Atomic fields that are not statistics
+// (sequence generators, state flags) are exempt by name.
+type ObsStats struct {
+	allow []string
+}
+
+// NewObsStats builds the rule with the given allowlisted import paths
+// (exact match or path prefix); internal/obs itself is the expected entry.
+func NewObsStats(allow []string) *ObsStats { return &ObsStats{allow: allow} }
+
+// ID implements Rule.
+func (r *ObsStats) ID() string { return "obs-stats" }
+
+// Doc implements Rule.
+func (r *ObsStats) Doc() string {
+	return "atomic struct fields named like pipeline statistics belong in internal/obs (Counter/Gauge)"
+}
+
+// statWords are identifier words that mark an atomic field as a statistic.
+// "connSeq" passes (neither word is a statistic); "tokensScanned" fires.
+var statWords = map[string]bool{
+	"alert": true, "alerts": true,
+	"blocked": true,
+	"bytes":   true,
+	"conns":   true, "connections": true,
+	"count": true, "counts": true,
+	"drops": true, "dropped": true,
+	"errs": true, "errors": true,
+	"events":  true,
+	"hits":    true,
+	"keys":    true,
+	"matches": true,
+	"packets": true,
+	"records": true,
+	"scanned": true,
+	"tokens":  true,
+	"total":   true, "totals": true,
+}
+
+// Check implements Rule.
+func (r *ObsStats) Check(pkg *Package, report Reporter) {
+	for _, a := range r.allow {
+		if pkg.ImportPath == a || strings.HasPrefix(pkg.ImportPath, a+"/") {
+			return
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !isAtomicInt(typeOf(pkg.Info, field.Type)) {
+					continue
+				}
+				for _, name := range field.Names {
+					if w := statWord(name.Name); w != "" {
+						report(name, "atomic stat field %q (%q): register an obs.Counter or obs.Gauge so /metrics sees it", name.Name, w)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicInt reports whether t is one of sync/atomic's integer types.
+func isAtomicInt(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64", "Uintptr":
+		return true
+	}
+	return false
+}
+
+// statWord returns the first statistic-word in ident, or "".
+func statWord(ident string) string {
+	for _, w := range splitWords(ident) {
+		if statWords[w] {
+			return w
+		}
+	}
+	return ""
+}
+
+var _ Rule = (*ObsStats)(nil)

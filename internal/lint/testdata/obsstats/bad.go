@@ -1,0 +1,23 @@
+// Package obsstats exercises the obs-stats rule: every atomic field below
+// is a hand-rolled statistic and must fire; good.go holds the exempt forms.
+package obsstats
+
+import "sync/atomic"
+
+type middleboxStats struct {
+	tokens  atomic.Uint64
+	bytes   atomic.Uint64
+	alerts  atomic.Uint64
+	blocked atomic.Uint32
+}
+
+type flowState struct {
+	errCount   atomic.Int64
+	bytesTotal atomic.Uint64
+}
+
+func touch(s *middleboxStats, f *flowState) uint64 {
+	s.tokens.Add(1)
+	f.errCount.Add(1)
+	return s.bytes.Load() + f.bytesTotal.Load() + uint64(s.alerts.Load()) + uint64(s.blocked.Load())
+}

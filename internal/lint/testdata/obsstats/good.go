@@ -1,0 +1,22 @@
+package obsstats
+
+import "sync/atomic"
+
+// Non-statistic atomics are exempt: sequence generators, state flags, and
+// plain (non-atomic) integers a mutex already guards.
+type connTable struct {
+	connSeq  atomic.Uint64 // flow ID generator, not a count
+	shutdown atomic.Bool
+	epoch    atomic.Int64
+}
+
+// A suppressed statistic with a reason also passes.
+type legacy struct {
+	//lint:ignore obs-stats pre-obs snapshot format kept for on-disk compatibility
+	tokens atomic.Uint64
+}
+
+func goodTouch(c *connTable, l *legacy) uint64 {
+	c.shutdown.Store(true)
+	return c.connSeq.Add(1) + uint64(c.epoch.Load()) + l.tokens.Load()
+}

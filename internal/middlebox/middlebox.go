@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bbcrypto"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/dpienc"
 	"repro/internal/garble"
+	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/ruleprep"
 	"repro/internal/rules"
@@ -87,16 +90,48 @@ type Config struct {
 	// ShardQueue overrides the per-shard bounded queue depth in token
 	// batches (default 64). Smaller values tighten back-pressure.
 	ShardQueue int
+	// Metrics is the registry the middlebox registers its counters,
+	// gauges and histograms in (see the obs.MB* catalog entries). When
+	// nil, a private registry backs the counters so Stats keeps working;
+	// pass a shared registry to expose them on an admin endpoint.
+	Metrics *obs.Registry
+	// Trace receives per-flow spans (handshake, prep, scan, forward).
+	// Nil disables tracing; Emit must be safe for concurrent use.
+	Trace obs.Sink
+	// Logger receives structured connection-lifecycle and error logs.
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
-// Stats aggregates middlebox counters.
+// Stats aggregates middlebox counters. Every field is monotonic over the
+// process lifetime — counters only ever increase, are never reset by
+// Close or by connection teardown, and aggregate across all connections
+// the middlebox has handled. The fields are snapshots of the same
+// obs.Registry counters a /metrics scrape reads (obs.MB*Total), so the
+// two views can never disagree beyond the skew of two concurrent loads.
 type Stats struct {
-	Connections    uint64
-	TokensScanned  uint64
+	// Connections is the number of connections admitted (obs.MBConnectionsTotal).
+	Connections uint64
+	// ConnErrors counts connections that ended with a non-EOF error:
+	// upstream dial failures, handshake-interposition or rule-preparation
+	// failures (obs.MBConnErrorsTotal). Forwarding-phase teardown is not
+	// counted — after the handshake, a severed leg is ordinary shutdown.
+	ConnErrors uint64
+	// TokensScanned counts encrypted tokens received for detection
+	// (obs.MBTokensScannedTotal).
+	TokensScanned uint64
+	// BytesForwarded counts data-record payload bytes relayed
+	// (obs.MBBytesForwarded).
 	BytesForwarded uint64
-	Alerts         uint64
-	Blocked        uint64
-	KeysRecovered  uint64
+	// Alerts counts detection events dispatched, secondary inspection
+	// included (obs.MBAlertsTotal).
+	Alerts uint64
+	// Blocked counts connections severed by a block-action match
+	// (obs.MBBlockedTotal).
+	Blocked uint64
+	// KeysRecovered counts Protocol III SSL keys recovered
+	// (obs.MBKeysRecovered).
+	KeysRecovered uint64
 }
 
 // Middlebox proxies BlindBox HTTPS connections and inspects them.
@@ -105,16 +140,15 @@ type Middlebox struct {
 	secondary *baseline.IDS
 	pool      *detectPool
 	connSeq   atomic.Uint64
+	met       *mbMetrics
+	trace     obs.Sink
+	log       *slog.Logger
 
 	// lifecycle: Close waits for active connections, then drains the
 	// detection pool.
 	mu     sync.Mutex
 	closed bool
 	connWG sync.WaitGroup
-
-	stats struct {
-		tokens, bytes, alerts, blocked, conns, keys atomic.Uint64
-	}
 }
 
 // ErrClosed is returned for connections arriving after Close.
@@ -128,7 +162,12 @@ func New(cfg Config) (*Middlebox, error) {
 	if cfg.RGPublicKey != nil && !rules.Verify(cfg.RGPublicKey, cfg.Ruleset) {
 		return nil, errors.New("middlebox: ruleset signature invalid")
 	}
-	mb := &Middlebox{cfg: cfg}
+	mb := &Middlebox{
+		cfg:   cfg,
+		met:   newMBMetrics(cfg.Metrics),
+		trace: cfg.Trace,
+		log:   obs.OrNop(cfg.Logger),
+	}
 	if cfg.Secondary {
 		mb.secondary = baseline.New(cfg.Ruleset.Ruleset)
 	}
@@ -169,20 +208,24 @@ func (mb *Middlebox) Close() error {
 	return nil
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters (see the Stats type for the
+// semantics). It reads the same registry handles /metrics exposes.
 func (mb *Middlebox) Stats() Stats {
 	return Stats{
-		Connections:    mb.stats.conns.Load(),
-		TokensScanned:  mb.stats.tokens.Load(),
-		BytesForwarded: mb.stats.bytes.Load(),
-		Alerts:         mb.stats.alerts.Load(),
-		Blocked:        mb.stats.blocked.Load(),
-		KeysRecovered:  mb.stats.keys.Load(),
+		Connections:    mb.met.conns.Value(),
+		ConnErrors:     mb.met.connErrs.Value(),
+		TokensScanned:  mb.met.tokens.Value(),
+		BytesForwarded: mb.met.bytes.Value(),
+		Alerts:         mb.met.alerts.Value(),
+		Blocked:        mb.met.blocked.Value(),
+		KeysRecovered:  mb.met.keys.Value(),
 	}
 }
 
 // Serve accepts connections on ln and proxies each to forwardAddr until
-// ln is closed.
+// ln is closed. Connection-level failures are not fatal to the middlebox:
+// they are logged (Config.Logger) and counted (Stats.ConnErrors) by the
+// handling goroutine, never returned from Serve.
 func (mb *Middlebox) Serve(ln net.Listener, forwardAddr string) error {
 	for {
 		conn, err := ln.Accept()
@@ -190,9 +233,13 @@ func (mb *Middlebox) Serve(ln net.Listener, forwardAddr string) error {
 			return err
 		}
 		go func() {
-			if err := mb.HandleConn(conn, forwardAddr); err != nil && !errors.Is(err, io.EOF) {
-				// Connection-level errors are not fatal to the middlebox.
-				_ = err
+			// HandleConn has already counted and logged real failures with
+			// the connection ID attached; EOF and post-Close arrivals are
+			// ordinary shutdown.
+			if err := mb.HandleConn(conn, forwardAddr); err != nil &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, ErrClosed) {
+				mb.log.Debug("connection closed with error",
+					"remote", conn.RemoteAddr().String(), "err", err)
 			}
 		}()
 	}
@@ -205,22 +252,36 @@ func (mb *Middlebox) HandleConn(client net.Conn, forwardAddr string) error {
 	defer client.Close()
 	server, err := net.Dial("tcp", forwardAddr)
 	if err != nil {
+		mb.met.connErrs.Inc()
+		mb.log.Error("upstream dial failed", "addr", forwardAddr, "err", err)
 		return fmt.Errorf("middlebox: dialing server: %w", err)
 	}
 	defer server.Close()
 	return mb.Interpose(client, server)
 }
 
-// Interpose runs the middlebox over two established transports.
+// Interpose runs the middlebox over two established transports. A non-EOF
+// failure before the forwarding phase is counted in Stats.ConnErrors and
+// logged with the connection ID.
 func (mb *Middlebox) Interpose(client, server net.Conn) error {
 	if err := mb.beginConn(); err != nil {
 		return err
 	}
 	defer mb.connWG.Done()
 	id := mb.connSeq.Add(1)
-	mb.stats.conns.Add(1)
+	mb.met.conns.Inc()
+	mb.log.Debug("connection admitted", "conn", id)
+	err := mb.interpose(id, client, server)
+	if err != nil && !errors.Is(err, io.EOF) {
+		mb.met.connErrs.Inc()
+		mb.log.Error("connection failed", "conn", id, "err", err)
+	}
+	return err
+}
 
+func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	// 1. Handshake interposition: mark MBPresent both ways.
+	hsStart := time.Now()
 	typ, body, err := transport.ReadRecord(client)
 	if err != nil {
 		return err
@@ -251,6 +312,7 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 	if err := transport.WriteRecord(client, transport.RecHelloReply, body); err != nil {
 		return err
 	}
+	mb.observeSpan(obs.Span{Flow: id, Name: obs.SpanHandshake}, hsStart, mb.met.handshake)
 
 	cfg := core.Config{
 		Protocol: hello.Protocol,
@@ -259,6 +321,7 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 	}
 
 	// 2. Rule preparation with both endpoints (the "garble threads").
+	prepStart := time.Now()
 	req := core.BuildRequest(mb.cfg.Ruleset, cfg.Mode)
 	prep, err := ruleprep.NewMiddlebox(req)
 	if err != nil {
@@ -311,6 +374,7 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 			return err
 		}
 	}
+	mb.observeSpan(obs.Span{Flow: id, Name: obs.SpanPrep}, prepStart, mb.met.prep)
 
 	// 3. Detection: one forwarding goroutine per direction. With the
 	// parallel pipeline the forwarding goroutines stay I/O-bound and the
@@ -521,11 +585,27 @@ func (fl *flow) wait() {
 // detection. In parallel mode token batches are queued on the flow's shard
 // and only data/close records wait for detection (the barrier); in
 // sequential mode scanning happens inline, as in the paper's per-connection
-// detection threads.
+// detection threads. Read/write errors here are ordinary teardown (one
+// severed leg kills the other), so they are logged at debug level and not
+// counted as connection errors.
 func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
+	fwdStart := time.Now()
+	fwdBytes := 0
+	if mb.trace != nil {
+		defer func() {
+			mb.trace.Emit(obs.Span{
+				Flow: fl.id, Dir: string(fl.dir), Name: obs.SpanForward,
+				Start: fwdStart.UnixNano(), Dur: int64(time.Since(fwdStart)),
+				Bytes: fwdBytes,
+			})
+		}()
+	}
 	for {
 		typ, body, err := transport.ReadRecord(src)
 		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				mb.log.Debug("forward read ended", "conn", fl.id, "dir", fl.dir, "err", err)
+			}
 			fl.kill()
 			return
 		}
@@ -544,14 +624,18 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 		case transport.RecTokens:
 			toks, err := transport.UnmarshalTokens(body, fl.cfg.Protocol == dpienc.ProtocolIII)
 			if err != nil {
+				mb.log.Debug("forward read ended", "conn", fl.id, "dir", fl.dir, "err", err)
 				fl.kill()
 				return
 			}
-			mb.stats.tokens.Add(uint64(len(toks)))
+			mb.met.tokens.Add(uint64(len(toks)))
 			if mb.pool != nil {
 				fl.enqueue(mb.pool, detectJob{fl: fl, toks: toks})
 			} else {
+				// Inline scan: Shard -1 marks sequential-mode scan spans.
+				scanStart := time.Now()
 				fl.scratch = fl.engine.ScanBatch(toks, fl.scratch[:0])
+				mb.observeScan(fl, scanStart, -1, len(toks))
 				for _, ev := range fl.scratch {
 					mb.dispatchEvent(fl, ev)
 				}
@@ -559,13 +643,14 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 		case transport.RecData:
 			// Detection barrier: the block policy and the probable-cause
 			// element must have seen every token preceding this payload.
-			fl.wait()
-			mb.stats.bytes.Add(uint64(len(body)))
+			mb.barrierWait(fl)
+			mb.met.bytes.Add(uint64(len(body)))
+			fwdBytes += len(body)
 			if mb.cfg.Secondary && fl.cfg.Protocol == dpienc.ProtocolIII {
 				mb.captureData(fl, body)
 			}
 		case transport.RecClose:
-			fl.wait()
+			mb.barrierWait(fl)
 			if fl.recovered && len(fl.plaintext) > 0 {
 				mb.secondaryInspect(fl)
 			}
@@ -576,9 +661,48 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 			return
 		}
 		if err := transport.WriteRecord(dst, typ, body); err != nil {
+			mb.log.Debug("forward write ended", "conn", fl.id, "dir", fl.dir, "err", err)
 			fl.kill()
 			return
 		}
+	}
+}
+
+// barrierWait runs the detection barrier, timing the stall in parallel mode
+// (sequential mode has no queued work; the histogram would only record the
+// clock's noise floor).
+func (mb *Middlebox) barrierWait(fl *flow) {
+	if mb.pool == nil {
+		fl.wait()
+		return
+	}
+	start := time.Now()
+	fl.wait()
+	mb.met.barrier.Observe(time.Since(start).Seconds())
+}
+
+// observeScan records one ScanBatch in the scan histogram and, when tracing,
+// as a scan span. shard is -1 for inline (sequential-mode) scans.
+func (mb *Middlebox) observeScan(fl *flow, start time.Time, shard, tokens int) {
+	dur := time.Since(start)
+	mb.met.scan.Observe(dur.Seconds())
+	if mb.trace != nil {
+		mb.trace.Emit(obs.Span{
+			Flow: fl.id, Dir: string(fl.dir), Name: obs.SpanScan, Shard: shard,
+			Start: start.UnixNano(), Dur: int64(dur), Tokens: tokens,
+		})
+	}
+}
+
+// observeSpan records dur-since-start in h and, when tracing is enabled,
+// emits sp with the timing filled in.
+func (mb *Middlebox) observeSpan(sp obs.Span, start time.Time, h *obs.Histogram) {
+	dur := time.Since(start)
+	h.Observe(dur.Seconds())
+	if mb.trace != nil {
+		sp.Start = start.UnixNano()
+		sp.Dur = int64(dur)
+		mb.trace.Emit(sp)
 	}
 }
 
@@ -586,11 +710,15 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 // It runs on the flow's detection shard (parallel mode) or the forwarding
 // goroutine (sequential mode) — never both concurrently.
 func (mb *Middlebox) dispatchEvent(fl *flow, ev detect.Event) {
-	mb.stats.alerts.Add(1)
+	mb.met.alerts.Inc()
+	if ev.Kind == detect.RuleMatch {
+		mb.met.ruleAlert(ev.Rule.SID)
+	}
 	if ev.HasSSLKey && !fl.recovered {
 		fl.recovered = true
 		fl.sslKey = ev.SSLKey
-		mb.stats.keys.Add(1)
+		mb.met.keys.Inc()
+		mb.log.Info("probable cause: SSL key recovered", "conn", fl.id, "dir", fl.dir)
 		if mb.cfg.Secondary {
 			mb.drainBuffered(fl)
 		}
@@ -600,7 +728,9 @@ func (mb *Middlebox) dispatchEvent(fl *flow, ev detect.Event) {
 	}
 	if ev.Kind == detect.RuleMatch && ev.Rule.Action == rules.Block {
 		if fl.blocked.CompareAndSwap(false, true) {
-			mb.stats.blocked.Add(1)
+			mb.met.blocked.Inc()
+			mb.log.Info("block rule matched, severing connection",
+				"conn", fl.id, "dir", fl.dir, "sid", ev.Rule.SID)
 			fl.kill()
 		}
 	}
@@ -651,6 +781,9 @@ func (mb *Middlebox) secondaryInspect(fl *flow) {
 	if len(res.RuleSIDs) == 0 || mb.cfg.OnAlert == nil {
 		return
 	}
-	mb.stats.alerts.Add(uint64(len(res.RuleSIDs)))
+	mb.met.alerts.Add(uint64(len(res.RuleSIDs)))
+	for _, sid := range res.RuleSIDs {
+		mb.met.ruleAlert(sid)
+	}
 	mb.cfg.OnAlert(Alert{ConnID: fl.id, Direction: fl.dir, Secondary: true, SecondarySIDs: res.RuleSIDs})
 }

@@ -31,10 +31,13 @@ package middlebox
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/dpienc"
+	"repro/internal/obs"
 )
 
 // defaultShardQueue is the default per-shard queue bound, in batches. One
@@ -55,7 +58,10 @@ type detectJob struct {
 // detectPool fans detection jobs across shard workers.
 type detectPool struct {
 	shards []chan detectJob
-	wg     sync.WaitGroup
+	// depth[i] gauges the queue occupancy of shard i (batches enqueued and
+	// not yet dequeued), resolved from the registry once at pool start.
+	depth []*obs.Gauge
+	wg    sync.WaitGroup
 }
 
 // newDetectPool starts `shards` single-goroutine workers (0 means
@@ -67,12 +73,16 @@ func newDetectPool(mb *Middlebox, shards, depth int) *detectPool {
 	if depth <= 0 {
 		depth = defaultShardQueue
 	}
-	p := &detectPool{shards: make([]chan detectJob, shards)}
+	p := &detectPool{
+		shards: make([]chan detectJob, shards),
+		depth:  make([]*obs.Gauge, shards),
+	}
 	for i := range p.shards {
 		ch := make(chan detectJob, depth)
 		p.shards[i] = ch
+		p.depth[i] = mb.met.shardDepth.With(strconv.Itoa(i))
 		p.wg.Add(1)
-		go p.worker(mb, ch)
+		go p.worker(mb, i, ch)
 	}
 	return p
 }
@@ -92,21 +102,25 @@ func (p *detectPool) shardIndex(connID uint64, dir Direction) int {
 // is full — that is the back-pressure policy. The flow's pending count must
 // already be incremented (flow.enqueue does both).
 func (p *detectPool) submit(job detectJob) {
+	p.depth[job.fl.shard].Add(1)
 	p.shards[job.fl.shard] <- job
 }
 
 // worker drains one shard. The events scratch buffer is reused across
 // batches, so steady-state detection allocates only on matches that grow
 // it.
-func (p *detectPool) worker(mb *Middlebox, ch chan detectJob) {
+func (p *detectPool) worker(mb *Middlebox, shard int, ch chan detectJob) {
 	defer p.wg.Done()
 	var scratch []detect.Event
 	for job := range ch {
+		p.depth[shard].Add(-1)
 		fl := job.fl
 		if job.reset {
 			fl.engine.Reset(job.salt)
 		} else {
+			start := time.Now()
 			scratch = fl.engine.ScanBatch(job.toks, scratch[:0])
+			mb.observeScan(fl, start, shard, len(job.toks))
 			for _, ev := range scratch {
 				mb.dispatchEvent(fl, ev)
 			}

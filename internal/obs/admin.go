@@ -1,0 +1,62 @@
+// The admin HTTP endpoint: /metrics (Prometheus text), /metrics.json
+// (registry snapshot), /healthz, and net/http/pprof under /debug/pprof/.
+// cmd/bbmb and cmd/bbserver mount this behind their -admin flag; tests
+// mount it on httptest servers.
+
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux builds the admin endpoint for a registry. The pprof handlers
+// are mounted explicitly (not via the net/http/pprof DefaultServeMux side
+// effect), so the admin mux composes with any process-global handlers.
+func AdminMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore unchecked-err a failed scrape write means the client went away; nothing to do
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore unchecked-err a failed scrape write means the client went away; nothing to do
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		//lint:ignore unchecked-err a failed health-check write means the client went away; nothing to do
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin listens on addr and serves the admin endpoint in a background
+// goroutine, returning the bound listener (so callers can report the
+// resolved port and close it on shutdown). Serve errors after a successful
+// bind are logged, not fatal: losing the admin port must not take down the
+// data path.
+func ServeAdmin(addr string, r *Registry, log *slog.Logger) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: AdminMux(r)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			OrNop(log).Error("admin endpoint stopped", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	return ln, nil
+}

@@ -1,0 +1,86 @@
+// The metric name catalog: every metric the BlindBox pipeline registers,
+// with its help string. Packages register through these constants, and
+// TestMetricNames pins the catalog — a metric outside it (or one that
+// breaks the Prometheus name grammar) fails the build gate. DESIGN.md §8
+// documents the same catalog for operators.
+
+package obs
+
+// Metric names, grouped by the subsystem that owns them. Conventions:
+// every name is prefixed blindbox_<subsystem>_; counters end in _total;
+// histograms end in their unit (_seconds, _bytes); vec metrics carry
+// exactly one label, named in the help string.
+const (
+	// middlebox (label owners: sid on alerts_by_sid, shard on queue depth)
+	MBConnectionsTotal   = "blindbox_mb_connections_total"
+	MBConnErrorsTotal    = "blindbox_mb_conn_errors_total"
+	MBTokensScannedTotal = "blindbox_mb_tokens_scanned_total"
+	MBBytesForwarded     = "blindbox_mb_bytes_forwarded_total"
+	MBAlertsTotal        = "blindbox_mb_alerts_total"
+	MBBlockedTotal       = "blindbox_mb_blocked_total"
+	MBKeysRecovered      = "blindbox_mb_keys_recovered_total"
+	MBAlertsBySID        = "blindbox_mb_alerts_by_sid_total"
+	MBShardQueueDepth    = "blindbox_mb_shard_queue_depth"
+	MBScanSeconds        = "blindbox_mb_scan_seconds"
+	MBBarrierWaitSeconds = "blindbox_mb_barrier_wait_seconds"
+	MBHandshakeSeconds   = "blindbox_mb_handshake_seconds"
+	MBPrepSeconds        = "blindbox_mb_prep_seconds"
+
+	// transport endpoints
+	ConnHandshakeSeconds = "blindbox_conn_handshake_seconds"
+	ConnRecordsTotal     = "blindbox_conn_records_total"
+	ConnRecordBytes      = "blindbox_conn_record_bytes"
+
+	// core sender pipeline
+	SenderTokenizeSeconds = "blindbox_sender_tokenize_seconds"
+	SenderEncryptSeconds  = "blindbox_sender_encrypt_seconds"
+
+	// dpienc
+	DPIEncTokensTotal = "blindbox_dpienc_tokens_encrypted_total"
+	DPIEncResetsTotal = "blindbox_dpienc_counter_resets_total"
+
+	// detect
+	DetectTokensTotal = "blindbox_detect_tokens_total"
+	DetectEventsTotal = "blindbox_detect_events_total"
+
+	// baseline (plaintext IDS)
+	BaselinePacketsTotal = "blindbox_baseline_packets_total"
+	BaselineHitsTotal    = "blindbox_baseline_pattern_hits_total"
+)
+
+// Catalog maps every canonical metric name to its help string.
+var Catalog = map[string]string{
+	MBConnectionsTotal:   "Connections admitted by the middlebox (monotonic, process lifetime).",
+	MBConnErrorsTotal:    "Connections that failed before forwarding began (upstream dial, handshake interposition or rule preparation).",
+	MBTokensScannedTotal: "Encrypted tokens received for detection across all flows.",
+	MBBytesForwarded:     "Data-record payload bytes forwarded through the middlebox.",
+	MBAlertsTotal:        "Detection events dispatched (keyword, rule and secondary alerts).",
+	MBBlockedTotal:       "Connections severed by a block-action rule match.",
+	MBKeysRecovered:      "Protocol III SSL keys recovered under probable cause.",
+	MBAlertsBySID:        "Rule alerts by rule SID; label: sid.",
+	MBShardQueueDepth:    "Queued detection batches per shard; label: shard.",
+	MBScanSeconds:        "Detection latency of one token batch (ScanBatch).",
+	MBBarrierWaitSeconds: "Time the forwarding goroutine waited on the detection barrier before a data/close record.",
+	MBHandshakeSeconds:   "Middlebox hello-interposition duration per connection.",
+	MBPrepSeconds:        "Obfuscated rule encryption duration per connection (both legs).",
+
+	ConnHandshakeSeconds: "Endpoint handshake duration, including rule preparation when a middlebox is present.",
+	ConnRecordsTotal:     "Records written by this endpoint after the handshake (salt, token, data and close records).",
+	ConnRecordBytes:      "Body size of records written by this endpoint.",
+
+	SenderTokenizeSeconds: "Tokenization latency per processed chunk.",
+	SenderEncryptSeconds:  "DPIEnc encryption latency per token batch (after counter assignment).",
+
+	DPIEncTokensTotal: "Tokens encrypted by DPIEnc senders.",
+	DPIEncResetsTotal: "Counter-table resets (explicit and interval-driven).",
+
+	DetectTokensTotal: "Tokens processed by detection engines.",
+	DetectEventsTotal: "Detection events (keyword and rule matches) produced by engines.",
+
+	BaselinePacketsTotal: "Packets processed by the plaintext baseline IDS pipeline.",
+	BaselineHitsTotal:    "Multi-pattern hits in the plaintext baseline IDS pipeline.",
+}
+
+// Help returns the catalog help string for name ("" when uncataloged —
+// TestMetricNames rejects registrations that hit that path).
+func Help(name string) string { return Catalog[name] }

@@ -1,0 +1,158 @@
+// Metric exposition: Prometheus text format for scrapes and a JSON
+// (expvar-style) snapshot for humans, benchmarks, and the blindbench
+// -metrics-out flag.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order; labeled children are sorted by label value for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, m := range r.snapshotMetrics() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		case kindHistogram:
+			err = writeHistogram(w, m.name, m.histogram)
+		case kindCounterVec:
+			for _, kv := range sortedCounterChildren(m.counterVec) {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.counterVec.label, kv.k, kv.v); err != nil {
+					break
+				}
+			}
+		case kindGaugeVec:
+			for _, kv := range sortedGaugeChildren(m.gaugeVec) {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.gaugeVec.label, kv.k, kv.v); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	cum := h.snapshot()
+	for i, bound := range h.bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes newlines and backslashes per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+type counterChild struct {
+	k string
+	v uint64
+}
+
+func sortedCounterChildren(vec *CounterVec) []counterChild {
+	vals := vec.Values()
+	out := make([]counterChild, 0, len(vals))
+	for k, v := range vals {
+		out = append(out, counterChild{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+type gaugeChild struct {
+	k string
+	v int64
+}
+
+func sortedGaugeChildren(vec *GaugeVec) []gaugeChild {
+	vals := vec.Values()
+	out := make([]gaugeChild, 0, len(vals))
+	for k, v := range vals {
+		out = append(out, gaugeChild{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	// Buckets maps each upper bound (formatted as by Prometheus, plus
+	// "+Inf") to its cumulative count.
+	Buckets map[string]uint64 `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   uint64            `json:"count"`
+}
+
+// Snapshot returns the current value of every metric as a JSON-ready map:
+// counters and gauges as numbers, vecs as label-value maps, histograms as
+// HistogramSnapshot. encoding/json sorts the keys, so marshaled snapshots
+// diff cleanly.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any)
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindHistogram:
+			h := m.histogram
+			cum := h.snapshot()
+			buckets := make(map[string]uint64, len(cum))
+			for i, bound := range h.bounds {
+				buckets[formatFloat(bound)] = cum[i]
+			}
+			buckets["+Inf"] = cum[len(cum)-1]
+			out[m.name] = HistogramSnapshot{Buckets: buckets, Sum: h.Sum(), Count: h.Count()}
+		case kindCounterVec:
+			out[m.name] = m.counterVec.Values()
+		case kindGaugeVec:
+			out[m.name] = m.gaugeVec.Values()
+		}
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Structured logging glue: the pipeline logs through log/slog, and the
+// packages that accept an optional *slog.Logger normalize nil to a
+// disabled logger so call sites never nil-check.
+
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// nopLogger discards everything; its handler reports Enabled() == false for
+// every level, so disabled log calls cost one interface call and no
+// formatting.
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+	Level: slog.Level(127),
+}))
+
+// OrNop returns l, or a disabled logger when l is nil.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}
+
+// NewLogger builds the standard text logger the cmd binaries use.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

@@ -1,0 +1,116 @@
+// Per-flow tracing: span records for the pipeline stages (handshake, rule
+// preparation, tokenize, encrypt, scan, forward) with flow and shard IDs.
+// Spans go to a pluggable Sink; the JSONL sink makes them greppable and
+// consumable by `bbtrace -spans`.
+
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span names emitted by the pipeline. The set is closed on purpose: tools
+// (bbtrace -spans) and the DESIGN.md schema enumerate it.
+const (
+	SpanHandshake = "handshake" // hello exchange (endpoint or middlebox leg)
+	SpanPrep      = "prep"      // obfuscated rule encryption (§3.3)
+	SpanTokenize  = "tokenize"  // sender-side tokenization of one chunk
+	SpanEncrypt   = "encrypt"   // sender-side DPIEnc encryption of one batch
+	SpanScan      = "scan"      // middlebox detection of one token batch
+	SpanForward   = "forward"   // one middlebox forwarding direction, whole life
+)
+
+// Span is one trace record. Flow identifies the connection (middlebox conn
+// ID, or a transport-local sequence number on endpoints); Dir is "c2s",
+// "s2c", or empty for connection-level spans; Shard is the detection shard
+// for scan spans (-1 when scanning ran inline on the forwarding goroutine).
+type Span struct {
+	Flow  uint64 `json:"flow"`
+	Dir   string `json:"dir,omitempty"`
+	Name  string `json:"span"`
+	Shard int    `json:"shard,omitempty"`
+	// Start is the span's wall-clock start in Unix nanoseconds.
+	Start int64 `json:"start_unix_ns"`
+	// Dur is the span duration in nanoseconds.
+	Dur int64 `json:"dur_ns"`
+	// Tokens and Bytes size the work the span covers, where applicable.
+	Tokens int `json:"tokens,omitempty"`
+	Bytes  int `json:"bytes,omitempty"`
+	// Err carries the error that ended the span, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Sink receives spans. Emit must be safe for concurrent use: the middlebox
+// calls it from detection shards and forwarding goroutines alike. A slow
+// sink back-pressures the pipeline; production sinks should buffer.
+type Sink interface {
+	Emit(Span)
+}
+
+// JSONLSink writes one JSON object per span per line, buffered. Close (or
+// Flush) must be called to drain the buffer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w in a buffered JSONL span sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. Encoding errors are unrecoverable mid-stream and
+// are dropped; the final Flush reports the writer's health.
+func (s *JSONLSink) Emit(sp Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore unchecked-err a failed span write must not kill traffic forwarding; Flush surfaces persistent writer errors
+	s.enc.Encode(sp)
+}
+
+// Flush drains buffered spans to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// CollectSink retains every span in memory — the test and tooling sink.
+type CollectSink struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(sp Span) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans in emission order.
+func (s *CollectSink) Spans() []Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Span(nil), s.spans...)
+}
+
+// ReadSpans parses a JSONL span stream (as written by JSONLSink).
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var sp Span
+		if err := dec.Decode(&sp); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, sp)
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	in := []Span{
+		{Flow: 1, Dir: "c2s", Name: SpanScan, Shard: 2, Start: 100, Dur: 50, Tokens: 8},
+		{Flow: 1, Name: SpanHandshake, Start: 10, Dur: 90},
+		{Flow: 2, Dir: "s2c", Name: SpanForward, Start: 200, Dur: 1000, Bytes: 4096, Err: "reset"},
+	}
+	for _, sp := range in {
+		sink.Emit(sp)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(in) {
+		t.Fatalf("JSONL lines = %d, want %d", n, len(in))
+	}
+	out, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("ReadSpans returned %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("span %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestJSONLSinkOmitsEmptyFields(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.Emit(Span{Flow: 3, Name: SpanTokenize, Start: 1, Dur: 2})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, absent := range []string{`"dir"`, `"shard"`, `"tokens"`, `"bytes"`, `"err"`} {
+		if strings.Contains(line, absent) {
+			t.Errorf("zero-valued field %s serialized: %s", absent, line)
+		}
+	}
+}
+
+func TestCollectSinkConcurrent(t *testing.T) {
+	var sink CollectSink
+	const writers, spans = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				sink.Emit(Span{Flow: uint64(w), Name: SpanScan, Start: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := sink.Spans()
+	if len(got) != writers*spans {
+		t.Fatalf("collected %d spans, want %d", len(got), writers*spans)
+	}
+	// Per-flow emission order must be preserved (spans from one goroutine
+	// keep their relative order).
+	last := make(map[uint64]int64)
+	for _, sp := range got {
+		if prev, ok := last[sp.Flow]; ok && sp.Start < prev {
+			t.Fatalf("flow %d span order regressed: %d after %d", sp.Flow, sp.Start, prev)
+		}
+		last[sp.Flow] = sp.Start
+	}
+}

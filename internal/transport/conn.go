@@ -14,10 +14,13 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bbcrypto"
 	"repro/internal/core"
 	"repro/internal/dpienc"
+	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/ruleprep"
 	"repro/internal/tokenize"
@@ -43,7 +46,19 @@ type ConnConfig struct {
 	// stream is byte-identical either way — only the sender's CPU use
 	// changes.
 	EncryptWorkers int
+	// Metrics registers this endpoint's handshake/record metrics
+	// (obs.Conn*) and enables stage timing on the sender pipeline
+	// (obs.Sender*, obs.DPIEnc*). Nil disables instrumentation entirely.
+	Metrics *obs.Registry
+	// Trace receives this endpoint's spans (handshake, tokenize, encrypt).
+	// Endpoints never see middlebox connection IDs, so spans carry a
+	// transport-local flow sequence number instead.
+	Trace obs.Sink
 }
+
+// connSeq numbers instrumented endpoint connections process-wide, giving
+// endpoint spans a stable flow ID.
+var connSeq atomic.Uint64
 
 // Conn is a BlindBox HTTPS connection endpoint. It implements
 // io.ReadWriteCloser for text payloads; binary (untokenized) payloads go
@@ -65,6 +80,14 @@ type Conn struct {
 	readErr        error
 	wroteClose     bool
 	validationSkip bool
+
+	// flowID labels this endpoint's spans; records/recordBytes count what
+	// the endpoint writes after the handshake. All stay zero-valued (and
+	// the handles nil, no-op) when ConnConfig.Metrics and Trace are unset.
+	flowID      uint64
+	records     *obs.Counter
+	recordBytes *obs.Histogram
+	trace       obs.Sink
 }
 
 // Dial opens a BlindBox HTTPS connection to addr (typically the middlebox
@@ -103,6 +126,7 @@ func Server(raw net.Conn, cfg ConnConfig) (*Conn, error) {
 }
 
 func (c *Conn) handshake() error {
+	hsStart := time.Now()
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
 		return err
@@ -171,7 +195,44 @@ func (c *Conn) handshake() error {
 			return fmt.Errorf("transport: rule preparation: %w", err)
 		}
 	}
+	c.instrument(hsStart)
 	return nil
+}
+
+// instrument wires the endpoint's observability after a successful
+// handshake: the handshake duration (rule preparation included), the
+// outgoing record metrics, and stage timing on the sender pipeline. With
+// neither Metrics nor Trace configured it leaves every handle nil.
+func (c *Conn) instrument(hsStart time.Time) {
+	if c.cfg.Metrics == nil && c.cfg.Trace == nil {
+		return
+	}
+	c.flowID = connSeq.Add(1)
+	c.trace = c.cfg.Trace
+	dir := "s2c"
+	if c.isClient {
+		dir = "c2s"
+	}
+	r := c.cfg.Metrics
+	c.records = r.Counter(obs.ConnRecordsTotal, obs.Help(obs.ConnRecordsTotal))
+	c.recordBytes = r.Histogram(obs.ConnRecordBytes, obs.Help(obs.ConnRecordBytes), obs.SizeBuckets)
+	hsDur := time.Since(hsStart)
+	r.Histogram(obs.ConnHandshakeSeconds, obs.Help(obs.ConnHandshakeSeconds), obs.LatencyBuckets).
+		Observe(hsDur.Seconds())
+	if c.trace != nil {
+		c.trace.Emit(obs.Span{
+			Flow: c.flowID, Name: obs.SpanHandshake,
+			Start: hsStart.UnixNano(), Dur: int64(hsDur),
+		})
+	}
+	c.pipe.Instrument(r, c.trace, c.flowID, dir)
+}
+
+// writeRecord counts and sizes one outgoing record, then writes it.
+func (c *Conn) writeRecord(typ RecordType, body []byte) error {
+	c.records.Inc()
+	c.recordBytes.Observe(float64(len(body)))
+	return WriteRecord(c.raw, typ, body)
 }
 
 // SessionKeys exposes the derived keys (tests and the probable-cause
@@ -330,13 +391,13 @@ func (c *Conn) write(p []byte, binary_ bool) (int, error) {
 		if reset != nil {
 			var s [8]byte
 			binary.BigEndian.PutUint64(s[:], reset.Salt0)
-			if err := WriteRecord(c.raw, RecSalt, s[:]); err != nil {
+			if err := c.writeRecord(RecSalt, s[:]); err != nil {
 				return total, err
 			}
 		}
 		if len(toks) > 0 {
 			body := MarshalTokens(toks, c.cfg.Core.Protocol == dpienc.ProtocolIII)
-			if err := WriteRecord(c.raw, RecTokens, body); err != nil {
+			if err := c.writeRecord(RecTokens, body); err != nil {
 				return total, err
 			}
 		}
@@ -347,7 +408,7 @@ func (c *Conn) write(p []byte, binary_ bool) (int, error) {
 		copy(pt[1:], chunk)
 		ct := c.aead.Seal(nil, c.nonce(c.seqOut, true), pt, []byte{byte(RecData)})
 		c.seqOut++
-		if err := WriteRecord(c.raw, RecData, ct); err != nil {
+		if err := c.writeRecord(RecData, ct); err != nil {
 			return total, err
 		}
 		total += len(chunk)
@@ -368,11 +429,11 @@ func (c *Conn) CloseWrite() error {
 	defer dpienc.PutTokenBuf(toks)
 	if len(toks) > 0 {
 		body := MarshalTokens(toks, c.cfg.Core.Protocol == dpienc.ProtocolIII)
-		if err := WriteRecord(c.raw, RecTokens, body); err != nil {
+		if err := c.writeRecord(RecTokens, body); err != nil {
 			return err
 		}
 	}
-	return WriteRecord(c.raw, RecClose, nil)
+	return c.writeRecord(RecClose, nil)
 }
 
 // Close closes the connection, sending the end-of-stream first.
