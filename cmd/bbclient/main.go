@@ -7,6 +7,13 @@
 // Usage:
 //
 //	bbclient -addr 127.0.0.1:8443 -rgconfig blindbox.endpoint.json [-data "GET / ..."] [-protocol 2] [-tokens delimiter]
+//	         [-timeout 30s] [-retries 3]
+//
+// -timeout bounds the dial and the whole handshake (including rule
+// preparation when a middlebox is on path); 0 selects the 30s default and
+// a negative value disables the deadline. -retries bounds how many times
+// the dial+handshake is attempted with jittered backoff before giving up
+// with a typed *retry.Error.
 package main
 
 import (
@@ -27,6 +34,8 @@ func main() {
 	data := flag.String("data", "GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n", "request payload")
 	protocol := flag.Int("protocol", 2, "BlindBox protocol: 1, 2 or 3")
 	tokens := flag.String("tokens", "delimiter", "tokenization: window or delimiter")
+	timeout := flag.Duration("timeout", 0, "dial + handshake deadline (0 = default 30s, negative disables)")
+	retries := flag.Int("retries", 0, "dial attempts with backoff (0 = default 3)")
 	flag.Parse()
 	if *rgPath == "" {
 		flag.Usage()
@@ -38,6 +47,8 @@ func main() {
 	}
 
 	cfg := blindbox.ConnConfig{Core: blindbox.DefaultConfig(), RG: rg}
+	cfg.Timeouts.Handshake = *timeout
+	cfg.DialRetry.Attempts = *retries
 	cfg.Core.Protocol = blindbox.Protocol(*protocol)
 	switch *tokens {
 	case "window":

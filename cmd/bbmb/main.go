@@ -7,12 +7,23 @@
 //
 //	bbmb -listen :8443 -forward server:9443 -rules rules.txt -rgconfig rg.json [-secondary]
 //	     [-admin :8081] [-trace spans.jsonl] [-log-level info]
+//	     [-policy fail-closed] [-dial-retries 3] [-prep-retries 3]
+//	     [-timeout-handshake 10s] [-timeout-prep 60s] [-timeout-idle -1s]
+//	     [-timeout-write 1m] [-timeout-barrier 30s]
 //
 // The ruleset and RG configuration are produced by bbrulegen. With -admin,
 // the middlebox serves Prometheus metrics on /metrics, a JSON snapshot on
 // /metrics.json, and net/http/pprof under /debug/pprof/. With -trace, every
 // pipeline span (handshake, prep, scan, forward) is appended to the given
 // JSONL file, summarizable with `bbtrace -spans`.
+//
+// The fault-tolerance knobs (RUNBOOK.md) bound every blocking step: a
+// timeout flag of 0 selects the library default, a negative value disables
+// that deadline. -policy picks what happens when detection cannot keep up
+// inside the barrier deadline: fail-closed (default, the paper's stance —
+// the flow is killed rather than forwarded unscanned) or fail-open (the
+// flow degrades to plain forwarding and is counted in
+// blindbox_mb_unscanned_bytes_total).
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	blindbox "repro"
 	"repro/internal/middlebox"
 	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/rgconfig"
 )
 
@@ -41,10 +53,22 @@ func main() {
 	admin := flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
 	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+	policy := flag.String("policy", "fail-closed", "degradation policy on barrier timeout: fail-closed or fail-open")
+	dialRetries := flag.Int("dial-retries", 0, "upstream dial attempts (0 = default 3)")
+	prepRetries := flag.Int("prep-retries", 0, "rule-preparation attempts per endpoint (0 = default 3)")
+	tmoHandshake := flag.Duration("timeout-handshake", 0, "interposed handshake deadline (0 = default 10s, negative disables)")
+	tmoPrep := flag.Duration("timeout-prep", 0, "per-attempt rule-preparation deadline (0 = default 60s, negative disables)")
+	tmoIdle := flag.Duration("timeout-idle", 0, "idle read deadline on forwarded flows (0 = default off, negative disables)")
+	tmoWrite := flag.Duration("timeout-write", 0, "per-record forward write deadline (0 = default 1m, negative disables)")
+	tmoBarrier := flag.Duration("timeout-barrier", 0, "detection barrier deadline (0 = default 30s, negative disables)")
 	flag.Parse()
 	if *forward == "" || *rulesPath == "" || *rgPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	pol, err := middlebox.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("bad -policy: %v", err)
 	}
 
 	var level slog.Level
@@ -93,6 +117,13 @@ func main() {
 		Metrics:     reg,
 		Trace:       trace,
 		Logger:      logger,
+		Policy:      pol,
+		Timeouts: middlebox.Timeouts{
+			Handshake: *tmoHandshake, Prep: *tmoPrep, Idle: *tmoIdle,
+			Write: *tmoWrite, Barrier: *tmoBarrier,
+		},
+		DialRetry: retry.Policy{Attempts: *dialRetries},
+		PrepRetry: retry.Policy{Attempts: *prepRetries},
 		OnAlert: func(a blindbox.Alert) {
 			switch {
 			case a.Secondary:
@@ -136,8 +167,8 @@ func main() {
 		os.Exit(0)
 	}()
 	p1, p2, _ := signed.Ruleset.ProtocolBreakdown()
-	fmt.Printf("bbmb: %d rules (%.0f%% protocol I, %.0f%% <= II), listening on %s, forwarding to %s\n",
-		len(signed.Ruleset.Rules), p1*100, p2*100, ln.Addr(), *forward)
+	fmt.Printf("bbmb: %d rules (%.0f%% protocol I, %.0f%% <= II), listening on %s, forwarding to %s, policy %s\n",
+		len(signed.Ruleset.Rules), p1*100, p2*100, ln.Addr(), *forward, pol)
 	err = mb.Serve(ln, *forward)
 	flushTrace()
 	log.Fatal(err)

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	blindbench -experiment all
-//	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|pipeline|setup|ablation
+//	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|pipeline|setup|ablation|faults
 //	blindbench -experiment pipeline -parallel 4 -out BENCH_pipeline.json [-metrics-out metrics.json]
+//	blindbench -experiment faults -policy fail-closed -faults-out BENCH_faults.json
 //
 // Absolute numbers reflect this host, not the paper's DPDK testbed; the
 // reproduced quantities are the comparative shapes (see EXPERIMENTS.md).
@@ -20,17 +21,20 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/middlebox"
 	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, ablation")
+	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, ablation, faults")
 	fast := flag.Bool("fast", false, "reduce sample sizes for a quicker run")
 	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_pipeline.json", "path for the pipeline experiment's machine-readable result (empty disables)")
 	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's obs registry snapshot to this JSON file")
+	policy := flag.String("policy", "fail-closed", "degradation policy for the faults experiment: fail-closed or fail-open")
+	faultsOut := flag.String("faults-out", "BENCH_faults.json", "path for the faults experiment's machine-readable result (empty disables)")
 	flag.Parse()
 
 	runners := map[string]func(fast bool) error{
@@ -45,8 +49,9 @@ func main() {
 		"pipeline":   func(fast bool) error { return runPipeline(fast, *parallel, *out, *metricsOut) },
 		"setup":      runSetup,
 		"ablation":   runAblation,
+		"faults":     func(fast bool) error { return runFaults(fast, *policy, *faultsOut) },
 	}
-	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "ablation"}
+	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "ablation", "faults"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -201,6 +206,31 @@ func runSetup(fast bool) error {
 		return err
 	}
 	experiments.PrintSetup(os.Stdout, res)
+	return nil
+}
+
+func runFaults(fast bool, policy, out string) error {
+	pol, err := middlebox.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	opt := experiments.DefaultFaultsOptions()
+	opt.Policy = pol
+	if fast {
+		opt.Sessions = 8
+		opt.PayloadBytes = 4 << 10
+	}
+	res, err := experiments.Faults(opt)
+	if err != nil {
+		return err
+	}
+	experiments.PrintFaults(os.Stdout, res)
+	if out != "" {
+		if err := experiments.WriteFaultsJSON(out, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
 	return nil
 }
 

@@ -21,6 +21,7 @@ const (
 	SBoxMux
 )
 
+// String names the S-box implementation for benchmark output.
 func (s SBoxImpl) String() string {
 	if s == SBoxMux {
 		return "mux"

@@ -107,6 +107,7 @@ const (
 	ProtocolIII Protocol = 3
 )
 
+// String renders the protocol's paper numeral (I, II, III).
 func (p Protocol) String() string {
 	switch p {
 	case ProtocolI:

@@ -1,0 +1,341 @@
+// Resilience experiment: seeded fault schedules against live loopback
+// sessions, measuring what the fault-tolerance layer (DESIGN.md §9) costs
+// and guarantees — recovery latency (how fast a faulted session reaches a
+// clean outcome), goodput of the surviving sessions, and the fail-closed
+// invariant (zero unscanned bytes). The paper evaluates BlindBox on
+// well-behaved links only; this experiment quantifies behavior on
+// misbehaving ones. Results land in BENCH_faults.json via blindbench
+// -experiment faults.
+
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dpienc"
+	"repro/internal/middlebox"
+	"repro/internal/netem"
+	"repro/internal/rules"
+	"repro/internal/tokenize"
+	"repro/internal/transport"
+)
+
+// FaultsSchema identifies the JSON layout of FaultsResult.
+const FaultsSchema = "blindbox-bench-faults/v1"
+
+// FaultsOptions sizes the resilience experiment.
+type FaultsOptions struct {
+	// Sessions is how many seeded fault schedules to replay (seeds 0..n-1).
+	Sessions int
+	// PayloadBytes sizes each session's echo payload.
+	PayloadBytes int
+	// Profile is the fault mix drawn per seed; the zero value selects
+	// netem.DefaultProfile with offsets scaled to PayloadBytes.
+	Profile netem.ScheduleProfile
+	// Policy is the middlebox degradation policy under test.
+	Policy middlebox.Policy
+}
+
+// DefaultFaultsOptions replays 24 schedules of 3 mixed faults each over
+// 6 KiB sessions under the fail-closed policy.
+func DefaultFaultsOptions() FaultsOptions {
+	return FaultsOptions{Sessions: 24, PayloadBytes: 6 << 10}
+}
+
+// FaultsResult is the machine-readable outcome written to BENCH_faults.json.
+type FaultsResult struct {
+	Schema       string `json:"schema"`
+	Sessions     int    `json:"sessions"`
+	PayloadBytes int    `json:"payload_bytes"`
+	Policy       string `json:"policy"`
+
+	// Outcome counts: every session lands in exactly one bucket. Hung is
+	// the contract violation — sessions with no outcome inside the
+	// watchdog — and must be zero.
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed_clean"`
+	Hung      int `json:"hung"`
+
+	FaultsFired int `json:"faults_fired"`
+
+	// BaselineMs is the mean fault-free session wall time; RecoveryMs is
+	// the mean wall time of faulted sessions that failed — the time the
+	// layer needs to turn an injected fault into a clean outcome.
+	BaselineMs float64 `json:"baseline_ms"`
+	SessionMs  float64 `json:"session_ms"`
+	RecoveryMs float64 `json:"recovery_ms"`
+
+	// GoodputMBps is payload delivered by successful sessions over the
+	// whole run's wall time — what an operator keeps under fault load.
+	GoodputMBps float64 `json:"goodput_mbps"`
+
+	// Middlebox accounting after the run. Under fail-closed,
+	// UnscannedBytes must be zero.
+	UnscannedBytes  uint64 `json:"unscanned_bytes"`
+	Degraded        uint64 `json:"degraded"`
+	FailClosedDrops uint64 `json:"fail_closed_drops"`
+}
+
+// faultsTimeouts are the short deadlines the experiment runs under, so a
+// wedged step converts to a clean timeout in seconds.
+func faultsTimeouts() middlebox.Timeouts {
+	return middlebox.Timeouts{
+		Handshake: 2 * time.Second,
+		Prep:      3 * time.Second,
+		Idle:      3 * time.Second,
+		Write:     2 * time.Second,
+		Barrier:   2 * time.Second,
+	}
+}
+
+// faultsHarness is the live loopback middlebox + echo server.
+type faultsHarness struct {
+	mb       *middlebox.Middlebox
+	g        *rules.Generator
+	mbLn     net.Listener
+	serverLn net.Listener
+}
+
+func newFaultsHarness(opt FaultsOptions) (*faultsHarness, error) {
+	g, err := rules.NewGenerator("FaultsRG")
+	if err != nil {
+		return nil, err
+	}
+	rs, err := rules.Parse("faults",
+		`alert tcp any any -> any any (msg:"kw"; content:"attack01"; sid:1;)`)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := middlebox.New(middlebox.Config{
+		Ruleset:     g.Sign(rs),
+		RGPublicKey: g.PublicKey(),
+		Policy:      opt.Policy,
+		Timeouts:    faultsTimeouts(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &faultsHarness{mb: mb, g: g}
+	if h.serverLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	if h.mbLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+		_ = h.serverLn.Close()
+		return nil, err
+	}
+	epCfg := transport.ConnConfig{
+		Core: core.DefaultConfig(),
+		RG:   transport.RGMaterial{TagKey: g.TagKey()},
+		Timeouts: transport.Timeouts{
+			Handshake: 3 * time.Second, Read: 3 * time.Second, Write: 3 * time.Second,
+		},
+	}
+	go func() {
+		for {
+			raw, err := h.serverLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn, err := transport.Server(raw, epCfg)
+				if err != nil {
+					_ = raw.Close()
+					return
+				}
+				defer conn.Close()
+				data, err := io.ReadAll(conn)
+				if err != nil {
+					return
+				}
+				_, _ = conn.Write(data)
+				_ = conn.CloseWrite()
+			}()
+		}
+	}()
+	go h.mb.Serve(h.mbLn, h.serverLn.Addr().String())
+	return h, nil
+}
+
+func (h *faultsHarness) close() {
+	_ = h.mbLn.Close()
+	_ = h.serverLn.Close()
+	_ = h.mb.Close()
+}
+
+// runSession drives one echo session through conn and reports whether the
+// payload came back intact, how long the session took, and whether it
+// reached any outcome inside the watchdog.
+func (h *faultsHarness) runSession(conn net.Conn, payload []byte, watchdog time.Duration) (ok, hung bool, dur time.Duration) {
+	type outcome struct {
+		ok  bool
+		dur time.Duration
+	}
+	outC := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		cfg := transport.ConnConfig{
+			Core: core.Config{Protocol: dpienc.ProtocolI, Mode: tokenize.Delimiter},
+			RG:   transport.RGMaterial{TagKey: h.g.TagKey()},
+			Timeouts: transport.Timeouts{
+				Handshake: 3 * time.Second, Read: 3 * time.Second, Write: 3 * time.Second,
+			},
+		}
+		c, err := transport.Client(conn, cfg)
+		if err != nil {
+			outC <- outcome{dur: time.Since(start)}
+			return
+		}
+		defer c.Close()
+		if _, err := c.Write(payload); err != nil {
+			outC <- outcome{dur: time.Since(start)}
+			return
+		}
+		if err := c.CloseWrite(); err != nil {
+			outC <- outcome{dur: time.Since(start)}
+			return
+		}
+		echoed, err := io.ReadAll(c)
+		outC <- outcome{ok: err == nil && bytes.Equal(echoed, payload), dur: time.Since(start)}
+	}()
+	select {
+	case o := <-outC:
+		return o.ok, false, o.dur
+	case <-time.After(watchdog):
+		return false, true, time.Since(start)
+	}
+}
+
+// Faults replays Sessions seeded fault schedules and measures recovery
+// latency and goodput. Two fault-free warm-up sessions establish the
+// baseline before the faulted runs.
+func Faults(opt FaultsOptions) (FaultsResult, error) {
+	if opt.Sessions <= 0 {
+		opt.Sessions = DefaultFaultsOptions().Sessions
+	}
+	if opt.PayloadBytes <= 0 {
+		opt.PayloadBytes = DefaultFaultsOptions().PayloadBytes
+	}
+	prof := opt.Profile
+	if prof.Faults == 0 {
+		prof = netem.DefaultProfile()
+		prof.MaxOffset = 2 * int64(opt.PayloadBytes)
+	}
+	h, err := newFaultsHarness(opt)
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	defer h.close()
+
+	res := FaultsResult{
+		Schema:       FaultsSchema,
+		Sessions:     opt.Sessions,
+		PayloadBytes: opt.PayloadBytes,
+		Policy:       opt.Policy.String(),
+	}
+	payload := append([]byte("attack01 "), corpus.SynthesizeText(newRand(), opt.PayloadBytes)...)
+	const watchdog = 15 * time.Second
+
+	// Baseline: fault-free sessions.
+	var baseline time.Duration
+	const baselineRuns = 2
+	for i := 0; i < baselineRuns; i++ {
+		raw, err := net.Dial("tcp", h.mbLn.Addr().String())
+		if err != nil {
+			return res, err
+		}
+		ok, hung, dur := h.runSession(raw, payload, watchdog)
+		_ = raw.Close()
+		if !ok || hung {
+			return res, fmt.Errorf("faults: fault-free baseline session failed")
+		}
+		baseline += dur
+	}
+	res.BaselineMs = float64(baseline.Milliseconds()) / baselineRuns
+
+	var (
+		totalDur, failDur time.Duration
+		runStart          = time.Now()
+	)
+	for seed := 0; seed < opt.Sessions; seed++ {
+		raw, err := net.Dial("tcp", h.mbLn.Addr().String())
+		if err != nil {
+			return res, err
+		}
+		fc := netem.NewFaultConn(raw, netem.Schedule(uint64(seed), prof)...)
+		ok, hung, dur := h.runSession(fc, payload, watchdog)
+		_ = fc.Close()
+		res.FaultsFired += len(fc.Fired())
+		totalDur += dur
+		switch {
+		case hung:
+			res.Hung++
+		case ok:
+			res.Succeeded++
+		default:
+			res.Failed++
+			failDur += dur
+		}
+	}
+	wall := time.Since(runStart)
+
+	if opt.Sessions > 0 {
+		res.SessionMs = float64(totalDur.Milliseconds()) / float64(opt.Sessions)
+	}
+	if res.Failed > 0 {
+		res.RecoveryMs = float64(failDur.Milliseconds()) / float64(res.Failed)
+	}
+	if wall > 0 {
+		delivered := float64(res.Succeeded * len(payload))
+		res.GoodputMBps = delivered / wall.Seconds() / (1 << 20)
+	}
+
+	h.close()
+	st := h.mb.Stats()
+	res.UnscannedBytes = st.UnscannedBytes
+	res.Degraded = st.Degraded
+	res.FailClosedDrops = st.FailClosedDrops
+	if res.Hung > 0 {
+		return res, fmt.Errorf("faults: %d session(s) hung past the watchdog", res.Hung)
+	}
+	if opt.Policy == middlebox.FailClosed && res.UnscannedBytes != 0 {
+		return res, fmt.Errorf("faults: fail-closed run forwarded %d unscanned bytes", res.UnscannedBytes)
+	}
+	return res, nil
+}
+
+// WriteFaultsJSON writes the result to path, pretty-printed for diffs.
+func WriteFaultsJSON(path string, res FaultsResult) error {
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// PrintFaults renders the resilience summary.
+func PrintFaults(w io.Writer, r FaultsResult) {
+	fmt.Fprintf(w, "resilience under %s, %d faulted sessions of %d bytes\n",
+		r.Policy, r.Sessions, r.PayloadBytes)
+	t := newTable(w)
+	t.row("Measure", "value")
+	t.row("sessions succeeded", fmt.Sprintf("%d/%d", r.Succeeded, r.Sessions))
+	t.row("sessions failed clean", fmt.Sprintf("%d", r.Failed))
+	t.row("sessions hung", fmt.Sprintf("%d (must be 0)", r.Hung))
+	t.row("faults fired", fmt.Sprintf("%d", r.FaultsFired))
+	t.row("baseline session", fmt.Sprintf("%.0f ms", r.BaselineMs))
+	t.row("mean session under faults", fmt.Sprintf("%.0f ms", r.SessionMs))
+	t.row("mean recovery (time to clean failure)", fmt.Sprintf("%.0f ms", r.RecoveryMs))
+	t.row("goodput", fmt.Sprintf("%.1f KB/s", r.GoodputMBps*1024))
+	t.row("unscanned bytes", fmt.Sprintf("%d", r.UnscannedBytes))
+	t.row("degraded / fail-closed drops", fmt.Sprintf("%d / %d", r.Degraded, r.FailClosedDrops))
+	t.flush()
+	fmt.Fprintln(w, "contract: every fault ends in success or a typed failure before the deadline budget; fail-closed forwards nothing unscanned")
+}

@@ -41,6 +41,8 @@ type Table2Cell struct {
 	Extrapolated bool
 }
 
+// String renders the cell as the paper prints it: a duration, "NP" for
+// not-possible, with a trailing * on extrapolated values.
 func (c Table2Cell) String() string {
 	if c.NotPossible {
 		return "NP"

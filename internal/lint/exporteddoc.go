@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExportedDoc requires a doc comment on every exported top-level
+// identifier: functions, methods of exported types, types, constants and
+// variables. The repository's API contracts — which goroutine may call
+// what, which errors are typed, what a zero value means — live in godoc,
+// not in the type system; an undocumented export is a contract the next
+// caller has to reverse-engineer. Methods of unexported types are skipped
+// (they are not part of the importable API), as is package main (no
+// importable API at all). A const or var group is satisfied by a doc
+// comment on the group, a doc comment on the spec, or a trailing comment
+// on the spec's line.
+type ExportedDoc struct {
+	include []string
+}
+
+// NewExportedDoc builds the rule scoped to the given import paths (exact
+// match or path prefix); pass the module path to cover the whole tree.
+func NewExportedDoc(include []string) *ExportedDoc { return &ExportedDoc{include: include} }
+
+// ID implements Rule.
+func (r *ExportedDoc) ID() string { return "exported-doc" }
+
+// Doc implements Rule.
+func (r *ExportedDoc) Doc() string {
+	return "exported identifiers need doc comments stating their contract"
+}
+
+// Check implements Rule.
+func (r *ExportedDoc) Check(pkg *Package, report Reporter) {
+	if pkg.Pkg != nil && pkg.Pkg.Name() == "main" {
+		return
+	}
+	included := false
+	for _, in := range r.include {
+		if pkg.ImportPath == in || strings.HasPrefix(pkg.ImportPath, in+"/") {
+			included = true
+			break
+		}
+	}
+	if !included {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				r.checkFunc(d, report)
+			case *ast.GenDecl:
+				r.checkGen(d, report)
+			}
+		}
+	}
+}
+
+// checkFunc reports an exported function or method without a doc comment.
+func (r *ExportedDoc) checkFunc(fd *ast.FuncDecl, report Reporter) {
+	if !fd.Name.IsExported() || hasDoc(fd.Doc) {
+		return
+	}
+	if fd.Recv != nil {
+		base, ok := receiverBase(fd.Recv)
+		if !ok || !ast.IsExported(base) {
+			return
+		}
+		report(fd.Name, "exported method %s.%s has no doc comment", base, fd.Name.Name)
+		return
+	}
+	report(fd.Name, "exported function %s has no doc comment", fd.Name.Name)
+}
+
+// checkGen reports exported type, const and var specs that have neither a
+// group doc, a spec doc, nor a trailing spec comment.
+func (r *ExportedDoc) checkGen(d *ast.GenDecl, report Reporter) {
+	groupDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && !hasDoc(s.Doc) {
+				report(s.Name, "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || hasDoc(s.Doc) || hasDoc(s.Comment) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name, "exported %s has no doc comment", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverBase extracts the receiver's base type name.
+func receiverBase(recv *ast.FieldList) (string, bool) {
+	if recv == nil || len(recv.List) != 1 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, true
+		default:
+			return "", false
+		}
+	}
+}
+
+// hasDoc reports whether cg carries any comment text.
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+var _ Rule = (*ExportedDoc)(nil)

@@ -92,6 +92,7 @@ func DefaultRules(modulePath string, goMinor int) []Rule {
 		&ChanLeak{},
 		&TodoPanic{},
 		NewObsStats([]string{modulePath + "/internal/obs"}),
+		NewExportedDoc([]string{modulePath}),
 	}
 }
 

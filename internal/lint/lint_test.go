@@ -26,6 +26,7 @@ func fixtureRules() []Rule {
 		&ChanLeak{},
 		&TodoPanic{},
 		NewObsStats([]string{"repro/internal/obs"}),
+		NewExportedDoc([]string{"repro/internal/lint/testdata/exporteddoc"}),
 	}
 }
 
@@ -42,6 +43,7 @@ var fixtureRuleID = map[string]string{
 	"chanleak":         "chan-leak",
 	"todopanic":        "todo-panic",
 	"obsstats":         "obs-stats",
+	"exporteddoc":      "exported-doc",
 	"suppress":         directiveRule,
 }
 
@@ -156,7 +158,7 @@ func TestDefaultRulesCatalog(t *testing.T) {
 	want := []string{
 		"ct-compare", "weak-rand", "unchecked-err",
 		"mutex-copy", "loop-capture", "chan-leak", "todo-panic",
-		"obs-stats",
+		"obs-stats", "exported-doc",
 	}
 	rules := DefaultRules("repro", 22)
 	if len(rules) != len(want) {

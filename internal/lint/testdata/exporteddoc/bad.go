@@ -1,0 +1,18 @@
+// Package exporteddoc exercises the exported-doc rule: every exported
+// top-level identifier must carry a doc comment.
+package exporteddoc
+
+type Widget struct{}
+
+func (w Widget) Spin() int { return widgetSpin }
+
+func Run() int { return widgetSpin }
+
+const Limit = 3
+
+var Registry = map[string]int{}
+
+const (
+	ModeA = iota
+	ModeB
+)

@@ -1,0 +1,27 @@
+package exporteddoc
+
+// Gadget is documented, as is its exported method.
+type Gadget struct{}
+
+// Twirl is documented.
+func (g Gadget) Twirl() int { return widgetSpin }
+
+// Spin bounds, documented as a group.
+const (
+	MaxSpin = 1
+	MinSpin = 0
+)
+
+// TrailingDoc is documented by this spec doc comment.
+var TrailingDoc = 1
+
+const widgetSpin = 2 // unexported: no doc required
+
+type hidden struct{}
+
+// Exported methods of unexported types are outside the importable API.
+func (hidden) Exported() int { return widgetSpin }
+
+func helper() int { return widgetSpin }
+
+var _ = helper

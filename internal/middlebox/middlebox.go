@@ -27,6 +27,7 @@ import (
 	"repro/internal/garble"
 	"repro/internal/obs"
 	"repro/internal/ot"
+	"repro/internal/retry"
 	"repro/internal/ruleprep"
 	"repro/internal/rules"
 	"repro/internal/tokenize"
@@ -90,6 +91,23 @@ type Config struct {
 	// ShardQueue overrides the per-shard bounded queue depth in token
 	// batches (default 64). Smaller values tighten back-pressure.
 	ShardQueue int
+	// Policy selects the degradation stance when detection becomes
+	// unavailable (the detection barrier exceeds Timeouts.Barrier). The
+	// zero value is FailClosed — the paper's stance and the safe default.
+	Policy Policy
+	// Timeouts bounds the middlebox's blocking steps; zero fields select
+	// DefaultTimeouts. See the Timeouts type for the step catalog.
+	Timeouts Timeouts
+	// DialRetry bounds HandleConn's upstream dial with jittered backoff.
+	// The zero value retries retry.DefaultAttempts times; set Attempts
+	// to 1 to disable retrying.
+	DialRetry retry.Policy
+	// PrepRetry bounds rule-preparation attempts per endpoint leg. Each
+	// attempt restarts the preparation protocol from SubPrepStart (the
+	// endpoint's preparation loop is restartable) under a fresh
+	// Timeouts.Prep budget. The zero value retries retry.DefaultAttempts
+	// times.
+	PrepRetry retry.Policy
 	// Metrics is the registry the middlebox registers its counters,
 	// gauges and histograms in (see the obs.MB* catalog entries). When
 	// nil, a private registry backs the counters so Stats keeps working;
@@ -132,11 +150,23 @@ type Stats struct {
 	// KeysRecovered counts Protocol III SSL keys recovered
 	// (obs.MBKeysRecovered).
 	KeysRecovered uint64
+	// Degraded counts flows switched to fail-open unscanned forwarding
+	// after a detection-barrier timeout (obs.MBDegradedTotal). Always zero
+	// under FailClosed.
+	Degraded uint64
+	// FailClosedDrops counts connections severed by the fail-closed policy
+	// after a detection-barrier timeout (obs.MBFailClosedDropsTotal).
+	FailClosedDrops uint64
+	// UnscannedBytes counts data-record payload bytes forwarded without
+	// detection by degraded fail-open flows (obs.MBUnscannedBytes). The
+	// fail-closed invariant is exactly UnscannedBytes == 0.
+	UnscannedBytes uint64
 }
 
 // Middlebox proxies BlindBox HTTPS connections and inspects them.
 type Middlebox struct {
 	cfg       Config
+	tmo       Timeouts
 	secondary *baseline.IDS
 	pool      *detectPool
 	connSeq   atomic.Uint64
@@ -145,9 +175,13 @@ type Middlebox struct {
 	log       *slog.Logger
 
 	// lifecycle: Close waits for active connections, then drains the
-	// detection pool.
+	// detection pool. setup tracks connections still in their setup phase
+	// (handshake interposition or rule preparation) so Close can sever
+	// them promptly instead of waiting on a stalled peer; forwarding-phase
+	// connections are unregistered and drain gracefully.
 	mu     sync.Mutex
 	closed bool
+	setup  map[uint64][2]net.Conn
 	connWG sync.WaitGroup
 }
 
@@ -164,9 +198,11 @@ func New(cfg Config) (*Middlebox, error) {
 	}
 	mb := &Middlebox{
 		cfg:   cfg,
+		tmo:   cfg.Timeouts.withDefaults(),
 		met:   newMBMetrics(cfg.Metrics),
 		trace: cfg.Trace,
 		log:   obs.OrNop(cfg.Logger),
+		setup: make(map[uint64][2]net.Conn),
 	}
 	if cfg.Secondary {
 		mb.secondary = baseline.New(cfg.Ruleset.Ruleset)
@@ -177,29 +213,50 @@ func New(cfg Config) (*Middlebox, error) {
 	return mb, nil
 }
 
-// beginConn registers one active connection, failing after Close.
-func (mb *Middlebox) beginConn() error {
+// beginConn registers one active connection, failing after Close. The
+// legs are tracked as setup-phase conns (under the same lock, so Close
+// can never miss a just-admitted connection) until endSetup.
+func (mb *Middlebox) beginConn(id uint64, client, server net.Conn) error {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if mb.closed {
 		return ErrClosed
 	}
 	mb.connWG.Add(1)
+	mb.setup[id] = [2]net.Conn{client, server}
 	return nil
 }
 
-// Close drains the middlebox: it stops admitting connections, waits for
-// in-flight connections to finish (callers should close their listeners
-// first, or kill connections, so this terminates), then drains the
-// detection shards so every queued batch is scanned and every alert
-// delivered. Close is idempotent.
+// endSetup unregisters a connection's setup-phase legs: from here on,
+// Close waits for the connection to drain instead of severing it.
+func (mb *Middlebox) endSetup(id uint64) {
+	mb.mu.Lock()
+	delete(mb.setup, id)
+	mb.mu.Unlock()
+}
+
+// Close drains the middlebox: it stops admitting connections, severs
+// connections still in their setup phase (a stalled handshake or rule
+// preparation must not wedge shutdown), waits for forwarding-phase
+// connections to finish (callers should close their listeners first, or
+// kill connections, so this terminates), then drains the detection shards
+// so every queued batch is scanned and every alert delivered. Close is
+// idempotent.
 func (mb *Middlebox) Close() error {
 	mb.mu.Lock()
 	wasClosed := mb.closed
 	mb.closed = true
+	severed := make([][2]net.Conn, 0, len(mb.setup))
+	for _, legs := range mb.setup {
+		severed = append(severed, legs)
+	}
 	mb.mu.Unlock()
 	if wasClosed {
 		return nil
+	}
+	for _, legs := range severed {
+		_ = legs[0].Close()
+		_ = legs[1].Close()
 	}
 	mb.connWG.Wait()
 	if mb.pool != nil {
@@ -212,13 +269,16 @@ func (mb *Middlebox) Close() error {
 // semantics). It reads the same registry handles /metrics exposes.
 func (mb *Middlebox) Stats() Stats {
 	return Stats{
-		Connections:    mb.met.conns.Value(),
-		ConnErrors:     mb.met.connErrs.Value(),
-		TokensScanned:  mb.met.tokens.Value(),
-		BytesForwarded: mb.met.bytes.Value(),
-		Alerts:         mb.met.alerts.Value(),
-		Blocked:        mb.met.blocked.Value(),
-		KeysRecovered:  mb.met.keys.Value(),
+		Connections:     mb.met.conns.Value(),
+		ConnErrors:      mb.met.connErrs.Value(),
+		TokensScanned:   mb.met.tokens.Value(),
+		BytesForwarded:  mb.met.bytes.Value(),
+		Alerts:          mb.met.alerts.Value(),
+		Blocked:         mb.met.blocked.Value(),
+		KeysRecovered:   mb.met.keys.Value(),
+		Degraded:        mb.met.degraded.Value(),
+		FailClosedDrops: mb.met.fcDrops.Value(),
+		UnscannedBytes:  mb.met.unscanned.Value(),
 	}
 }
 
@@ -250,7 +310,22 @@ func (mb *Middlebox) Serve(ln net.Listener, forwardAddr string) error {
 // detection and forwarding.
 func (mb *Middlebox) HandleConn(client net.Conn, forwardAddr string) error {
 	defer client.Close()
-	server, err := net.Dial("tcp", forwardAddr)
+	var server net.Conn
+	pol := mb.cfg.DialRetry
+	if pol.Notify == nil {
+		pol.Notify = func(attempt int, err error, backoff time.Duration) {
+			if backoff > 0 {
+				mb.met.retried("dial")
+				mb.log.Warn("upstream dial failed, retrying",
+					"addr", forwardAddr, "attempt", attempt, "backoff", backoff, "err", err)
+			}
+		}
+	}
+	err := pol.Do(nil, func(int) error {
+		var derr error
+		server, derr = net.DialTimeout("tcp", forwardAddr, mb.dialTimeout())
+		return derr
+	})
 	if err != nil {
 		mb.met.connErrs.Inc()
 		mb.log.Error("upstream dial failed", "addr", forwardAddr, "err", err)
@@ -260,15 +335,25 @@ func (mb *Middlebox) HandleConn(client net.Conn, forwardAddr string) error {
 	return mb.Interpose(client, server)
 }
 
+// dialTimeout bounds one upstream connect attempt with the handshake
+// knob (a disabled knob means an OS-default connect timeout).
+func (mb *Middlebox) dialTimeout() time.Duration {
+	if mb.tmo.Handshake > 0 {
+		return mb.tmo.Handshake
+	}
+	return 0
+}
+
 // Interpose runs the middlebox over two established transports. A non-EOF
 // failure before the forwarding phase is counted in Stats.ConnErrors and
 // logged with the connection ID.
 func (mb *Middlebox) Interpose(client, server net.Conn) error {
-	if err := mb.beginConn(); err != nil {
+	id := mb.connSeq.Add(1)
+	if err := mb.beginConn(id, client, server); err != nil {
 		return err
 	}
 	defer mb.connWG.Done()
-	id := mb.connSeq.Add(1)
+	defer mb.endSetup(id)
 	mb.met.conns.Inc()
 	mb.log.Debug("connection admitted", "conn", id)
 	err := mb.interpose(id, client, server)
@@ -280,37 +365,14 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 }
 
 func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
-	// 1. Handshake interposition: mark MBPresent both ways.
+	// 1. Handshake interposition: mark MBPresent both ways, bounded by the
+	// handshake deadline on both legs.
 	hsStart := time.Now()
-	typ, body, err := transport.ReadRecord(client)
+	setDeadline(deadlineFor(mb.tmo.Handshake), client, server)
+	hello, err := mb.interposeHello(client, server)
+	setDeadline(time.Time{}, client, server)
 	if err != nil {
-		return err
-	}
-	if typ != transport.RecHello {
-		return fmt.Errorf("middlebox: expected client hello, got %d", typ)
-	}
-	hello, err := transport.UnmarshalHello(body)
-	if err != nil {
-		return err
-	}
-	if err := transport.SetMBPresent(body); err != nil {
-		return err
-	}
-	if err := transport.WriteRecord(server, transport.RecHello, body); err != nil {
-		return err
-	}
-	typ, body, err = transport.ReadRecord(server)
-	if err != nil {
-		return err
-	}
-	if typ != transport.RecHelloReply {
-		return fmt.Errorf("middlebox: expected server hello, got %d", typ)
-	}
-	if err := transport.SetMBPresent(body); err != nil {
-		return err
-	}
-	if err := transport.WriteRecord(client, transport.RecHelloReply, body); err != nil {
-		return err
+		return mb.stepTimeout(id, "handshake", err)
 	}
 	mb.observeSpan(obs.Span{Flow: id, Name: obs.SpanHandshake}, hsStart, mb.met.handshake)
 
@@ -336,16 +398,16 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		jobsC, labelsC, prepErr[0] = mb.runPrep(client, prep)
+		jobsC, labelsC, prepErr[0] = mb.runPrepRetry(id, client, prep)
 	}()
 	go func() {
 		defer wg.Done()
-		jobsS, labelsS, prepErr[1] = mb.runPrep(server, prep)
+		jobsS, labelsS, prepErr[1] = mb.runPrepRetry(id, server, prep)
 	}()
 	wg.Wait()
 	for _, e := range prepErr {
 		if e != nil {
-			return fmt.Errorf("middlebox: rule preparation: %w", e)
+			return fmt.Errorf("middlebox: rule preparation: %w", mb.stepTimeout(id, "prep", e))
 		}
 	}
 
@@ -370,11 +432,14 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	}
 
 	for _, leg := range []net.Conn{client, server} {
-		if err := transport.WriteRecord(leg, transport.RecGarble, []byte{transport.SubPrepDone}); err != nil {
-			return err
+		if err := mb.writeRecordT(leg, transport.RecGarble, []byte{transport.SubPrepDone}); err != nil {
+			return mb.stepTimeout(id, "write", err)
 		}
 	}
 	mb.observeSpan(obs.Span{Flow: id, Name: obs.SpanPrep}, prepStart, mb.met.prep)
+
+	// Setup is done: from here on Close drains instead of severing.
+	mb.endSetup(id)
 
 	// 3. Detection: one forwarding goroutine per direction. With the
 	// parallel pipeline the forwarding goroutines stay I/O-bound and the
@@ -402,6 +467,79 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	}()
 	fwdWG.Wait()
 	return nil
+}
+
+// interposeHello relays the hello exchange, marking MBPresent both ways,
+// and returns the parsed client hello. Deadlines are the caller's job.
+func (mb *Middlebox) interposeHello(client, server net.Conn) (transport.Hello, error) {
+	typ, body, err := transport.ReadRecord(client)
+	if err != nil {
+		return transport.Hello{}, err
+	}
+	if typ != transport.RecHello {
+		return transport.Hello{}, fmt.Errorf("middlebox: expected client hello, got %d", typ)
+	}
+	hello, err := transport.UnmarshalHello(body)
+	if err != nil {
+		return transport.Hello{}, err
+	}
+	if err := transport.SetMBPresent(body); err != nil {
+		return transport.Hello{}, err
+	}
+	if err := transport.WriteRecord(server, transport.RecHello, body); err != nil {
+		return transport.Hello{}, err
+	}
+	typ, body, err = transport.ReadRecord(server)
+	if err != nil {
+		return transport.Hello{}, err
+	}
+	if typ != transport.RecHelloReply {
+		return transport.Hello{}, fmt.Errorf("middlebox: expected server hello, got %d", typ)
+	}
+	if err := transport.SetMBPresent(body); err != nil {
+		return transport.Hello{}, err
+	}
+	if err := transport.WriteRecord(client, transport.RecHelloReply, body); err != nil {
+		return transport.Hello{}, err
+	}
+	return hello, nil
+}
+
+// runPrepRetry runs the preparation protocol over one leg under
+// Config.PrepRetry: each attempt restarts from SubPrepStart (the
+// endpoint's preparation loop is restartable) with a fresh Timeouts.Prep
+// deadline. Retries are counted (obs.MBRetriesTotal, op=prep) and logged.
+func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middlebox) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
+	var (
+		jobs   []*ruleprep.FragmentJob
+		labels [][]bbcrypto.Block
+	)
+	pol := mb.cfg.PrepRetry
+	if pol.Notify == nil {
+		pol.Notify = func(attempt int, err error, backoff time.Duration) {
+			if backoff > 0 {
+				mb.met.retried("prep")
+				mb.log.Warn("rule preparation failed, retrying",
+					"conn", id, "attempt", attempt, "backoff", backoff, "err", err)
+			}
+		}
+	}
+	err := pol.Do(nil, func(int) error {
+		setDeadline(deadlineFor(mb.tmo.Prep), leg)
+		defer setDeadline(time.Time{}, leg)
+		var aerr error
+		jobs, labels, aerr = mb.runPrep(leg, prep)
+		return aerr
+	})
+	return jobs, labels, err
+}
+
+// writeRecordT writes one record under the Write deadline.
+func (mb *Middlebox) writeRecordT(c net.Conn, typ transport.RecordType, body []byte) error {
+	_ = c.SetWriteDeadline(deadlineFor(mb.tmo.Write))
+	err := transport.WriteRecord(c, typ, body)
+	_ = c.SetWriteDeadline(time.Time{})
+	return err
 }
 
 // runPrep executes the MB side of the preparation protocol over one leg.
@@ -525,6 +663,15 @@ type flow struct {
 	shard int
 	// pending counts queued detection jobs; wait() is the barrier.
 	pending sync.WaitGroup
+	// inflight mirrors pending as a readable count: incremented before
+	// pending.Add, decremented after pending.Done. A zero load means the
+	// barrier is already clear, so waitTimeout can skip its waiter
+	// goroutine on the (common) idle-barrier fast path.
+	inflight atomic.Int64
+	// degraded marks a fail-open flow whose detection barrier timed out:
+	// it stops enqueueing and forwards unscanned. Only the forwarding
+	// goroutine touches it.
+	degraded bool
 	// blocked is set (once) when a block-action rule matched.
 	blocked atomic.Bool
 	// scratch is the sequential-mode event buffer, reused across batches.
@@ -571,6 +718,7 @@ func (mb *Middlebox) newFlow(id uint64, dir Direction, cfg core.Config, keys det
 func (fl *flow) enqueue(p *detectPool, job detectJob) {
 	// The submitting goroutine is the only one calling wait(), so the
 	// Add-before-Wait ordering WaitGroup requires holds by program order.
+	fl.inflight.Add(1)
 	fl.pending.Add(1)
 	p.submit(job)
 }
@@ -579,6 +727,34 @@ func (fl *flow) enqueue(p *detectPool, job detectJob) {
 // flow has been scanned and its events dispatched.
 func (fl *flow) wait() {
 	fl.pending.Wait()
+}
+
+// waitTimeout is the bounded barrier: it returns true once the flow's
+// queued batches drain, false if d elapses first. d <= 0 waits forever.
+// A timed-out flow must stop enqueueing (degrade or die) — the abandoned
+// waiter goroutine still holds a pending.Wait and a later Add from zero
+// would race it.
+func (fl *flow) waitTimeout(d time.Duration) bool {
+	if fl.inflight.Load() == 0 {
+		return true
+	}
+	if d <= 0 {
+		fl.wait()
+		return true
+	}
+	done := make(chan struct{})
+	go func() {
+		fl.pending.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	}
 }
 
 // forward relays records from src to dst while feeding the token channel to
@@ -601,9 +777,14 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 		}()
 	}
 	for {
+		_ = src.SetReadDeadline(deadlineFor(mb.tmo.Idle))
 		typ, body, err := transport.ReadRecord(src)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
+				if transport.IsTimeout(err) {
+					mb.met.timeout("idle")
+					mb.log.Warn("idle deadline exceeded", "conn", fl.id, "dir", fl.dir)
+				}
 				mb.log.Debug("forward read ended", "conn", fl.id, "dir", fl.dir, "err", err)
 			}
 			fl.kill()
@@ -611,7 +792,7 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 		}
 		switch typ {
 		case transport.RecSalt:
-			if len(body) == 8 {
+			if len(body) == 8 && !fl.degraded {
 				salt := binary.BigEndian.Uint64(body)
 				if mb.pool != nil {
 					// Resets ride the shard queue so they stay ordered
@@ -628,6 +809,11 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 				fl.kill()
 				return
 			}
+			if fl.degraded {
+				// Detection is unavailable and the engine's counters are
+				// out of sync; the record is forwarded unscanned below.
+				break
+			}
 			mb.met.tokens.Add(uint64(len(toks)))
 			if mb.pool != nil {
 				fl.enqueue(mb.pool, detectJob{fl: fl, toks: toks})
@@ -643,15 +829,21 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 		case transport.RecData:
 			// Detection barrier: the block policy and the probable-cause
 			// element must have seen every token preceding this payload.
-			mb.barrierWait(fl)
+			if !mb.barrierWait(fl) {
+				return
+			}
 			mb.met.bytes.Add(uint64(len(body)))
 			fwdBytes += len(body)
-			if mb.cfg.Secondary && fl.cfg.Protocol == dpienc.ProtocolIII {
+			if fl.degraded {
+				mb.met.unscanned.Add(uint64(len(body)))
+			} else if mb.cfg.Secondary && fl.cfg.Protocol == dpienc.ProtocolIII {
 				mb.captureData(fl, body)
 			}
 		case transport.RecClose:
-			mb.barrierWait(fl)
-			if fl.recovered && len(fl.plaintext) > 0 {
+			if !mb.barrierWait(fl) {
+				return
+			}
+			if !fl.degraded && fl.recovered && len(fl.plaintext) > 0 {
 				mb.secondaryInspect(fl)
 			}
 		}
@@ -660,7 +852,14 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 			// block; do not forward the record that completed the match.
 			return
 		}
-		if err := transport.WriteRecord(dst, typ, body); err != nil {
+		_ = dst.SetWriteDeadline(deadlineFor(mb.tmo.Write))
+		err = transport.WriteRecord(dst, typ, body)
+		_ = dst.SetWriteDeadline(time.Time{})
+		if err != nil {
+			if transport.IsTimeout(err) {
+				mb.met.timeout("write")
+				mb.log.Warn("write deadline exceeded", "conn", fl.id, "dir", fl.dir)
+			}
 			mb.log.Debug("forward write ended", "conn", fl.id, "dir", fl.dir, "err", err)
 			fl.kill()
 			return
@@ -668,17 +867,40 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 	}
 }
 
-// barrierWait runs the detection barrier, timing the stall in parallel mode
-// (sequential mode has no queued work; the histogram would only record the
-// clock's noise floor).
-func (mb *Middlebox) barrierWait(fl *flow) {
+// barrierWait runs the detection barrier, bounded by Timeouts.Barrier, and
+// reports whether forwarding may continue. On a barrier timeout it applies
+// the degradation policy: FailOpen marks the flow degraded (the record is
+// then forwarded unscanned and counted) and returns true; FailClosed
+// severs the connection and returns false. The stall is timed in parallel
+// mode only (sequential mode has no queued work; the histogram would only
+// record the clock's noise floor).
+func (mb *Middlebox) barrierWait(fl *flow) bool {
+	if fl.degraded {
+		// A degraded flow stopped enqueueing; nothing to wait for.
+		return true
+	}
 	if mb.pool == nil {
 		fl.wait()
-		return
+		return true
 	}
 	start := time.Now()
-	fl.wait()
-	mb.met.barrier.Observe(time.Since(start).Seconds())
+	if fl.waitTimeout(mb.tmo.Barrier) {
+		mb.met.barrier.Observe(time.Since(start).Seconds())
+		return true
+	}
+	mb.met.timeout("barrier")
+	if mb.cfg.Policy == FailOpen {
+		fl.degraded = true
+		mb.met.degraded.Inc()
+		mb.log.Warn("detection unavailable, degrading to fail-open forwarding",
+			"conn", fl.id, "dir", fl.dir, "barrier", mb.tmo.Barrier)
+		return true
+	}
+	mb.met.fcDrops.Inc()
+	mb.log.Warn("detection unavailable, severing connection (fail-closed)",
+		"conn", fl.id, "dir", fl.dir, "barrier", mb.tmo.Barrier)
+	fl.kill()
+	return false
 }
 
 // observeScan records one ScanBatch in the scan histogram and, when tracing,

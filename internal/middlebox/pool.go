@@ -125,7 +125,11 @@ func (p *detectPool) worker(mb *Middlebox, shard int, ch chan detectJob) {
 				mb.dispatchEvent(fl, ev)
 			}
 		}
+		// Done before the inflight decrement: a zero inflight load must
+		// imply the pending counter already drained (flow.waitTimeout's
+		// fast path relies on that order).
 		fl.pending.Done()
+		fl.inflight.Add(-1)
 	}
 }
 

@@ -1,0 +1,133 @@
+package netem
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := Schedule(42, DefaultProfile())
+	b := Schedule(42, DefaultProfile())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	c := Schedule(43, DefaultProfile())
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) != DefaultProfile().Faults {
+		t.Fatalf("schedule length %d, want %d", len(a), DefaultProfile().Faults)
+	}
+}
+
+func TestFaultReset(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	fc := NewFaultConn(c1, Fault{Kind: FaultReset, After: 4})
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := c2.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatalf("write before trigger: %v", err)
+	}
+	if _, err := fc.Write([]byte("more")); err != nil {
+		t.Fatalf("write below offset: %v", err)
+	}
+	_, err := fc.Write([]byte("boom"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	if _, err := fc.Write([]byte("after")); err == nil {
+		t.Fatal("write succeeded on reset connection")
+	}
+	if fired := fc.Fired(); len(fired) != 1 || fired[0].Kind != FaultReset {
+		t.Fatalf("fired transcript: %v", fired)
+	}
+}
+
+func TestFaultCorruptAndTruncate(t *testing.T) {
+	c1, c2 := net.Pipe()
+	fc := NewFaultConn(c1,
+		Fault{Kind: FaultCorrupt, After: 0, Span: 2},
+		Fault{Kind: FaultTruncate, After: 4, Span: 3},
+	)
+	got := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		tmp := make([]byte, 16)
+		for {
+			n, err := c2.Read(tmp)
+			buf.Write(tmp[:n])
+			if err != nil {
+				got <- buf.Bytes()
+				return
+			}
+		}
+	}()
+	orig := []byte("abcd")
+	if _, err := fc.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, []byte("abcd")) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+	n, err := fc.Write([]byte("efghij"))
+	if n != 3 || !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("truncated write: n=%d err=%v, want 3, ErrInjectedReset", n, err)
+	}
+	data := <-got
+	want := append([]byte{'a' ^ 1, 'b' ^ 1}, []byte("cdefg")...)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("peer saw %q, want %q", data, want)
+	}
+}
+
+func TestFaultStallInterruptedByClose(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	fc := NewFaultConn(c1, Fault{Kind: FaultStall, OnRead: true, Dur: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 8))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read arm the stall
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled read returned nil error after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not interrupt the stall")
+	}
+}
+
+func TestFaultLatencyDelaysButDelivers(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	fc := NewFaultConn(c1, Fault{Kind: FaultLatency, Dur: 30 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 8)
+		c2.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := fc.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault did not delay (took %v)", d)
+	}
+}

@@ -26,10 +26,19 @@ const (
 	MBHandshakeSeconds   = "blindbox_mb_handshake_seconds"
 	MBPrepSeconds        = "blindbox_mb_prep_seconds"
 
+	// middlebox fault-tolerance layer (label owners: step on timeouts,
+	// op on retries)
+	MBTimeoutsTotal        = "blindbox_mb_timeouts_total"
+	MBRetriesTotal         = "blindbox_mb_retries_total"
+	MBDegradedTotal        = "blindbox_mb_degraded_total"
+	MBFailClosedDropsTotal = "blindbox_mb_failclosed_drops_total"
+	MBUnscannedBytes       = "blindbox_mb_unscanned_bytes_total"
+
 	// transport endpoints
 	ConnHandshakeSeconds = "blindbox_conn_handshake_seconds"
 	ConnRecordsTotal     = "blindbox_conn_records_total"
 	ConnRecordBytes      = "blindbox_conn_record_bytes"
+	ConnDialRetriesTotal = "blindbox_conn_dial_retries_total"
 
 	// core sender pipeline
 	SenderTokenizeSeconds = "blindbox_sender_tokenize_seconds"
@@ -64,9 +73,16 @@ var Catalog = map[string]string{
 	MBHandshakeSeconds:   "Middlebox hello-interposition duration per connection.",
 	MBPrepSeconds:        "Obfuscated rule encryption duration per connection (both legs).",
 
+	MBTimeoutsTotal:        "Deadline expiries by blocking step; label: step (handshake, prep, idle, write, barrier).",
+	MBRetriesTotal:         "Backoff retries performed by the middlebox; label: op (dial, prep).",
+	MBDegradedTotal:        "Connections degraded to fail-open forwarding after detection became unavailable.",
+	MBFailClosedDropsTotal: "Connections severed by the fail-closed policy after detection became unavailable.",
+	MBUnscannedBytes:       "Data-record payload bytes forwarded without detection under fail-open degradation.",
+
 	ConnHandshakeSeconds: "Endpoint handshake duration, including rule preparation when a middlebox is present.",
 	ConnRecordsTotal:     "Records written by this endpoint after the handshake (salt, token, data and close records).",
 	ConnRecordBytes:      "Body size of records written by this endpoint.",
+	ConnDialRetriesTotal: "Dial attempts retried by endpoint Dial (connect plus handshake, as one unit).",
 
 	SenderTokenizeSeconds: "Tokenization latency per processed chunk.",
 	SenderEncryptSeconds:  "DPIEnc encryption latency per token batch (after counter assignment).",

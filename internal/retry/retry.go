@@ -1,0 +1,166 @@
+// Package retry implements bounded retry with jittered exponential
+// backoff for the fault-tolerance layer (DESIGN.md §9). The paper assumes
+// a well-behaved middlebox on the path (§6); a production deployment must
+// instead survive transient dial failures and flaky rule-preparation
+// rounds without either giving up on the first hiccup or retrying
+// forever. Every retry loop in the tree goes through this package so the
+// attempt bound, the backoff curve, and the observability hooks stay in
+// one place.
+//
+// Jitter is deterministic: the backoff sequence is derived from a
+// splitmix64 stream seeded per Do call (from the Policy's Seed when set),
+// so the chaos suite and the fault experiments replay identical schedules
+// run-to-run. No math/rand, no crypto/rand — backoff timing is not a
+// security boundary.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DefaultAttempts is the attempt bound a zero Attempts field selects.
+const DefaultAttempts = 3
+
+// Policy bounds one retryable operation. The zero value retries nothing
+// beyond the defaults: DefaultAttempts attempts, 50 ms base delay doubling
+// to a 1 s cap, 20% jitter. Policies are plain values — copy them freely;
+// Do never mutates its receiver, so one Policy is safe for concurrent use
+// by any number of goroutines.
+type Policy struct {
+	// Attempts is the total number of tries, first included. Zero selects
+	// DefaultAttempts; 1 disables retrying; negative values are treated
+	// as 1.
+	Attempts int
+	// Base is the delay before the second attempt. Zero selects 50 ms.
+	Base time.Duration
+	// Max caps the exponential growth of the delay. Zero selects 1 s.
+	Max time.Duration
+	// Jitter is the fraction of each delay randomized away (0.2 turns a
+	// 100 ms delay into 80–100 ms). Zero selects 0.2; negative disables
+	// jitter.
+	Jitter float64
+	// Seed fixes the jitter stream for reproducible schedules; zero
+	// derives a seed from the wall clock (distinct processes then spread
+	// their retries instead of thundering together).
+	Seed uint64
+	// Notify, when non-nil, observes every failed attempt before its
+	// backoff sleep: the 1-based attempt number, the error, and the sleep
+	// about to happen (zero on the final attempt). It runs on the calling
+	// goroutine; keep it cheap.
+	Notify func(attempt int, err error, backoff time.Duration)
+}
+
+// ErrStopped is wrapped into Do's error when the stop channel closed
+// during a backoff sleep.
+var ErrStopped = errors.New("retry: stopped")
+
+// Error is the typed failure Do returns when every attempt failed: it
+// carries the attempt count and wraps the last error, so callers can both
+// errors.Is/As through it and report how hard the operation was tried.
+type Error struct {
+	// Attempts is how many times the operation ran.
+	Attempts int
+	// Last is the error of the final attempt.
+	Last error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("retry: %d attempts exhausted: %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final attempt's error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Last }
+
+// withDefaults normalizes the zero value into the documented defaults.
+func (p Policy) withDefaults() Policy {
+	if p.Attempts == 0 {
+		p.Attempts = DefaultAttempts
+	}
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.Base == 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max == 0 {
+		p.Max = time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// splitmix64 is the SplitMix64 generator step: cheap, seedable, and good
+// enough to decorrelate backoff timing — its only job here.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Backoff returns the sleep before attempt+2 (so Backoff(0) follows the
+// first failure): Base doubled per attempt, capped at Max, with the top
+// Jitter fraction randomized by the rng stream.
+func (p Policy) backoff(attempt int, rng *uint64) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		cut := time.Duration(float64(d) * p.Jitter)
+		if cut > 0 {
+			d -= time.Duration(splitmix64(rng) % uint64(cut))
+		}
+	}
+	return d
+}
+
+// Do runs op until it succeeds, the attempt bound is exhausted, or stop
+// closes during a backoff sleep. op receives the 1-based attempt number.
+// A nil stop channel never interrupts. On exhaustion Do returns a *Error
+// wrapping the final attempt's error; on interruption it returns an error
+// wrapping ErrStopped. Do sleeps only between attempts — a first-try
+// success costs nothing over calling op directly.
+func (p Policy) Do(stop <-chan struct{}, op func(attempt int) error) error {
+	p = p.withDefaults()
+	rng := p.Seed
+	if rng == 0 {
+		rng = uint64(time.Now().UnixNano())
+	}
+	var last error
+	for attempt := 1; ; attempt++ {
+		last = op(attempt)
+		if last == nil {
+			return nil
+		}
+		if attempt == p.Attempts {
+			if p.Notify != nil {
+				p.Notify(attempt, last, 0)
+			}
+			return &Error{Attempts: attempt, Last: last}
+		}
+		d := p.backoff(attempt-1, &rng)
+		if p.Notify != nil {
+			p.Notify(attempt, last, d)
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-stop:
+			t.Stop()
+			return fmt.Errorf("%w after %d attempts: %w", ErrStopped, attempt, last)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFirstTrySuccessNoSleep(t *testing.T) {
+	start := time.Now()
+	calls := 0
+	err := Policy{Base: time.Second, Max: time.Second}.Do(nil, func(int) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("first-try success slept")
+	}
+}
+
+func TestRecoversAfterFailures(t *testing.T) {
+	calls := 0
+	err := Policy{Attempts: 4, Base: time.Millisecond, Max: 2 * time.Millisecond, Seed: 1}.Do(nil,
+		func(attempt int) error {
+			calls++
+			if attempt != calls {
+				t.Fatalf("attempt %d on call %d", attempt, calls)
+			}
+			if attempt < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestExhaustionReturnsTypedError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var notified []int
+	p := Policy{Attempts: 3, Base: time.Millisecond, Seed: 7,
+		Notify: func(attempt int, err error, backoff time.Duration) {
+			notified = append(notified, attempt)
+			if err != sentinel {
+				t.Errorf("notify err = %v", err)
+			}
+			if attempt == 3 && backoff != 0 {
+				t.Errorf("final attempt notified with backoff %v", backoff)
+			}
+		}}
+	err := p.Do(nil, func(int) error { return sentinel })
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T is not *retry.Error", err)
+	}
+	if re.Attempts != 3 || !errors.Is(err, sentinel) {
+		t.Fatalf("attempts=%d Is(sentinel)=%v", re.Attempts, errors.Is(err, sentinel))
+	}
+	if len(notified) != 3 {
+		t.Fatalf("notify calls = %v, want one per attempt", notified)
+	}
+}
+
+func TestStopInterruptsBackoff(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	err := Policy{Attempts: 5, Base: time.Hour, Max: time.Hour, Seed: 1}.Do(stop,
+		func(int) error { return errors.New("always") })
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stop did not interrupt the backoff sleep")
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.2}.withDefaults()
+	rngA, rngB := uint64(42), uint64(42)
+	for i := 0; i < 8; i++ {
+		a, b := p.backoff(i, &rngA), p.backoff(i, &rngB)
+		if a != b {
+			t.Fatalf("attempt %d: same seed gave %v and %v", i, a, b)
+		}
+		if a > p.Max || a <= 0 {
+			t.Fatalf("attempt %d: backoff %v outside (0, %v]", i, a, p.Max)
+		}
+	}
+	// Without jitter the curve is the pure doubling sequence.
+	p.Jitter = 0
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := p.backoff(i, &rngA); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.Attempts != DefaultAttempts || p.Base != 50*time.Millisecond ||
+		p.Max != time.Second || p.Jitter != 0.2 {
+		t.Fatalf("defaults: %+v", p)
+	}
+	if q := (Policy{Attempts: -4, Jitter: -1}).withDefaults(); q.Attempts != 1 || q.Jitter != 0 {
+		t.Fatalf("negative normalization: %+v", q)
+	}
+}

@@ -27,6 +27,7 @@ const (
 	Block
 )
 
+// String names the rule action for logs and experiment output.
 func (a Action) String() string {
 	if a == Block {
 		return "block"

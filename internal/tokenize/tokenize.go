@@ -69,6 +69,7 @@ const (
 	Delimiter
 )
 
+// String names the tokenization mode for flags and benchmark output.
 func (m Mode) String() string {
 	switch m {
 	case Window:

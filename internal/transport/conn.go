@@ -22,6 +22,7 @@ import (
 	"repro/internal/dpienc"
 	"repro/internal/obs"
 	"repro/internal/ot"
+	"repro/internal/retry"
 	"repro/internal/ruleprep"
 	"repro/internal/tokenize"
 )
@@ -46,6 +47,16 @@ type ConnConfig struct {
 	// stream is byte-identical either way — only the sender's CPU use
 	// changes.
 	EncryptWorkers int
+	// Timeouts bounds the connection's blocking network steps; the zero
+	// value selects DefaultTimeouts (see Timeouts for the per-step
+	// semantics and NoTimeout for disabling a step's deadline).
+	Timeouts Timeouts
+	// DialRetry bounds Dial's connect-plus-handshake retry loop; the
+	// zero value retries up to retry.DefaultAttempts times with jittered
+	// exponential backoff. Set Attempts to 1 to fail on the first error.
+	// Only Dial consults it — Client and Server run on an established
+	// transport and never retry.
+	DialRetry retry.Policy
 	// Metrics registers this endpoint's handshake/record metrics
 	// (obs.Conn*) and enables stage timing on the sender pipeline
 	// (obs.Sender*, obs.DPIEnc*). Nil disables instrumentation entirely.
@@ -71,6 +82,9 @@ type Conn struct {
 	// mbPresent records whether a middlebox interposed on the handshake.
 	mbPresent bool
 
+	// tmo is cfg.Timeouts resolved once at handshake time.
+	tmo Timeouts
+
 	aead           cipher.AEAD
 	seqOut, seqIn  uint64
 	writeMu        sync.Mutex
@@ -91,15 +105,36 @@ type Conn struct {
 }
 
 // Dial opens a BlindBox HTTPS connection to addr (typically the middlebox
-// in front of the server).
+// in front of the server). Connect and handshake are retried as one unit
+// under cfg.DialRetry — a handshake that died mid-way cannot be resumed,
+// only redone on a fresh transport. Retries are counted in cfg.Metrics
+// (obs.ConnDialRetriesTotal) when instrumentation is configured.
 func Dial(addr string, cfg ConnConfig) (*Conn, error) {
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	tmo := cfg.Timeouts.withDefaults()
+	pol := cfg.DialRetry
+	if pol.Notify == nil && cfg.Metrics != nil {
+		retries := cfg.Metrics.Counter(obs.ConnDialRetriesTotal, obs.Help(obs.ConnDialRetriesTotal))
+		pol.Notify = func(attempt int, err error, backoff time.Duration) {
+			if backoff > 0 {
+				retries.Inc()
+			}
+		}
 	}
-	c, err := Client(raw, cfg)
+	var c *Conn
+	err := pol.Do(nil, func(int) error {
+		raw, err := net.DialTimeout("tcp", addr, enabled(tmo.Handshake))
+		if err != nil {
+			return err
+		}
+		cc, err := Client(raw, cfg)
+		if err != nil {
+			_ = raw.Close()
+			return err
+		}
+		c = cc
+		return nil
+	})
 	if err != nil {
-		_ = raw.Close()
 		return nil, err
 	}
 	return c, nil
@@ -125,7 +160,22 @@ func Server(raw net.Conn, cfg ConnConfig) (*Conn, error) {
 	return c, nil
 }
 
+// handshake runs the connection setup under the handshake deadline: the
+// hello exchange plus (with a middlebox on path) the whole rule-preparation
+// protocol. A deadline expiry surfaces as a *StepError for step
+// "handshake".
 func (c *Conn) handshake() error {
+	c.tmo = c.cfg.Timeouts.withDefaults()
+	if dl := deadlineFor(c.tmo.Handshake); !dl.IsZero() {
+		if err := c.raw.SetDeadline(dl); err == nil {
+			defer func() { _ = c.raw.SetDeadline(time.Time{}) }()
+		}
+	}
+	return stepErr("handshake", c.runHandshake())
+}
+
+// runHandshake is the deadline-free handshake body.
+func (c *Conn) runHandshake() error {
 	hsStart := time.Now()
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
@@ -228,11 +278,16 @@ func (c *Conn) instrument(hsStart time.Time) {
 	c.pipe.Instrument(r, c.trace, c.flowID, dir)
 }
 
-// writeRecord counts and sizes one outgoing record, then writes it.
+// writeRecord counts and sizes one outgoing record, then writes it under
+// the per-record write deadline. A deadline expiry surfaces as a
+// *StepError for step "write".
 func (c *Conn) writeRecord(typ RecordType, body []byte) error {
 	c.records.Inc()
 	c.recordBytes.Observe(float64(len(body)))
-	return WriteRecord(c.raw, typ, body)
+	if dl := deadlineFor(c.tmo.Write); !dl.IsZero() {
+		_ = c.raw.SetWriteDeadline(dl)
+	}
+	return stepErr("write", WriteRecord(c.raw, typ, body))
 }
 
 // SessionKeys exposes the derived keys (tests and the probable-cause
@@ -465,9 +520,12 @@ func (c *Conn) Read(p []byte) (int, error) {
 }
 
 func (c *Conn) readRecord() error {
+	if dl := deadlineFor(c.tmo.Read); !dl.IsZero() {
+		_ = c.raw.SetReadDeadline(dl)
+	}
 	typ, body, err := ReadRecord(c.raw)
 	if err != nil {
-		return err
+		return stepErr("read", err)
 	}
 	switch typ {
 	case RecSalt:

@@ -1,0 +1,116 @@
+// Deadlines and typed step errors for the endpoint transport — the
+// endpoint half of the fault-tolerance layer (DESIGN.md §9). The paper's
+// prototype assumes both peers and the middlebox stay live; here every
+// blocking network step carries a deadline so one stalled peer cannot wedge
+// a connection forever.
+
+package transport
+
+import (
+	"errors"
+	"net"
+	"os"
+	"time"
+)
+
+// NoTimeout disables one Timeouts knob explicitly. (The zero value of a
+// knob selects its default instead, so "no deadline" needs a sentinel.)
+const NoTimeout = time.Duration(-1)
+
+// Timeouts bounds the blocking network steps of an endpoint connection.
+// Each field covers one step class; zero selects the documented default
+// and NoTimeout disables the deadline for that step. Timeouts is a plain
+// value: normalize once at handshake time, never mutated afterwards, safe
+// to share.
+type Timeouts struct {
+	// Handshake bounds the whole connection setup: the hello exchange
+	// plus, when a middlebox interposed, the entire rule-preparation
+	// protocol (§3.3, the longest setup step — garbling dominates).
+	// Default 30 s.
+	Handshake time.Duration
+	// Read bounds each blocking record read after the handshake. Default
+	// NoTimeout: receivers of long-lived connections legitimately idle
+	// (the Mux keeps connections open across requests), so callers opt
+	// into read deadlines per deployment.
+	Read time.Duration
+	// Write bounds each record write after the handshake. A write that
+	// blocks this long means the peer stopped draining with full TCP
+	// buffers. Default 1 m.
+	Write time.Duration
+}
+
+// DefaultTimeouts returns the defaults a zero Timeouts resolves to.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{Handshake: 30 * time.Second, Read: NoTimeout, Write: time.Minute}
+}
+
+// withDefaults resolves zero knobs to their defaults.
+func (t Timeouts) withDefaults() Timeouts {
+	d := DefaultTimeouts()
+	if t.Handshake == 0 {
+		t.Handshake = d.Handshake
+	}
+	if t.Read == 0 {
+		t.Read = d.Read
+	}
+	if t.Write == 0 {
+		t.Write = d.Write
+	}
+	return t
+}
+
+// enabled converts a resolved knob into an applicable duration: positive
+// values pass through, NoTimeout (and any negative) becomes zero.
+func enabled(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d
+}
+
+// deadlineFor turns a resolved knob into an absolute deadline, or the
+// zero time (= no deadline) when the knob is disabled.
+func deadlineFor(d time.Duration) time.Time {
+	if e := enabled(d); e > 0 {
+		return time.Now().Add(e)
+	}
+	return time.Time{}
+}
+
+// StepError tags a transport failure with the protocol step it happened
+// in ("handshake", "read", "write"). It wraps the underlying error, so
+// errors.Is/As see through it — in particular IsTimeout recognizes wrapped
+// deadline expiries.
+type StepError struct {
+	// Step names the blocking step that failed.
+	Step string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *StepError) Error() string { return "transport: " + e.Step + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *StepError) Unwrap() error { return e.Err }
+
+// IsTimeout reports whether err is (or wraps) a deadline expiry — the
+// typed check the chaos suite and operators' error triage use to separate
+// "peer too slow" from protocol violations.
+func IsTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// stepErr wraps deadline expiries with their step name and passes every
+// other error through untouched: io.EOF must stay bare for the Read
+// contract, and protocol violations already carry descriptive messages.
+func stepErr(step string, err error) error {
+	if err == nil || !IsTimeout(err) {
+		return err
+	}
+	return &StepError{Step: step, Err: err}
+}

@@ -33,6 +33,12 @@ fi
 step "go test -race"
 go test -race ./...
 
+# Chaos suite under the race detector: every injected fault (stall, reset,
+# corruption, truncation) must end in a clean typed outcome, never a hang —
+# the -timeout is the wall-clock backstop that turns a hang into a failure.
+step "chaos suite (-race)"
+go test -race -run 'TestChaos' -timeout 5m .
+
 # Fuzz smoke: each corpus gets a short budget. `go test -fuzz` accepts a
 # single fuzz target per invocation, so loop over every target explicitly.
 step "fuzz smoke (${FUZZTIME} per target)"
