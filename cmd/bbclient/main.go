@@ -7,13 +7,18 @@
 // Usage:
 //
 //	bbclient -addr 127.0.0.1:8443 -rgconfig blindbox.endpoint.json [-data "GET / ..."] [-protocol 2] [-tokens delimiter]
-//	         [-timeout 30s] [-retries 3]
+//	         [-timeout 30s] [-retries 3] [-trace spans.jsonl]
 //
 // -timeout bounds the dial and the whole handshake (including rule
 // preparation when a middlebox is on path); 0 selects the 30s default and
 // a negative value disables the deadline. -retries bounds how many times
 // the dial+handshake is attempted with jittered backoff before giving up
 // with a typed *retry.Error.
+//
+// With -trace, the client appends its pipeline spans (conn, handshake,
+// prep.garble, tokenize, encrypt) to the given JSONL file and roots a
+// distributed trace that the middlebox and server join over the wire —
+// assemble the three files with `bbtrace -assemble` (DESIGN.md §8).
 package main
 
 import (
@@ -22,9 +27,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	blindbox "repro"
+	"repro/internal/obs"
 	"repro/internal/rgconfig"
 )
 
@@ -36,6 +44,7 @@ func main() {
 	tokens := flag.String("tokens", "delimiter", "tokenization: window or delimiter")
 	timeout := flag.Duration("timeout", 0, "dial + handshake deadline (0 = default 30s, negative disables)")
 	retries := flag.Int("retries", 0, "dial attempts with backoff (0 = default 3)")
+	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
 	flag.Parse()
 	if *rgPath == "" {
 		flag.Usage()
@@ -47,6 +56,34 @@ func main() {
 	}
 
 	cfg := blindbox.ConnConfig{Core: blindbox.DefaultConfig(), RG: rg}
+	flushTrace := func() {}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening trace file: %v", err)
+		}
+		sink := obs.NewJSONLSink(f)
+		flushTrace = func() {
+			if err := sink.Flush(); err != nil {
+				log.Printf("flushing trace file: %v", err)
+			}
+		}
+		// Drain the buffered sink every second so the file tails usefully
+		// during long transfers; an interrupt flushes the remainder.
+		go func() {
+			for range time.Tick(time.Second) {
+				flushTrace()
+			}
+		}()
+		sigC := make(chan os.Signal, 1)
+		signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigC
+			flushTrace()
+			os.Exit(1)
+		}()
+		cfg.Trace = sink
+	}
 	cfg.Timeouts.Handshake = *timeout
 	cfg.DialRetry.Attempts = *retries
 	cfg.Core.Protocol = blindbox.Protocol(*protocol)
@@ -62,25 +99,34 @@ func main() {
 	start := time.Now()
 	conn, err := blindbox.Dial(*addr, cfg)
 	if err != nil {
+		flushTrace()
 		log.Fatalf("dial: %v", err)
 	}
-	defer conn.Close()
+	// die closes the connection (emitting its conn span) and drains the
+	// trace buffer before exiting, so failed runs still leave usable spans.
+	die := func(format string, args ...any) {
+		_ = conn.Close()
+		flushTrace()
+		log.Fatalf(format, args...)
+	}
 	handshake := time.Since(start)
 	fmt.Printf("handshake: %v (middlebox on path: %v)\n", handshake, conn.MBPresent())
 
 	start = time.Now()
 	if _, err := conn.Write([]byte(*data)); err != nil {
-		log.Fatalf("write: %v", err)
+		die("write: %v", err)
 	}
 	if err := conn.CloseWrite(); err != nil {
-		log.Fatalf("close-write: %v", err)
+		die("close-write: %v", err)
 	}
 	resp, err := io.ReadAll(conn)
 	if err != nil {
-		log.Fatalf("read: %v", err)
+		die("read: %v", err)
 	}
 	fmt.Printf("transfer: %v, response %d bytes\n", time.Since(start), len(resp))
 	if len(resp) < 512 {
 		fmt.Printf("response: %q\n", resp)
 	}
+	_ = conn.Close()
+	flushTrace()
 }

@@ -5,10 +5,15 @@
 // Usage:
 //
 //	bbserver -listen :9443 -rgconfig blindbox.endpoint.json [-mode echo|page] [-bytes 65536]
-//	         [-admin :8082]
+//	         [-admin :8082] [-trace spans.jsonl]
 //
 // With -admin, the server exposes its endpoint metrics (handshake duration,
 // records written) on /metrics plus net/http/pprof under /debug/pprof/.
+// With -trace, the server appends its pipeline spans (conn, handshake,
+// prep.garble, tokenize, encrypt) to the given JSONL file, joining the
+// distributed trace the client or middlebox propagates in the handshake —
+// assemble the parties' files with `bbtrace -assemble` (DESIGN.md §8).
+// SIGINT/SIGTERM flush the span buffer before exit.
 package main
 
 import (
@@ -19,6 +24,9 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	blindbox "repro"
 	"repro/internal/corpus"
@@ -32,6 +40,7 @@ func main() {
 	mode := flag.String("mode", "echo", "echo: return the request; page: return a synthetic page")
 	pageBytes := flag.Int("bytes", 64<<10, "synthetic page size for -mode page")
 	admin := flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
+	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
 	flag.Parse()
 	if *rgPath == "" {
 		flag.Usage()
@@ -42,6 +51,27 @@ func main() {
 		log.Fatalf("loading RG config: %v", err)
 	}
 	cfg := blindbox.ConnConfig{Core: blindbox.DefaultConfig(), RG: rg}
+	flushTrace := func() {}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening trace file: %v", err)
+		}
+		sink := obs.NewJSONLSink(f)
+		flushTrace = func() {
+			if err := sink.Flush(); err != nil {
+				log.Printf("flushing trace file: %v", err)
+			}
+		}
+		// The sink buffers; drain it every second so the span file tails
+		// usefully while the daemon runs (shutdown flushes the remainder).
+		go func() {
+			for range time.Tick(time.Second) {
+				flushTrace()
+			}
+		}()
+		cfg.Trace = sink
+	}
 
 	if *admin != "" {
 		reg := obs.NewRegistry()
@@ -58,6 +88,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// log.Fatal skips deferred cleanup — flush the span buffer on
+	// SIGINT/SIGTERM so short demo sessions keep their final spans.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigC
+		log.Printf("shutting down on %s", sig)
+		_ = ln.Close()
+		flushTrace()
+		os.Exit(0)
+	}()
 	fmt.Printf("bbserver (%s) listening on %s\n", *mode, ln.Addr())
 	for {
 		raw, err := ln.Accept()

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureFiles are the checked-in three-party span files (see
+// testdata/gen.go for the layout and the deliberate clock skews).
+func fixtureFiles() []string {
+	return []string{
+		filepath.Join("testdata", "client.jsonl"),
+		filepath.Join("testdata", "mb.jsonl"),
+		filepath.Join("testdata", "server.jsonl"),
+	}
+}
+
+// TestAssembleGolden pins the human -assemble output on the three-party
+// fixture: tree shape, clock offsets, critical-path attribution and the
+// stage table. Regenerate with
+//
+//	go run ./cmd/bbtrace -assemble cmd/bbtrace/testdata/{client,mb,server}.jsonl > cmd/bbtrace/testdata/golden.txt
+//
+// after reviewing the diff.
+func TestAssembleGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := assembleFiles(fixtureFiles(), "", true, &buf); err != nil {
+		t.Fatalf("assembleFiles (strict): %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("assemble output diverged from golden file\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestAssembleJSONReport checks the machine-readable report: one
+// well-formed trace, critical path bounded by the wall-clock, no orphans,
+// and the three parties' clock offsets present.
+func TestAssembleJSONReport(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	if err := assembleFiles(fixtureFiles(), jsonPath, true, &buf); err != nil {
+		t.Fatalf("assembleFiles: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep assembleReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Traces) != 1 {
+		t.Fatalf("report has %d traces, want 1", len(rep.Traces))
+	}
+	tr := rep.Traces[0]
+	if tr.Orphans != 0 {
+		t.Errorf("fixture trace has %d orphans, want 0", tr.Orphans)
+	}
+	if tr.CritNs <= 0 || tr.CritNs > tr.WallNs {
+		t.Errorf("critical path %dns out of (0, wall=%dns]", tr.CritNs, tr.WallNs)
+	}
+	for _, party := range []string{"client", "mb", "server"} {
+		if _, ok := tr.Offsets[party]; !ok {
+			t.Errorf("no clock offset reported for party %q", party)
+		}
+	}
+	if tr.Spans != 24 {
+		t.Errorf("tree has %d spans, fixture has 24", tr.Spans)
+	}
+	var names []string
+	for _, st := range tr.Stages {
+		names = append(names, st.Name)
+	}
+	for _, want := range []string{"prep.labels", "prep.ot_base", "prep.ot_ext", "prep.rule_enc", "scan", "forward"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stage %q missing from report (have %v)", want, names)
+		}
+	}
+}

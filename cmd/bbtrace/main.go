@@ -14,6 +14,12 @@
 // Summarize a JSONL span file written by bbmb -trace (or any obs.JSONLSink):
 //
 //	bbtrace -spans spans.jsonl
+//
+// Assemble the distributed trace of a three-party session — merge the span
+// files of client, middlebox and server, align clocks, print each flow's
+// span tree and critical path (DESIGN.md §8):
+//
+//	bbtrace -assemble client.jsonl mb.jsonl server.jsonl [-json out.json] [-strict]
 package main
 
 import (
@@ -43,6 +49,9 @@ func main() {
 	gen := flag.String("gen", "", "write a synthetic attack trace to this pcap file")
 	inspect := flag.String("inspect", "", "inspect this pcap file")
 	spans := flag.String("spans", "", "summarize this JSONL span file (from bbmb -trace)")
+	assemble := flag.Bool("assemble", false, "assemble the JSONL span files given as arguments into per-flow trace trees")
+	jsonOut := flag.String("json", "", "with -assemble: also write the machine-readable report to this file (- for stdout)")
+	strict := flag.Bool("strict", false, "with -assemble: exit non-zero on orphan spans, rootless traces, or critical path > wall-clock")
 	rulesPath := flag.String("rules", "", "signed ruleset from bbrulegen (required for -gen/-inspect)")
 	flows := flag.Int("flows", 100, "flows to generate")
 	flowBytes := flag.Int("flowbytes", 8<<10, "benign bytes per flow")
@@ -52,6 +61,15 @@ func main() {
 	tokens := flag.String("tokens", "delimiter", "tokenization for -inspect: window or delimiter")
 	flag.Parse()
 
+	if *assemble {
+		if flag.NArg() == 0 {
+			log.Fatal("bbtrace -assemble: need at least one JSONL span file argument")
+		}
+		if err := assembleFiles(flag.Args(), *jsonOut, *strict, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *spans != "" {
 		if err := summarizeSpans(*spans); err != nil {
 			log.Fatal(err)

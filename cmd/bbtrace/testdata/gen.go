@@ -1,0 +1,116 @@
+//go:build ignore
+
+// Regenerates the three-party trace fixture for the bbtrace -assemble
+// golden test:
+//
+//	cd cmd/bbtrace/testdata && go run gen.go
+//
+// The fixture models one BlindBox flow as the three parties would emit it
+// with -trace: the client roots the trace, middlebox and server spans hang
+// off the client's connection span, and each party's file carries its own
+// (deliberately skewed) clock — the middlebox runs 5µs ahead of the
+// client, the server 2ms behind — so the golden output pins the clock
+// alignment too. All IDs and timestamps are fixed by hand; the generator
+// only spares us writing JSON lines manually.
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Clock skews added to true time when writing each party's file.
+const (
+	mbSkew     = 5_000      // mb clock = truth + 5µs
+	serverSkew = -2_000_000 // server clock = truth - 2ms
+)
+
+const trace = "00112233445566778899aabbccddeeff"
+
+func sp(id, parent uint64, party, name, dir string, start, dur int64) obs.Span {
+	return obs.Span{
+		TraceID: trace, SpanID: id, Parent: parent,
+		Party: party, Flow: 7, Dir: dir, Name: name,
+		Start: start, Dur: dur,
+	}
+}
+
+func write(path string, skew int64, spans []obs.Span) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, s := range spans {
+		s.Start += skew
+		if err := enc.Encode(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	// True-time layout (ns): client conn [1ms, 11ms] roots the flow.
+	client := []obs.Span{
+		sp(1, 0, obs.PartyClient, obs.SpanConn, "", 1_000_000, 10_000_000),
+		sp(2, 1, obs.PartyClient, obs.SpanHandshake, "", 1_001_000, 800_000),
+	}
+	tok := sp(3, 1, obs.PartyClient, obs.SpanTokenize, "c2s", 4_200_000, 150_000)
+	tok.Tokens, tok.Bytes = 512, 4096
+	enc := sp(4, 1, obs.PartyClient, obs.SpanEncrypt, "c2s", 4_360_000, 240_000)
+	enc.Tokens, enc.Bytes = 512, 4096
+	client = append(client, tok, enc)
+
+	mb := []obs.Span{
+		sp(10, 1, obs.PartyMB, obs.SpanHandshake, "", 1_200_000, 600_000),
+		sp(11, 1, obs.PartyMB, obs.SpanPrep, "", 1_900_000, 2_000_000),
+	}
+	for i, leg := range []string{"client", "server"} {
+		id := uint64(12 + 3*i)
+		lab := sp(id, 11, obs.PartyMB, obs.SpanPrepLabels, leg, 1_950_000+int64(i)*10_000, 1_200_000+int64(i)*100_000)
+		lab.Gates, lab.Rows, lab.Bytes = 51_200, 153_600, 2_458_000
+		ob := sp(id+1, 11, obs.PartyMB, obs.SpanPrepOTBase, leg, 3_200_000+int64(i)*15_000, 300_000)
+		ob.Bytes = 8_320
+		oe := sp(id+2, 11, obs.PartyMB, obs.SpanPrepOTExt, leg, 3_550_000+int64(i)*15_000, 280_000)
+		oe.Rows, oe.Bytes = 512, 24_576
+		mb = append(mb, lab, ob, oe)
+	}
+	re := sp(18, 11, obs.PartyMB, obs.SpanPrepRuleEnc, "", 3_850_000, 40_000)
+	re.Gates, re.Rows = 51_200, 153_600
+	re2 := sp(19, 11, obs.PartyMB, obs.SpanPrepRuleEnc, "", 3_892_000, 38_000)
+	re2.Gates, re2.Rows = 51_200, 153_600
+	fwdC := sp(20, 1, obs.PartyMB, obs.SpanForward, "c2s", 3_950_000, 7_000_000)
+	fwdC.Bytes = 4096
+	fwdS := sp(21, 1, obs.PartyMB, obs.SpanForward, "s2c", 3_955_000, 6_990_000)
+	fwdS.Bytes = 4096
+	mb = append(mb, re, re2, fwdC, fwdS)
+	scanStarts := []int64{4_500_000, 4_710_000, 5_020_000}
+	for i, start := range scanStarts {
+		sc := sp(uint64(22+i), 20, obs.PartyMB, obs.SpanScan, "c2s", start, 180_000)
+		sc.Shard = obs.ShardID(0)
+		sc.Tokens = 170 + i
+		mb = append(mb, sc)
+	}
+	scS := sp(25, 21, obs.PartyMB, obs.SpanScan, "s2c", 5_400_000, 160_000)
+	scS.Shard = obs.ShardID(1)
+	scS.Tokens = 512
+	mb = append(mb, scS)
+
+	server := []obs.Span{
+		sp(30, 1, obs.PartyServer, obs.SpanConn, "", 1_450_000, 9_400_000),
+		sp(31, 30, obs.PartyServer, obs.SpanHandshake, "", 1_460_000, 300_000),
+	}
+	stok := sp(32, 30, obs.PartyServer, obs.SpanTokenize, "s2c", 5_500_000, 140_000)
+	stok.Tokens, stok.Bytes = 512, 4096
+	senc := sp(33, 30, obs.PartyServer, obs.SpanEncrypt, "s2c", 5_650_000, 230_000)
+	senc.Tokens, senc.Bytes = 512, 4096
+	server = append(server, stok, senc)
+
+	write("client.jsonl", 0, client)
+	write("mb.jsonl", mbSkew, mb)
+	write("server.jsonl", serverSkew, server)
+}

@@ -4,9 +4,10 @@
 // Usage:
 //
 //	blindbench -experiment all
-//	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|pipeline|setup|ablation|faults
+//	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|pipeline|setup|setupbreakdown|ablation|faults
 //	blindbench -experiment pipeline -parallel 4 -out BENCH_pipeline.json [-metrics-out metrics.json]
 //	blindbench -experiment faults -policy fail-closed -faults-out BENCH_faults.json
+//	blindbench -experiment setupbreakdown -setup-out BENCH_setup_breakdown.json [-trace-dir traces/]
 //
 // Absolute numbers reflect this host, not the paper's DPDK testbed; the
 // reproduced quantities are the comparative shapes (see EXPERIMENTS.md).
@@ -28,13 +29,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, ablation, faults")
+	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, setupbreakdown, ablation, faults")
 	fast := flag.Bool("fast", false, "reduce sample sizes for a quicker run")
 	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_pipeline.json", "path for the pipeline experiment's machine-readable result (empty disables)")
 	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's obs registry snapshot to this JSON file")
 	policy := flag.String("policy", "fail-closed", "degradation policy for the faults experiment: fail-closed or fail-open")
 	faultsOut := flag.String("faults-out", "BENCH_faults.json", "path for the faults experiment's machine-readable result (empty disables)")
+	setupOut := flag.String("setup-out", "BENCH_setup_breakdown.json", "path for the setupbreakdown experiment's machine-readable result (empty disables)")
+	traceDir := flag.String("trace-dir", "", "setupbreakdown: also write the parties' raw span files (client/mb/server.jsonl) to this directory")
 	flag.Parse()
 
 	runners := map[string]func(fast bool) error{
@@ -48,10 +51,13 @@ func main() {
 		"throughput": runThroughput,
 		"pipeline":   func(fast bool) error { return runPipeline(fast, *parallel, *out, *metricsOut) },
 		"setup":      runSetup,
-		"ablation":   runAblation,
-		"faults":     func(fast bool) error { return runFaults(fast, *policy, *faultsOut) },
+		"setupbreakdown": func(fast bool) error {
+			return runSetupBreakdown(fast, *setupOut, *traceDir)
+		},
+		"ablation": runAblation,
+		"faults":   func(fast bool) error { return runFaults(fast, *policy, *faultsOut) },
 	}
-	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "ablation", "faults"}
+	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "setupbreakdown", "ablation", "faults"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -206,6 +212,32 @@ func runSetup(fast bool) error {
 		return err
 	}
 	experiments.PrintSetup(os.Stdout, res)
+	return nil
+}
+
+func runSetupBreakdown(fast bool, out, traceDir string) error {
+	opt := experiments.DefaultSetupBreakdownOptions()
+	opt.TraceDir = traceDir
+	if fast {
+		opt.Sessions = 1
+		opt.PayloadBytes = 1 << 10
+		opt.Keywords = 2
+	}
+	res, err := experiments.SetupBreakdown(opt)
+	if err != nil {
+		return err
+	}
+	experiments.PrintSetupBreakdown(os.Stdout, res)
+	if out != "" {
+		if err := experiments.WriteSetupBreakdownJSON(out, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if traceDir != "" {
+		fmt.Printf("wrote %s/{client,mb,server}.jsonl — assemble with: go run ./cmd/bbtrace -assemble %s/client.jsonl %s/mb.jsonl %s/server.jsonl\n",
+			traceDir, traceDir, traceDir, traceDir)
+	}
 	return nil
 }
 

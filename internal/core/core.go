@@ -68,6 +68,12 @@ type pipelineObs struct {
 	trace    obs.Sink
 	flow     uint64
 	dir      string
+	// ctx parents per-batch tokenize/encrypt spans under the owning
+	// connection span; party labels the emitting endpoint. Both are
+	// zero/empty when distributed tracing is not negotiated, leaving the
+	// spans flat (schema v1).
+	ctx   obs.SpanCtx
+	party string
 }
 
 // NewSenderPipeline creates the sender side of one connection direction.
@@ -104,9 +110,11 @@ func (p *SenderPipeline) Parallelism() int {
 // encrypt latency histograms in r (obs.SenderTokenizeSeconds,
 // obs.SenderEncryptSeconds), DPIEnc counters on the underlying sender, and
 // — when trace is non-nil — tokenize/encrypt spans labeled with flow and
-// dir. Passing a nil registry and nil sink leaves the pipeline
-// uninstrumented (the default, zero-overhead state).
-func (p *SenderPipeline) Instrument(r *obs.Registry, trace obs.Sink, flow uint64, dir string) {
+// dir. A valid ctx additionally parents each batch span under the owning
+// connection span and stamps party, joining the distributed trace.
+// Passing a nil registry and nil sink leaves the pipeline uninstrumented
+// (the default, zero-overhead state).
+func (p *SenderPipeline) Instrument(r *obs.Registry, trace obs.Sink, flow uint64, dir string, ctx obs.SpanCtx, party string) {
 	if r == nil && trace == nil {
 		p.obs = nil
 		return
@@ -117,6 +125,8 @@ func (p *SenderPipeline) Instrument(r *obs.Registry, trace obs.Sink, flow uint64
 		trace:    trace,
 		flow:     flow,
 		dir:      dir,
+		ctx:      ctx,
+		party:    party,
 	}
 	p.enc.Instrument(r)
 }
@@ -132,14 +142,18 @@ func (p *SenderPipeline) timedEncrypt(dst []dpienc.EncryptedToken, toks []tokeni
 	o.tokenize.Observe(t1.Sub(t0).Seconds())
 	o.encrypt.Observe(t2.Sub(t1).Seconds())
 	if o.trace != nil {
-		o.trace.Emit(obs.Span{
-			Flow: o.flow, Dir: o.dir, Name: obs.SpanTokenize,
+		tok := obs.Span{
+			Flow: o.flow, Dir: o.dir, Party: o.party, Name: obs.SpanTokenize,
 			Start: t0.UnixNano(), Dur: int64(t1.Sub(t0)), Tokens: len(toks), Bytes: bytes,
-		})
-		o.trace.Emit(obs.Span{
-			Flow: o.flow, Dir: o.dir, Name: obs.SpanEncrypt,
+		}
+		o.ctx.Child().Stamp(&tok)
+		o.trace.Emit(tok)
+		enc := obs.Span{
+			Flow: o.flow, Dir: o.dir, Party: o.party, Name: obs.SpanEncrypt,
 			Start: t1.UnixNano(), Dur: int64(t2.Sub(t1)), Tokens: len(toks),
-		})
+		}
+		o.ctx.Child().Stamp(&enc)
+		o.trace.Emit(enc)
 	}
 	return out
 }

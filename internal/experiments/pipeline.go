@@ -68,6 +68,11 @@ type StageTimings struct {
 	// the cost of metrics collection. Zero in baselines recorded before
 	// the field existed.
 	DetectObsNs int64 `json:"detect_obs_ns,omitempty"`
+	// DetectTraceNs is the batched path emitting one scan span per batch
+	// to an enabled JSONL sink — the cost of distributed tracing (what
+	// bbmb -trace adds per batch). Zero in baselines recorded before the
+	// field existed.
+	DetectTraceNs int64 `json:"detect_trace_ns,omitempty"`
 }
 
 // PipelineResult is the machine-readable outcome written to
@@ -101,6 +106,13 @@ type PipelineResult struct {
 	// baseline that predates the instrumented stage.
 	DetectObsTokensPerSec float64 `json:"detect_obs_tokens_per_sec,omitempty"`
 	DetectObsSpeedup      float64 `json:"detect_obs_speedup,omitempty"`
+
+	// DetectTraceTokensPerSec is the span-emitting batched path's rate;
+	// DetectTraceSpeedup is its ratio to the uninstrumented batched path
+	// (≈ 1.0 — one span per batch must be noise). Zero when read from a
+	// baseline that predates the traced stage.
+	DetectTraceTokensPerSec float64 `json:"detect_trace_tokens_per_sec,omitempty"`
+	DetectTraceSpeedup      float64 `json:"detect_trace_speedup,omitempty"`
 
 	// Metrics is the registry snapshot taken after the instrumented stage,
 	// present only when PipelineOptions.Metrics was set (blindbench
@@ -218,10 +230,38 @@ func Pipeline(opt PipelineOptions) (PipelineResult, error) {
 	start = time.Now()
 	scratch = scanAll(engObs, scratch)
 	res.Stages.DetectObsNs = time.Since(start).Nanoseconds()
-	_ = scratch
 	if opt.Metrics != nil {
 		res.Metrics = opt.Metrics.Snapshot()
 	}
+
+	// Traced detection: the batched path again, emitting one scan span per
+	// batch into an enabled JSONL sink — what a middlebox run with -trace
+	// pays. The sink writes to io.Discard so only encode+buffer cost is
+	// measured, not the disk.
+	tsink := obs.NewJSONLSink(io.Discard)
+	tctx := obs.NewSpanCtx()
+	engTrace := mkEngine()
+	start = time.Now()
+	for off := 0; off < len(seqOut); off += opt.Batch {
+		end := off + opt.Batch
+		if end > len(seqOut) {
+			end = len(seqOut)
+		}
+		bstart := time.Now()
+		scratch = engTrace.ScanBatch(seqOut[off:end], scratch[:0])
+		sp := obs.Span{
+			Flow: 1, Party: obs.PartyMB, Name: obs.SpanScan, Dir: "c2s",
+			Start: bstart.UnixNano(), Dur: time.Since(bstart).Nanoseconds(),
+			Tokens: end - off, Shard: obs.ShardID(0),
+		}
+		tctx.Child().Stamp(&sp)
+		tsink.Emit(sp)
+	}
+	res.Stages.DetectTraceNs = time.Since(start).Nanoseconds()
+	if err := tsink.Flush(); err != nil {
+		return res, err
+	}
+	_ = scratch
 
 	// Parallel detection: Conns per-connection engines drained by Workers
 	// goroutines, each engine owned by exactly one worker at a time —
@@ -263,8 +303,10 @@ func Pipeline(opt PipelineOptions) (PipelineResult, error) {
 		res.DetectParSpeedup = res.DetectParTokensPerSec / res.DetectSeqTokensPerSec
 	}
 	res.DetectObsTokensPerSec = tokensPerSec(res.Tokens, res.Stages.DetectObsNs)
+	res.DetectTraceTokensPerSec = tokensPerSec(res.Tokens, res.Stages.DetectTraceNs)
 	if res.DetectBatchTokensPerSec > 0 {
 		res.DetectObsSpeedup = res.DetectObsTokensPerSec / res.DetectBatchTokensPerSec
+		res.DetectTraceSpeedup = res.DetectTraceTokensPerSec / res.DetectBatchTokensPerSec
 	}
 	return res, nil
 }
@@ -316,6 +358,8 @@ func PrintPipeline(w io.Writer, r PipelineResult) {
 		fmt.Sprintf("%.2fM", r.DetectBatchTokensPerSec/1e6))
 	t.row("detect batched + metrics", fmt.Sprintf("%.1f ms", float64(r.Stages.DetectObsNs)/1e6),
 		fmt.Sprintf("%.2fM", r.DetectObsTokensPerSec/1e6))
+	t.row("detect batched + tracing", fmt.Sprintf("%.1f ms", float64(r.Stages.DetectTraceNs)/1e6),
+		fmt.Sprintf("%.2fM", r.DetectTraceTokensPerSec/1e6))
 	t.row(fmt.Sprintf("detect parallel (%d conns)", r.Conns),
 		fmt.Sprintf("%.1f ms", float64(r.Stages.DetectParNs)/1e6),
 		fmt.Sprintf("%.2fM aggregate", r.DetectParTokensPerSec/1e6))
@@ -324,5 +368,7 @@ func PrintPipeline(w io.Writer, r PipelineResult) {
 		r.EncryptSpeedup, r.DetectBatchSpeedup, r.DetectParSpeedup, r.Conns)
 	fmt.Fprintf(w, "metrics overhead: instrumented batched detection at %.2fx the uninstrumented rate\n",
 		r.DetectObsSpeedup)
+	fmt.Fprintf(w, "tracing overhead: span-emitting batched detection at %.2fx the uninstrumented rate\n",
+		r.DetectTraceSpeedup)
 	fmt.Fprintln(w, "shape: assignment is the only sequential step; AES and per-connection detection scale with cores (§6)")
 }

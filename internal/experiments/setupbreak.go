@@ -1,0 +1,402 @@
+// §3.3 setup breakdown over a live three-party loopback session: client,
+// middlebox and server each trace into their own sink, the assembler
+// (internal/obs) merges the three streams into one distributed trace, and
+// the experiment attributes the middlebox's rule-preparation window to the
+// named §3.3 sub-steps — endpoint garbling, base OT, OT extension, label
+// transfer, obfuscated rule encryption. The headline number is coverage:
+// the fraction of the preparation window the named sub-spans explain
+// (overlap counted once). Results land in BENCH_setup_breakdown.json via
+// blindbench -experiment setupbreakdown.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/middlebox"
+	"repro/internal/obs"
+	"repro/internal/rules"
+	"repro/internal/transport"
+)
+
+// SetupBreakdownSchema identifies the JSON layout of SetupBreakdownResult.
+const SetupBreakdownSchema = "blindbox-bench-setupbreakdown/v1"
+
+// SetupBreakdownOptions sizes the traced three-party experiment.
+type SetupBreakdownOptions struct {
+	// Sessions is how many traced loopback sessions to run (one trace each).
+	Sessions int
+	// PayloadBytes sizes each session's echo payload.
+	PayloadBytes int
+	// Keywords is the ruleset size; preparation cost is linear in it (§3.3).
+	Keywords int
+	// TraceDir, when non-empty, receives the three parties' raw span files
+	// (client.jsonl, mb.jsonl, server.jsonl) for bbtrace -assemble.
+	TraceDir string
+	// MinCoverage is the fraction of the middlebox preparation window the
+	// named sub-spans must explain; <= 0 selects the 0.9 acceptance floor.
+	MinCoverage float64
+}
+
+// DefaultSetupBreakdownOptions runs 2 sessions over a 4-keyword ruleset.
+func DefaultSetupBreakdownOptions() SetupBreakdownOptions {
+	return SetupBreakdownOptions{Sessions: 2, PayloadBytes: 4 << 10, Keywords: 4}
+}
+
+// SetupBreakdownResult is the machine-readable outcome written to
+// BENCH_setup_breakdown.json.
+type SetupBreakdownResult struct {
+	Schema       string `json:"schema"`
+	Sessions     int    `json:"sessions"`
+	Keywords     int    `json:"keywords"`
+	PayloadBytes int    `json:"payload_bytes"`
+
+	// Traces/Orphans/Untraced describe assembly health: every session must
+	// yield exactly one single-rooted trace with no orphaned or untraced
+	// spans.
+	Traces   int `json:"traces"`
+	Orphans  int `json:"orphans"`
+	Untraced int `json:"untraced_spans"`
+
+	// WallNs/CritNs sum the per-trace wall-clock and critical path;
+	// critical ≤ wall per trace is the assembler's invariant.
+	WallNs int64 `json:"wall_ns"`
+	CritNs int64 `json:"crit_ns"`
+
+	// PrepNs sums the middlebox preparation windows; PrepCoveredNs is the
+	// union of the §3.3 sub-span intervals clipped to those windows, and
+	// PrepCoverage their ratio — the acceptance target is ≥ 0.9.
+	PrepNs        int64   `json:"prep_ns"`
+	PrepCoveredNs int64   `json:"prep_covered_ns"`
+	PrepCoverage  float64 `json:"prep_coverage"`
+
+	// Stages aggregates the assembled spans by name across all traces.
+	Stages []obs.StageStat `json:"stages"`
+}
+
+// setupSubSpan reports whether name is one of the §3.3 preparation
+// sub-steps that count toward coverage.
+func setupSubSpan(name string) bool {
+	switch name {
+	case obs.SpanPrepGarble, obs.SpanPrepOTBase, obs.SpanPrepOTExt,
+		obs.SpanPrepLabels, obs.SpanPrepRuleEnc:
+		return true
+	}
+	return false
+}
+
+// setupBreakdownRuleset builds a Keywords-sized ruleset of distinct
+// token-sized contents, so every keyword costs one real garbled-circuit
+// preparation.
+func setupBreakdownRuleset(keywords int) (*rules.Ruleset, error) {
+	text := ""
+	for i := 0; i < keywords; i++ {
+		text += fmt.Sprintf("alert tcp any any -> any any (msg:\"kw%d\"; content:\"attack%02d\"; sid:%d;)\n", i, i%100, i+1)
+	}
+	return rules.Parse("setupbreakdown", text)
+}
+
+// SetupBreakdown runs traced loopback sessions and attributes the
+// middlebox preparation window to the §3.3 sub-spans. It fails when a
+// session's trace does not assemble cleanly (orphans, missing root,
+// critical > wall) or when coverage falls below MinCoverage.
+func SetupBreakdown(opt SetupBreakdownOptions) (SetupBreakdownResult, error) {
+	def := DefaultSetupBreakdownOptions()
+	if opt.Sessions <= 0 {
+		opt.Sessions = def.Sessions
+	}
+	if opt.PayloadBytes <= 0 {
+		opt.PayloadBytes = def.PayloadBytes
+	}
+	if opt.Keywords <= 0 {
+		opt.Keywords = def.Keywords
+	}
+	minCov := opt.MinCoverage
+	if minCov <= 0 {
+		minCov = 0.9
+	}
+	res := SetupBreakdownResult{
+		Schema:       SetupBreakdownSchema,
+		Sessions:     opt.Sessions,
+		Keywords:     opt.Keywords,
+		PayloadBytes: opt.PayloadBytes,
+	}
+
+	g, err := rules.NewGenerator("SetupBreakdownRG")
+	if err != nil {
+		return res, err
+	}
+	rs, err := setupBreakdownRuleset(opt.Keywords)
+	if err != nil {
+		return res, err
+	}
+
+	var clientSink, mbSink, serverSink obs.CollectSink
+	mb, err := middlebox.New(middlebox.Config{
+		Ruleset:     g.Sign(rs),
+		RGPublicKey: g.PublicKey(),
+		Trace:       &mbSink,
+	})
+	if err != nil {
+		return res, err
+	}
+	serverLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer serverLn.Close()
+	mbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer mbLn.Close()
+	defer mb.Close()
+
+	serverCfg := transport.ConnConfig{
+		Core:  core.DefaultConfig(),
+		RG:    transport.RGMaterial{TagKey: g.TagKey()},
+		Trace: &serverSink,
+	}
+	go func() {
+		for {
+			raw, err := serverLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn, err := transport.Server(raw, serverCfg)
+				if err != nil {
+					_ = raw.Close()
+					return
+				}
+				defer conn.Close()
+				data, err := io.ReadAll(conn)
+				if err != nil {
+					return
+				}
+				_, _ = conn.Write(data)
+				_ = conn.CloseWrite()
+			}()
+		}
+	}()
+	go mb.Serve(mbLn, serverLn.Addr().String())
+
+	payload := append([]byte("attack00 "), corpus.SynthesizeText(newRand(), opt.PayloadBytes)...)
+	for i := 0; i < opt.Sessions; i++ {
+		clientCfg := transport.ConnConfig{
+			Core:  core.DefaultConfig(),
+			RG:    transport.RGMaterial{TagKey: g.TagKey()},
+			Trace: &clientSink,
+		}
+		conn, err := transport.Dial(mbLn.Addr().String(), clientCfg)
+		if err != nil {
+			return res, fmt.Errorf("setupbreakdown: session %d dial: %w", i, err)
+		}
+		if _, err := conn.Write(payload); err != nil {
+			_ = conn.Close()
+			return res, fmt.Errorf("setupbreakdown: session %d write: %w", i, err)
+		}
+		if err := conn.CloseWrite(); err != nil {
+			_ = conn.Close()
+			return res, fmt.Errorf("setupbreakdown: session %d close-write: %w", i, err)
+		}
+		if _, err := io.ReadAll(conn); err != nil {
+			_ = conn.Close()
+			return res, fmt.Errorf("setupbreakdown: session %d read: %w", i, err)
+		}
+		_ = conn.Close()
+	}
+
+	// The middlebox emits its forward spans when the relay goroutines
+	// drain, shortly after the client closes; wait for both directions of
+	// every session before assembling.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		forwards := 0
+		for _, sp := range mbSink.Spans() {
+			if sp.Name == obs.SpanForward {
+				forwards++
+			}
+		}
+		if forwards >= 2*opt.Sessions {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("setupbreakdown: middlebox emitted %d forward spans, want %d", forwards, 2*opt.Sessions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if opt.TraceDir != "" {
+		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
+			return res, err
+		}
+		for _, party := range []struct {
+			name string
+			sink *obs.CollectSink
+		}{
+			{"client", &clientSink}, {"mb", &mbSink}, {"server", &serverSink},
+		} {
+			if err := writeSpanFile(filepath.Join(opt.TraceDir, party.name+".jsonl"), party.sink.Spans()); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	all := append(append(clientSink.Spans(), mbSink.Spans()...), serverSink.Spans()...)
+	flows, untraced, err := obs.AssembleSpans(all)
+	if err != nil {
+		return res, err
+	}
+	res.Traces = len(flows)
+	res.Untraced = len(untraced)
+	if len(flows) != opt.Sessions {
+		return res, fmt.Errorf("setupbreakdown: %d sessions assembled into %d traces", opt.Sessions, len(flows))
+	}
+
+	stages := map[string]*obs.StageStat{}
+	for _, ft := range flows {
+		res.Orphans += len(ft.Orphans)
+		if ft.Root == nil {
+			return res, fmt.Errorf("setupbreakdown: trace %s has no root span", ft.Trace)
+		}
+		if ft.CritNs > ft.WallNs {
+			return res, fmt.Errorf("setupbreakdown: trace %s critical path %dns exceeds wall %dns", ft.Trace, ft.CritNs, ft.WallNs)
+		}
+		res.WallNs += ft.WallNs
+		res.CritNs += ft.CritNs
+		for _, st := range ft.Stages() {
+			agg := stages[st.Name]
+			if agg == nil {
+				c := st
+				stages[st.Name] = &c
+				continue
+			}
+			agg.Count += st.Count
+			agg.TotalNs += st.TotalNs
+			agg.CritNs += st.CritNs
+			if st.MaxConc > agg.MaxConc {
+				agg.MaxConc = st.MaxConc
+			}
+			agg.Tokens += st.Tokens
+			agg.Bytes += st.Bytes
+			agg.Gates += st.Gates
+			agg.Rows += st.Rows
+		}
+
+		// Coverage: union of the §3.3 sub-span intervals clipped to the
+		// middlebox preparation window. Endpoint garbling overlaps the
+		// label transfer that waits on it; UnionNs counts the overlap once.
+		nodes := ft.Nodes()
+		for _, prep := range nodes {
+			if prep.Span.Name != obs.SpanPrep || prep.Span.Party != obs.PartyMB {
+				continue
+			}
+			res.PrepNs += prep.End - prep.Start
+			var iv []obs.Interval
+			for _, n := range nodes {
+				if !setupSubSpan(n.Span.Name) {
+					continue
+				}
+				s, e := n.Start, n.End
+				if s < prep.Start {
+					s = prep.Start
+				}
+				if e > prep.End {
+					e = prep.End
+				}
+				if e > s {
+					iv = append(iv, obs.Interval{Start: s, End: e})
+				}
+			}
+			res.PrepCoveredNs += obs.UnionNs(iv)
+		}
+	}
+	for _, st := range stages {
+		res.Stages = append(res.Stages, *st)
+	}
+	sortStages(res.Stages)
+
+	if res.Orphans > 0 {
+		return res, fmt.Errorf("setupbreakdown: %d orphan span(s) — a parent link is missing", res.Orphans)
+	}
+	if res.Untraced > 0 {
+		return res, fmt.Errorf("setupbreakdown: %d span(s) carried no trace context", res.Untraced)
+	}
+	if res.PrepNs <= 0 {
+		return res, fmt.Errorf("setupbreakdown: no middlebox preparation span in any trace")
+	}
+	res.PrepCoverage = float64(res.PrepCoveredNs) / float64(res.PrepNs)
+	if res.PrepCoverage < minCov {
+		return res, fmt.Errorf("setupbreakdown: §3.3 sub-spans cover %.1f%% of the preparation window, want ≥ %.0f%%",
+			100*res.PrepCoverage, 100*minCov)
+	}
+	return res, nil
+}
+
+// sortStages orders stage aggregates by critical time descending, then
+// name — the same order FlowTrace.Stages uses.
+func sortStages(stages []obs.StageStat) {
+	for i := 1; i < len(stages); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &stages[j-1], &stages[j]
+			if a.CritNs > b.CritNs || (a.CritNs == b.CritNs && a.Name < b.Name) {
+				break
+			}
+			*a, *b = *b, *a
+		}
+	}
+}
+
+// writeSpanFile writes spans to path in the JSONL format bbmb -trace uses,
+// so bbtrace -assemble consumes the files unchanged.
+func writeSpanFile(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewJSONLSink(f)
+	for _, sp := range spans {
+		sink.Emit(sp)
+	}
+	if err := sink.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSetupBreakdownJSON writes the result to path, pretty-printed for
+// diffs.
+func WriteSetupBreakdownJSON(path string, res SetupBreakdownResult) error {
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// PrintSetupBreakdown renders the §3.3 attribution.
+func PrintSetupBreakdown(w io.Writer, r SetupBreakdownResult) {
+	fmt.Fprintf(w, "§3.3 setup breakdown: %d traced session(s), %d keyword(s)\n", r.Sessions, r.Keywords)
+	fmt.Fprintf(w, "assembled %d trace(s): wall %s, critical %s; %d orphan(s), %d untraced\n",
+		r.Traces, fmtDuration(time.Duration(r.WallNs)), fmtDuration(time.Duration(r.CritNs)), r.Orphans, r.Untraced)
+	t := newTable(w)
+	t.row("Stage", "count", "total", "critical", "gates", "bytes")
+	for _, st := range r.Stages {
+		t.row(st.Name, fmt.Sprintf("%d", st.Count),
+			fmtDuration(time.Duration(st.TotalNs)), fmtDuration(time.Duration(st.CritNs)),
+			fmt.Sprintf("%d", st.Gates), fmtBytes(st.Bytes))
+	}
+	t.flush()
+	fmt.Fprintf(w, "preparation window %s, named §3.3 sub-spans cover %s (%.1f%%, floor 90%%)\n",
+		fmtDuration(time.Duration(r.PrepNs)), fmtDuration(time.Duration(r.PrepCoveredNs)), 100*r.PrepCoverage)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSetupBreakdownCoverage runs a small traced three-party session and
+// checks the acceptance contract: one clean trace per session and ≥ 90%
+// of the middlebox preparation window attributed to named §3.3
+// sub-spans. It also checks the optional raw span files parse back.
+func TestSetupBreakdownCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback session")
+	}
+	dir := t.TempDir()
+	opt := SetupBreakdownOptions{Sessions: 1, PayloadBytes: 1 << 10, Keywords: 2, TraceDir: dir}
+	res, err := SetupBreakdown(opt)
+	if err != nil {
+		t.Fatalf("SetupBreakdown: %v", err)
+	}
+	if res.Traces != opt.Sessions {
+		t.Errorf("Traces = %d, want %d", res.Traces, opt.Sessions)
+	}
+	if res.Orphans != 0 || res.Untraced != 0 {
+		t.Errorf("orphans=%d untraced=%d, want 0/0", res.Orphans, res.Untraced)
+	}
+	if res.CritNs <= 0 || res.CritNs > res.WallNs {
+		t.Errorf("critical %dns outside (0, wall=%dns]", res.CritNs, res.WallNs)
+	}
+	if res.PrepCoverage < 0.9 {
+		t.Errorf("§3.3 sub-span coverage %.3f, want >= 0.9", res.PrepCoverage)
+	}
+	seen := map[string]bool{}
+	for _, st := range res.Stages {
+		seen[st.Name] = true
+	}
+	for _, name := range []string{obs.SpanPrep, obs.SpanPrepGarble, obs.SpanPrepOTBase,
+		obs.SpanPrepOTExt, obs.SpanPrepLabels, obs.SpanPrepRuleEnc} {
+		if !seen[name] {
+			t.Errorf("stage %q missing from the aggregated report", name)
+		}
+	}
+	for _, name := range []string{"client.jsonl", "mb.jsonl", "server.jsonl"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("trace dir missing %s: %v", name, err)
+		}
+		spans, err := obs.ReadSpans(f)
+		_ = f.Close()
+		if err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+		if len(spans) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}

@@ -341,6 +341,27 @@ func (g *Garbled) Size() int {
 	return bbcrypto.BlockSize + 1 + len(g.Tables)*bbcrypto.BlockSize + 8 + len(g.Decode)
 }
 
+// Stats sizes the garbled material for observability (DESIGN.md §8): the
+// AND-gate count implied by the tables, the transmitted rows, and the
+// serialized wire bytes.
+type Stats struct {
+	// Gates is the number of AND gates the tables cover.
+	Gates int
+	// TableRows is the total number of transmitted ciphertext rows.
+	TableRows int
+	// WireBytes is the serialized transmission cost (Size).
+	WireBytes int
+}
+
+// Stats reports the sizes of this garbled circuit.
+func (g *Garbled) Stats() Stats {
+	gates := 0
+	if g.Rows > 0 {
+		gates = len(g.Tables) / g.Rows
+	}
+	return Stats{Gates: gates, TableRows: len(g.Tables), WireBytes: g.Size()}
+}
+
 // Marshal serializes the garbled circuit for transmission.
 func (g *Garbled) Marshal() []byte {
 	buf := bytes.NewBuffer(make([]byte, 0, g.Size()+16))

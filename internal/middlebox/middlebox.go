@@ -8,7 +8,6 @@ package middlebox
 
 import (
 	"crypto/ed25519"
-	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -366,15 +365,33 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 
 func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	// 1. Handshake interposition: mark MBPresent both ways, bounded by the
-	// handshake deadline on both legs.
+	// handshake deadline on both legs. When tracing, the client's trace
+	// context is adopted from its hello (so middlebox spans become children
+	// of the client's connection root); when only the middlebox traces, it
+	// roots the trace itself and injects the context into the forwarded
+	// hello so the server can still join (DESIGN.md §8).
 	hsStart := time.Now()
 	setDeadline(deadlineFor(mb.tmo.Handshake), client, server)
-	hello, err := mb.interposeHello(client, server)
+	hello, flowCtx, ownRoot, err := mb.interposeHello(client, server)
 	setDeadline(time.Time{}, client, server)
 	if err != nil {
 		return mb.stepTimeout(id, "handshake", err)
 	}
-	mb.observeSpan(obs.Span{Flow: id, Name: obs.SpanHandshake}, hsStart, mb.met.handshake)
+	if mb.trace != nil && ownRoot {
+		// The middlebox owns the trace root: emit the conn span covering
+		// the whole interposition when it ends.
+		defer func() {
+			sp := obs.Span{
+				Flow: id, Party: obs.PartyMB, Name: obs.SpanConn,
+				Start: hsStart.UnixNano(), Dur: int64(time.Since(hsStart)),
+			}
+			flowCtx.Stamp(&sp)
+			mb.trace.Emit(sp)
+		}()
+	}
+	hsSp := obs.Span{Flow: id, Party: obs.PartyMB, Name: obs.SpanHandshake}
+	flowCtx.Child().Stamp(&hsSp)
+	mb.observeSpan(hsSp, hsStart, mb.met.handshake)
 
 	cfg := core.Config{
 		Protocol: hello.Protocol,
@@ -384,10 +401,24 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 
 	// 2. Rule preparation with both endpoints (the "garble threads").
 	prepStart := time.Now()
+	prepCtx := flowCtx.Child()
 	req := core.BuildRequest(mb.cfg.Ruleset, cfg.Mode)
 	prep, err := ruleprep.NewMiddlebox(req)
 	if err != nil {
 		return err
+	}
+	prep.SetTrace(mb.trace, prepCtx, id)
+	if mb.trace != nil {
+		// Building the rule-encryption circuit F dominates NewMiddlebox and
+		// is part of the §3.3 rule-encryption step; without this span the
+		// head of the preparation window would be unattributed.
+		sp := obs.Span{
+			Flow: id, Party: obs.PartyMB, Name: obs.SpanPrepRuleEnc,
+			Start: prepStart.UnixNano(), Dur: int64(time.Since(prepStart)),
+			Gates: prep.CircuitANDs(), Rows: len(req.Fragments),
+		}
+		prepCtx.Child().Stamp(&sp)
+		mb.trace.Emit(sp)
 	}
 	var (
 		jobsC, jobsS     []*ruleprep.FragmentJob
@@ -398,11 +429,11 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		jobsC, labelsC, prepErr[0] = mb.runPrepRetry(id, client, prep)
+		jobsC, labelsC, prepErr[0] = mb.runPrepRetry(id, client, prep, prepCtx, "client")
 	}()
 	go func() {
 		defer wg.Done()
-		jobsS, labelsS, prepErr[1] = mb.runPrepRetry(id, server, prep)
+		jobsS, labelsS, prepErr[1] = mb.runPrepRetry(id, server, prep, prepCtx, "server")
 	}()
 	wg.Wait()
 	for _, e := range prepErr {
@@ -413,15 +444,7 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 
 	keys := make(detect.TokenKeys)
 	for i := range jobsC {
-		if err := prep.Verify(jobsC[i], jobsS[i]); err != nil {
-			return err
-		}
-		for b := range labelsC[i] {
-			if subtle.ConstantTimeCompare(labelsC[i][b][:], labelsS[i][b][:]) != 1 {
-				return errors.New("middlebox: endpoints disagree on OT labels")
-			}
-		}
-		key, err := prep.Evaluate(i, jobsC[i], labelsC[i])
+		key, err := prep.VerifyAndEvaluate(i, jobsC[i], jobsS[i], labelsC[i], labelsS[i])
 		if err == ruleprep.ErrUnauthorized {
 			continue
 		}
@@ -436,7 +459,9 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 			return mb.stepTimeout(id, "write", err)
 		}
 	}
-	mb.observeSpan(obs.Span{Flow: id, Name: obs.SpanPrep}, prepStart, mb.met.prep)
+	prepSp := obs.Span{Flow: id, Party: obs.PartyMB, Name: obs.SpanPrep}
+	prepCtx.Stamp(&prepSp)
+	mb.observeSpan(prepSp, prepStart, mb.met.prep)
 
 	// Setup is done: from here on Close drains instead of severing.
 	mb.endSetup(id)
@@ -457,59 +482,91 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 			_ = server.Close()
 		})
 	}
+	flC := mb.newFlow(id, ClientToServer, cfg, keys, idx1, kill)
+	flS := mb.newFlow(id, ServerToClient, cfg, keys, idx2, kill)
+	// Forward-span contexts are fixed before the goroutines start; scan
+	// spans on the detection shards parent to their direction's forward
+	// span, so per-batch detection shows up under the right direction.
+	flC.tctx = flowCtx.Child()
+	flS.tctx = flowCtx.Child()
 	go func() {
 		defer fwdWG.Done()
-		mb.forward(client, server, mb.newFlow(id, ClientToServer, cfg, keys, idx1, kill))
+		mb.forward(client, server, flC)
 	}()
 	go func() {
 		defer fwdWG.Done()
-		mb.forward(server, client, mb.newFlow(id, ServerToClient, cfg, keys, idx2, kill))
+		mb.forward(server, client, flS)
 	}()
 	fwdWG.Wait()
 	return nil
 }
 
 // interposeHello relays the hello exchange, marking MBPresent both ways,
-// and returns the parsed client hello. Deadlines are the caller's job.
-func (mb *Middlebox) interposeHello(client, server net.Conn) (transport.Hello, error) {
+// and returns the parsed client hello plus the flow's trace context.
+// Deadlines are the caller's job.
+//
+// The returned SpanCtx is the parent context middlebox spans hang off:
+// the client's connection root when the client sent trace context, or a
+// fresh root owned by the middlebox (ownRoot true) when only the
+// middlebox traces — in which case the context is injected into the
+// forwarded hello so the server joins the same trace.
+func (mb *Middlebox) interposeHello(client, server net.Conn) (transport.Hello, obs.SpanCtx, bool, error) {
+	var (
+		flowCtx obs.SpanCtx
+		ownRoot bool
+	)
+	fail := func(err error) (transport.Hello, obs.SpanCtx, bool, error) {
+		return transport.Hello{}, obs.SpanCtx{}, false, err
+	}
 	typ, body, err := transport.ReadRecord(client)
 	if err != nil {
-		return transport.Hello{}, err
+		return fail(err)
 	}
 	if typ != transport.RecHello {
-		return transport.Hello{}, fmt.Errorf("middlebox: expected client hello, got %d", typ)
+		return fail(fmt.Errorf("middlebox: expected client hello, got %d", typ))
 	}
 	hello, err := transport.UnmarshalHello(body)
 	if err != nil {
-		return transport.Hello{}, err
+		return fail(err)
+	}
+	if mb.trace != nil {
+		if hello.HasTrace {
+			flowCtx = obs.SpanCtx{Trace: obs.TraceID(hello.TraceID), Span: hello.TraceSpan}
+		} else {
+			flowCtx = obs.NewSpanCtx()
+			ownRoot = true
+			if body, err = transport.AppendHelloTrace(body, flowCtx.Trace, flowCtx.Span); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	if err := transport.SetMBPresent(body); err != nil {
-		return transport.Hello{}, err
+		return fail(err)
 	}
 	if err := transport.WriteRecord(server, transport.RecHello, body); err != nil {
-		return transport.Hello{}, err
+		return fail(err)
 	}
 	typ, body, err = transport.ReadRecord(server)
 	if err != nil {
-		return transport.Hello{}, err
+		return fail(err)
 	}
 	if typ != transport.RecHelloReply {
-		return transport.Hello{}, fmt.Errorf("middlebox: expected server hello, got %d", typ)
+		return fail(fmt.Errorf("middlebox: expected server hello, got %d", typ))
 	}
 	if err := transport.SetMBPresent(body); err != nil {
-		return transport.Hello{}, err
+		return fail(err)
 	}
 	if err := transport.WriteRecord(client, transport.RecHelloReply, body); err != nil {
-		return transport.Hello{}, err
+		return fail(err)
 	}
-	return hello, nil
+	return hello, flowCtx, ownRoot, nil
 }
 
 // runPrepRetry runs the preparation protocol over one leg under
 // Config.PrepRetry: each attempt restarts from SubPrepStart (the
 // endpoint's preparation loop is restartable) with a fresh Timeouts.Prep
 // deadline. Retries are counted (obs.MBRetriesTotal, op=prep) and logged.
-func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middlebox) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
+func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middlebox, prepCtx obs.SpanCtx, legName string) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
 	var (
 		jobs   []*ruleprep.FragmentJob
 		labels [][]bbcrypto.Block
@@ -528,7 +585,7 @@ func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middle
 		setDeadline(deadlineFor(mb.tmo.Prep), leg)
 		defer setDeadline(time.Time{}, leg)
 		var aerr error
-		jobs, labels, aerr = mb.runPrep(leg, prep)
+		jobs, labels, aerr = mb.runPrep(id, leg, prep, prepCtx, legName)
 		return aerr
 	})
 	return jobs, labels, err
@@ -543,7 +600,25 @@ func (mb *Middlebox) writeRecordT(c net.Conn, typ transport.RecordType, body []b
 }
 
 // runPrep executes the MB side of the preparation protocol over one leg.
-func (mb *Middlebox) runPrep(leg net.Conn, prep *ruleprep.Middlebox) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
+// When tracing, it breaks the leg into the §3.3 setup sub-spans — labels
+// (garbled rows + endpoint-label transfer, which includes the wait for the
+// endpoint's garbling), ot_base (base-OT round) and ot_ext (IKNP extension
+// + unmask) — all children of the flow's prep span, Dir marking the leg.
+func (mb *Middlebox) runPrep(id uint64, leg net.Conn, prep *ruleprep.Middlebox, prepCtx obs.SpanCtx, legName string) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
+	emit := func(name string, start time.Time, fill func(*obs.Span)) {
+		if mb.trace == nil {
+			return
+		}
+		sp := obs.Span{
+			Flow: id, Dir: legName, Party: obs.PartyMB, Name: name,
+			Start: start.UnixNano(), Dur: int64(time.Since(start)),
+		}
+		if fill != nil {
+			fill(&sp)
+		}
+		prepCtx.Child().Stamp(&sp)
+		mb.trace.Emit(sp)
+	}
 	n := prep.NumFragments()
 	start := make([]byte, 5)
 	start[0] = transport.SubPrepStart
@@ -551,6 +626,8 @@ func (mb *Middlebox) runPrep(leg net.Conn, prep *ruleprep.Middlebox) ([]*rulepre
 	if err := transport.WriteRecord(leg, transport.RecGarble, start); err != nil {
 		return nil, nil, err
 	}
+	labStart := time.Now()
+	var labBytes, labGates, labRows int
 
 	readSub := func(want byte) ([]byte, error) {
 		typ, body, err := transport.ReadRecord(leg)
@@ -589,10 +666,18 @@ func (mb *Middlebox) runPrep(leg net.Conn, prep *ruleprep.Middlebox) ([]*rulepre
 		if idx < 0 || idx >= n || jobs[idx] != nil {
 			return nil, nil, errors.New("middlebox: bad circuit index")
 		}
+		st := g.Stats()
+		labBytes += 8 + len(payload)
+		labGates += st.Gates
+		labRows += st.TableRows
 		jobs[idx] = ruleprep.NewFragmentJob(idx, g, epLabels)
 	}
+	emit(obs.SpanPrepLabels, labStart, func(sp *obs.Span) {
+		sp.Bytes, sp.Gates, sp.Rows = labBytes, labGates, labRows
+	})
 
 	// OT batch over all fragments' choice bits.
+	obStart := time.Now()
 	recv, msgAs, err := ot.NewExtReceiver()
 	if err != nil {
 		return nil, nil, err
@@ -609,6 +694,8 @@ func (mb *Middlebox) runPrep(leg net.Conn, prep *ruleprep.Middlebox) ([]*rulepre
 	if err != nil {
 		return nil, nil, err
 	}
+	emit(obs.SpanPrepOTBase, obStart, func(sp *obs.Span) { sp.Bytes = len(payload) })
+	oeStart := time.Now()
 	var choices []bool
 	for i := 0; i < n; i++ {
 		choices = append(choices, prep.Choices(i)...)
@@ -640,6 +727,11 @@ func (mb *Middlebox) runPrep(leg net.Conn, prep *ruleprep.Middlebox) ([]*rulepre
 	if err != nil {
 		return nil, nil, err
 	}
+	emit(obs.SpanPrepOTExt, oeStart, func(sp *obs.Span) {
+		st := recv.Stats()
+		sp.Bytes = st.CorrectionBytes + st.MaskedBytes
+		sp.Rows = st.Wires
+	})
 	perFrag := make([][]bbcrypto.Block, n)
 	for i := 0; i < n; i++ {
 		perFrag[i] = labels[i*256 : (i+1)*256]
@@ -659,6 +751,10 @@ type flow struct {
 	engine *detect.Engine
 	// kill severs both legs of the connection (idempotent).
 	kill func()
+	// tctx is the trace context of this direction's forward span; scan
+	// spans stamp children of it. Written once before the forwarding
+	// goroutine starts, then read-only (shards read it concurrently).
+	tctx obs.SpanCtx
 	// shard is the detection shard this flow is pinned to (parallel mode).
 	shard int
 	// pending counts queued detection jobs; wait() is the barrier.
@@ -769,11 +865,13 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 	fwdBytes := 0
 	if mb.trace != nil {
 		defer func() {
-			mb.trace.Emit(obs.Span{
-				Flow: fl.id, Dir: string(fl.dir), Name: obs.SpanForward,
+			sp := obs.Span{
+				Flow: fl.id, Dir: string(fl.dir), Party: obs.PartyMB, Name: obs.SpanForward,
 				Start: fwdStart.UnixNano(), Dur: int64(time.Since(fwdStart)),
 				Bytes: fwdBytes,
-			})
+			}
+			fl.tctx.Stamp(&sp)
+			mb.trace.Emit(sp)
 		}()
 	}
 	for {
@@ -909,10 +1007,13 @@ func (mb *Middlebox) observeScan(fl *flow, start time.Time, shard, tokens int) {
 	dur := time.Since(start)
 	mb.met.scan.Observe(dur.Seconds())
 	if mb.trace != nil {
-		mb.trace.Emit(obs.Span{
-			Flow: fl.id, Dir: string(fl.dir), Name: obs.SpanScan, Shard: shard,
+		sp := obs.Span{
+			Flow: fl.id, Dir: string(fl.dir), Party: obs.PartyMB,
+			Name: obs.SpanScan, Shard: obs.ShardID(shard),
 			Start: start.UnixNano(), Dur: int64(dur), Tokens: tokens,
-		})
+		}
+		fl.tctx.Child().Stamp(&sp)
+		mb.trace.Emit(sp)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 // are mounted explicitly (not via the net/http/pprof DefaultServeMux side
 // effect), so the admin mux composes with any process-global handlers.
 func AdminMux(r *Registry) *http.ServeMux {
+	RegisterBuildInfo(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

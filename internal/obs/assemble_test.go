@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"testing"
+)
+
+// buildTestTrace fabricates a three-party flow: client root conn span,
+// client handshake, middlebox handshake/prep/forward + scans, server
+// conn. The middlebox clock is skewed by mbSkew nanoseconds to exercise
+// alignment.
+func buildTestTrace(mbSkew int64) ([]Span, SpanCtx) {
+	root := NewSpanCtx()
+	hs := root.Child()
+	mbHS := root.Child()
+	mbPrep := root.Child()
+	mbFwd := root.Child()
+	scan := mbFwd.Child()
+	srvConn := root.Child()
+	srvHS := srvConn.Child()
+
+	mk := func(ctx SpanCtx, party, name, dir string, start, dur int64) Span {
+		sp := Span{Party: party, Name: name, Dir: dir, Flow: 1, Start: start, Dur: dur}
+		ctx.Stamp(&sp)
+		return sp
+	}
+	spans := []Span{
+		mk(root, PartyClient, SpanConn, "", 1000, 10000),
+		mk(hs, PartyClient, SpanHandshake, "", 1100, 4000),
+		mk(mbHS, PartyMB, SpanHandshake, "", 1200+mbSkew, 800),
+		mk(mbPrep, PartyMB, SpanPrep, "", 2100+mbSkew, 2500),
+		mk(mbFwd, PartyMB, SpanForward, "c2s", 5200+mbSkew, 5000),
+		mk(scan, PartyMB, SpanScan, "c2s", 6000+mbSkew, 500),
+		mk(srvConn, PartyServer, SpanConn, "", 1300, 9000),
+		mk(srvHS, PartyServer, SpanHandshake, "", 1350, 3900),
+	}
+	spans[5].Shard = ShardID(0)
+	return spans, root
+}
+
+func TestAssembleWellFormedTrace(t *testing.T) {
+	spans, root := buildTestTrace(0)
+	flows, untraced, err := AssembleSpans(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(untraced) != 0 || len(flows) != 1 {
+		t.Fatalf("flows=%d untraced=%d, want 1/0", len(flows), len(untraced))
+	}
+	ft := flows[0]
+	if ft.Trace != root.Trace.String() {
+		t.Fatalf("trace = %s, want %s", ft.Trace, root.Trace.String())
+	}
+	if ft.Root == nil || ft.Root.Span.SpanID != root.Span {
+		t.Fatal("wrong root")
+	}
+	if len(ft.Orphans) != 0 {
+		t.Fatalf("orphans: %+v", ft.Orphans)
+	}
+	if got := len(ft.Nodes()); got != len(spans) {
+		t.Fatalf("tree holds %d spans, want %d", got, len(spans))
+	}
+	if ft.WallNs != 10000 {
+		t.Fatalf("wall = %d, want 10000", ft.WallNs)
+	}
+	if ft.CritNs != ft.WallNs {
+		t.Fatalf("critical total %d != wall %d", ft.CritNs, ft.WallNs)
+	}
+	// Children nest inside parents after clamping.
+	var checkNest func(n *SpanNode)
+	checkNest = func(n *SpanNode) {
+		for _, c := range n.Children {
+			if c.Start < n.Start || c.End > n.End {
+				t.Fatalf("child %s [%d,%d] outside parent %s [%d,%d]",
+					c.Span.Name, c.Start, c.End, n.Span.Name, n.Start, n.End)
+			}
+			checkNest(c)
+		}
+	}
+	checkNest(ft.Root)
+	// Stage stats see the parallel scans and all parties.
+	stages := map[string]StageStat{}
+	for _, st := range ft.Stages() {
+		stages[st.Name] = st
+	}
+	if stages[SpanConn].Count != 2 || stages[SpanHandshake].Count != 3 {
+		t.Fatalf("stage counts off: %+v", stages)
+	}
+}
+
+func TestAssembleAlignsSkewedClocks(t *testing.T) {
+	const skew = int64(5_000_000) // mb clock 5ms ahead
+	spans, _ := buildTestTrace(skew)
+	flows, _, err := AssembleSpans(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := flows[0]
+	off, ok := ft.Offsets[PartyMB]
+	if !ok {
+		t.Fatal("no mb offset estimated")
+	}
+	// The true offset is -skew. The estimator anchors on the tightest
+	// lower bound — the mb handshake span starting 200ns after the client
+	// conn span — so the estimate is exactly -skew-200 here.
+	if off != -skew-200 {
+		t.Fatalf("mb offset = %d, want %d", off, -skew-200)
+	}
+	if ft.Offsets[PartyClient] != 0 {
+		t.Fatalf("root party offset = %d, want 0", ft.Offsets[PartyClient])
+	}
+	if ft.CritNs != ft.WallNs {
+		t.Fatalf("critical %d != wall %d after alignment", ft.CritNs, ft.WallNs)
+	}
+}
+
+func TestAssembleReportsOrphansAndCycles(t *testing.T) {
+	spans, root := buildTestTrace(0)
+	// A span whose parent never reports.
+	ghost := Span{TraceID: root.Trace.String(), SpanID: NewSpanID(), Parent: 424242, Party: PartyMB, Name: SpanScan, Flow: 1, Start: 5000, Dur: 10}
+	// A two-span parent cycle, unreachable from the root.
+	a, b := NewSpanID(), NewSpanID()
+	cycA := Span{TraceID: root.Trace.String(), SpanID: a, Parent: b, Name: SpanScan, Flow: 1, Start: 6000, Dur: 10}
+	cycB := Span{TraceID: root.Trace.String(), SpanID: b, Parent: a, Name: SpanScan, Flow: 1, Start: 6001, Dur: 10}
+	flows, _, err := AssembleSpans(append(spans, ghost, cycA, cycB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := flows[0]
+	if len(ft.Orphans) != 3 {
+		t.Fatalf("orphans = %d, want 3 (%+v)", len(ft.Orphans), ft.Orphans)
+	}
+	if got := len(ft.Nodes()); got != len(spans) {
+		t.Fatalf("tree grew to %d spans, want %d", got, len(spans))
+	}
+	// Critical path stays bounded by the wall-clock.
+	if ft.CritNs > ft.WallNs {
+		t.Fatalf("critical %d > wall %d", ft.CritNs, ft.WallNs)
+	}
+}
+
+func TestAssembleSeparatesUntracedSpans(t *testing.T) {
+	spans, _ := buildTestTrace(0)
+	flat := Span{Name: SpanScan, Flow: 9, Start: 1, Dur: 2} // v1 record
+	flows, untraced, err := AssembleSpans(append([]Span{flat}, spans...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || len(untraced) != 1 || untraced[0].Flow != 9 {
+		t.Fatalf("flows=%d untraced=%+v", len(flows), untraced)
+	}
+}
+
+func TestUnionNs(t *testing.T) {
+	cases := []struct {
+		iv   []Interval
+		want int64
+	}{
+		{nil, 0},
+		{[]Interval{{0, 10}}, 10},
+		{[]Interval{{0, 10}, {5, 15}}, 15},
+		{[]Interval{{0, 10}, {20, 30}}, 20},
+		{[]Interval{{20, 30}, {0, 10}, {9, 21}}, 30},
+		{[]Interval{{5, 5}, {7, 3}}, 0}, // empty and inverted
+	}
+	for i, c := range cases {
+		if got := UnionNs(c.iv); got != c.want {
+			t.Errorf("case %d: UnionNs = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMaxConcurrency(t *testing.T) {
+	iv := []Interval{{0, 10}, {2, 8}, {3, 5}, {10, 12}}
+	if got := maxConcurrency(iv); got != 3 {
+		t.Fatalf("maxConcurrency = %d, want 3", got)
+	}
+	if got := maxConcurrency(nil); got != 0 {
+		t.Fatalf("maxConcurrency(nil) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,44 @@
+// blindbox_build_info: the standard "what binary is this" gauge. One
+// series with value 1 whose label carries the Go version and VCS revision
+// from the embedded build metadata, so a scrape identifies the deployed
+// build without shelling into the host.
+
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the blindbox_build_info gauge on r and sets
+// its single series to 1. The version label is "<goversion> <revision>"
+// (revision "unknown" outside a VCS build, "-dirty" appended for modified
+// trees). Idempotent: registering twice reuses the same cell. A nil
+// registry is a no-op, like every other registration.
+func RegisterBuildInfo(r *Registry) {
+	v := r.GaugeVec(BuildInfo, Help(BuildInfo), "version")
+	v.With(buildVersion()).Set(1)
+}
+
+// buildVersion renders the embedded build metadata as one label value.
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	return fmt.Sprintf("%s %s%s", bi.GoVersion, rev, dirty)
+}

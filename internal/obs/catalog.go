@@ -55,6 +55,9 @@ const (
 	// baseline (plaintext IDS)
 	BaselinePacketsTotal = "blindbox_baseline_packets_total"
 	BaselineHitsTotal    = "blindbox_baseline_pattern_hits_total"
+
+	// process identity (label owner: version)
+	BuildInfo = "blindbox_build_info"
 )
 
 // Catalog maps every canonical metric name to its help string.
@@ -95,6 +98,8 @@ var Catalog = map[string]string{
 
 	BaselinePacketsTotal: "Packets processed by the plaintext baseline IDS pipeline.",
 	BaselineHitsTotal:    "Multi-pattern hits in the plaintext baseline IDS pipeline.",
+
+	BuildInfo: "Build identity gauge, always 1; label: version (Go version and VCS revision from debug.ReadBuildInfo).",
 }
 
 // Help returns the catalog help string for name ("" when uncataloged —

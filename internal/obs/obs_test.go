@@ -211,9 +211,10 @@ func TestMetricNames(t *testing.T) {
 		case strings.HasSuffix(name, "_total"),
 			strings.HasSuffix(name, "_seconds"),
 			strings.HasSuffix(name, "_bytes"),
-			strings.HasSuffix(name, "_depth"):
+			strings.HasSuffix(name, "_depth"),
+			strings.HasSuffix(name, "_info"):
 		default:
-			t.Errorf("%s: name must end in _total, _seconds, _bytes or _depth", name)
+			t.Errorf("%s: name must end in _total, _seconds, _bytes, _depth or _info", name)
 		}
 	}
 	if Help(MBAlertsTotal) == "" || Help("nonexistent") != "" {
@@ -261,6 +262,9 @@ func TestAdminMuxEndpoints(t *testing.T) {
 
 	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "bb_x_total 2") {
 		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, `blindbox_build_info{version="`) {
+		t.Errorf("/metrics missing build_info: code %d body %q", code, body)
 	}
 	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, `"bb_x_total": 2`) {
 		t.Errorf("/metrics.json: code %d body %q", code, body)

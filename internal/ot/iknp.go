@@ -155,6 +155,28 @@ func (s *ExtSender) Send(u [][]byte, pairs [][2]Block) ([][2]Block, error) {
 	return out, nil
 }
 
+// ExtStats sizes one OT extension run for observability: the number of
+// extended transfers and the bytes moved in each direction.
+type ExtStats struct {
+	// Wires is the number of extended OTs (choice bits).
+	Wires int
+	// CorrectionBytes is the size of the IKNP correction matrix u.
+	CorrectionBytes int
+	// MaskedBytes is the size of the masked label pairs.
+	MaskedBytes int
+}
+
+// Stats reports the sizes of the extension run after Extend has fixed the
+// transfer width; all fields are zero before then.
+func (r *ExtReceiver) Stats() ExtStats {
+	cols := (r.m + 7) / 8
+	return ExtStats{
+		Wires:           r.m,
+		CorrectionBytes: kappa * cols,
+		MaskedBytes:     r.m * 2 * bbcrypto.BlockSize,
+	}
+}
+
 // Receive unmasks the chosen message of each pair.
 func (r *ExtReceiver) Receive(masked [][2]Block, choices []bool) ([]Block, error) {
 	if len(masked) != len(choices) || len(choices) != r.m {

@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bbcrypto"
 	"repro/internal/circuit"
 	"repro/internal/dpienc"
 	"repro/internal/garble"
+	"repro/internal/obs"
 	"repro/internal/ot"
 )
 
@@ -79,6 +81,20 @@ type Endpoint struct {
 	k     bbcrypto.Block
 	kRG   bbcrypto.Block
 	krand bbcrypto.Block
+
+	trace  obs.Sink
+	tctx   obs.SpanCtx
+	tflow  uint64
+	tparty string
+}
+
+// SetTrace attaches a span sink to the endpoint: every subsequent Garble
+// call emits one prep.garble span parented to ctx (the endpoint's
+// handshake span), sized by the circuit's AND gates, garbled rows and
+// wire bytes. Call it before GarbleAll; Garble itself may then run
+// concurrently, since span-ID allocation and sinks are concurrency-safe.
+func (e *Endpoint) SetTrace(sink obs.Sink, ctx obs.SpanCtx, flow uint64, party string) {
+	e.trace, e.tctx, e.tflow, e.tparty = sink, ctx, flow, party
 }
 
 // NewEndpoint creates an endpoint-side session. k is the session detection
@@ -97,9 +113,25 @@ func (e *Endpoint) seed(i int) bbcrypto.Block {
 
 // Garble produces the fragment job for index i.
 func (e *Endpoint) Garble(i int) (*FragmentJob, error) {
+	start := time.Now()
 	g, labels, err := garble.Garble(e.circ, FixedGarblingKey, bbcrypto.NewPRG(e.seed(i)))
 	if err != nil {
 		return nil, err
+	}
+	if e.trace != nil {
+		st := g.Stats()
+		sp := obs.Span{
+			Flow:  e.tflow,
+			Party: e.tparty,
+			Name:  obs.SpanPrepGarble,
+			Start: start.UnixNano(),
+			Dur:   time.Since(start).Nanoseconds(),
+			Gates: st.Gates,
+			Rows:  st.TableRows,
+			Bytes: st.WireBytes,
+		}
+		e.tctx.Child().Stamp(&sp)
+		e.trace.Emit(sp)
 	}
 	job := &FragmentJob{Index: i, G: g}
 
@@ -161,6 +193,17 @@ type Request struct {
 type Middlebox struct {
 	circ *circuit.Circuit
 	req  Request
+
+	trace obs.Sink
+	tctx  obs.SpanCtx
+	tflow uint64
+}
+
+// SetTrace attaches a span sink to the middlebox session: every
+// subsequent VerifyAndEvaluate emits one prep.rule_enc span parented to
+// ctx (the middlebox's prep span).
+func (m *Middlebox) SetTrace(sink obs.Sink, ctx obs.SpanCtx, flow uint64) {
+	m.trace, m.tctx, m.tflow = sink, ctx, flow
 }
 
 // NewMiddlebox creates the MB session for the given rule fragments.
@@ -173,6 +216,10 @@ func NewMiddlebox(req Request) (*Middlebox, error) {
 
 // NumFragments returns N, which MB announces to the endpoints (§3.3 step 1).
 func (m *Middlebox) NumFragments() int { return len(m.req.Fragments) }
+
+// CircuitANDs returns the AND-gate count of the rule-encryption circuit F
+// — the gate counter trace spans covering circuit construction carry.
+func (m *Middlebox) CircuitANDs() int { return m.circ.NumAND() }
 
 // Choices returns MB's OT choice bits for fragment i: the bits of the
 // fragment block followed by the bits of its tag.
@@ -235,6 +282,52 @@ func (m *Middlebox) Evaluate(i int, job *FragmentJob, otLabels []bbcrypto.Block)
 	return key, nil
 }
 
+// VerifyAndEvaluate performs the complete middlebox-side finishing work
+// for fragment i — cross-checking the two endpoints' garbled circuits,
+// cross-checking the labels each endpoint's OT delivered, and evaluating
+// the circuit — and, when tracing, emits one prep.rule_enc span covering
+// it. It is the single entry point the network middlebox and RunLocal
+// share, so traces describe every deployment the same way.
+func (m *Middlebox) VerifyAndEvaluate(i int, jobS, jobR *FragmentJob, labS, labR []bbcrypto.Block) (dpienc.TokenKey, error) {
+	start := time.Now()
+	key, err := m.verifyAndEvaluate(i, jobS, jobR, labS, labR)
+	if m.trace != nil {
+		st := jobS.G.Stats()
+		sp := obs.Span{
+			Flow:  m.tflow,
+			Party: obs.PartyMB,
+			Name:  obs.SpanPrepRuleEnc,
+			Start: start.UnixNano(),
+			Dur:   time.Since(start).Nanoseconds(),
+			Gates: st.Gates,
+			Rows:  st.TableRows,
+			Bytes: st.WireBytes,
+		}
+		if err != nil && err != ErrUnauthorized {
+			sp.Err = err.Error()
+		}
+		m.tctx.Child().Stamp(&sp)
+		m.trace.Emit(sp)
+	}
+	return key, err
+}
+
+// verifyAndEvaluate is VerifyAndEvaluate without the tracing wrapper.
+func (m *Middlebox) verifyAndEvaluate(i int, jobS, jobR *FragmentJob, labS, labR []bbcrypto.Block) (dpienc.TokenKey, error) {
+	if err := m.Verify(jobS, jobR); err != nil {
+		return dpienc.TokenKey{}, err
+	}
+	if len(labS) != len(labR) {
+		return dpienc.TokenKey{}, errors.New("ruleprep: OT label count mismatch")
+	}
+	for b := range labS {
+		if subtle.ConstantTimeCompare(labS[b][:], labR[b][:]) != 1 {
+			return dpienc.TokenKey{}, errors.New("ruleprep: endpoints disagree on OT labels")
+		}
+	}
+	return m.Evaluate(i, jobS, labS)
+}
+
 // RunLocal performs the complete rule preparation with both endpoints in
 // process — the building block for examples, benchmarks and the in-memory
 // transport. It returns the token key for every fragment (nil entries for
@@ -253,9 +346,6 @@ func RunLocal(epS, epR *Endpoint, mb *Middlebox) ([]*dpienc.TokenKey, int, error
 	bytesOnWire := 0
 	keys := make([]*dpienc.TokenKey, n)
 	for i := 0; i < n; i++ {
-		if err := mb.Verify(jobsS[i], jobsR[i]); err != nil {
-			return nil, 0, err
-		}
 		bytesOnWire += jobsS[i].G.Size() + jobsR[i].G.Size()
 		choices := mb.Choices(i)
 		gotS, err := ot.ExtTransfer(jobsS[i].OTPairs(), choices)
@@ -266,12 +356,7 @@ func RunLocal(epS, epR *Endpoint, mb *Middlebox) ([]*dpienc.TokenKey, int, error
 		if err != nil {
 			return nil, 0, err
 		}
-		for b := range gotS {
-			if subtle.ConstantTimeCompare(gotS[b][:], gotR[b][:]) != 1 {
-				return nil, 0, errors.New("ruleprep: endpoints disagree on OT labels")
-			}
-		}
-		key, err := mb.Evaluate(i, jobsS[i], gotS)
+		key, err := mb.VerifyAndEvaluate(i, jobsS[i], jobsR[i], gotS, gotR)
 		if err == ErrUnauthorized {
 			continue
 		}

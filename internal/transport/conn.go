@@ -102,6 +102,23 @@ type Conn struct {
 	records     *obs.Counter
 	recordBytes *obs.Histogram
 	trace       obs.Sink
+	// ctx is the connection span's trace context: the root of a fresh
+	// trace on a tracing client, or a child of the peer-negotiated root
+	// elsewhere. hsCtx is the handshake span's context (parent of the
+	// §3.3 prep.garble sub-spans). connStart/closeOnce emit the
+	// connection span exactly once at Close.
+	ctx       obs.SpanCtx
+	hsCtx     obs.SpanCtx
+	connStart time.Time
+	closeOnce sync.Once
+}
+
+// party names this endpoint for Span.Party.
+func (c *Conn) party() string {
+	if c.isClient {
+		return obs.PartyClient
+	}
+	return obs.PartyServer
 }
 
 // Dial opens a BlindBox HTTPS connection to addr (typically the middlebox
@@ -177,6 +194,10 @@ func (c *Conn) handshake() error {
 // runHandshake is the deadline-free handshake body.
 func (c *Conn) runHandshake() error {
 	hsStart := time.Now()
+	c.connStart = hsStart
+	if c.cfg.Metrics != nil || c.cfg.Trace != nil {
+		c.flowID = connSeq.Add(1)
+	}
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
 		return err
@@ -189,6 +210,15 @@ func (c *Conn) runHandshake() error {
 	}
 	var peer Hello
 	if c.isClient {
+		// A tracing client roots the flow's distributed trace and
+		// carries the context in its hello, so the middlebox and server
+		// parent their spans under this connection span.
+		if c.cfg.Trace != nil {
+			c.ctx = obs.NewSpanCtx()
+			my.HasTrace = true
+			my.TraceID = c.ctx.Trace
+			my.TraceSpan = c.ctx.Span
+		}
 		if err := WriteRecord(c.raw, RecHello, MarshalHello(my)); err != nil {
 			return err
 		}
@@ -218,11 +248,22 @@ func (c *Conn) runHandshake() error {
 		c.cfg.Core.Mode = tokenize.Mode(peer.Mode)
 		c.cfg.Core.Salt0 = peer.Salt0
 		my.Protocol, my.Mode, my.Salt0 = peer.Protocol, peer.Mode, peer.Salt0
+		// A tracing server joins the trace negotiated in the hello
+		// (rooted at the client, or injected by a tracing middlebox);
+		// without one it roots its own single-party trace.
+		if c.cfg.Trace != nil {
+			if peer.HasTrace {
+				c.ctx = obs.SpanCtx{Trace: obs.TraceID(peer.TraceID), Span: peer.TraceSpan}.Child()
+			} else {
+				c.ctx = obs.NewSpanCtx()
+			}
+		}
 		if err := WriteRecord(c.raw, RecHelloReply, MarshalHello(my)); err != nil {
 			return err
 		}
 	}
 	c.mbPresent = peer.MBPresent
+	c.hsCtx = c.ctx.Child()
 
 	peerKey, err := ecdh.X25519().NewPublicKey(peer.PublicKey)
 	if err != nil {
@@ -257,7 +298,6 @@ func (c *Conn) instrument(hsStart time.Time) {
 	if c.cfg.Metrics == nil && c.cfg.Trace == nil {
 		return
 	}
-	c.flowID = connSeq.Add(1)
 	c.trace = c.cfg.Trace
 	dir := "s2c"
 	if c.isClient {
@@ -270,12 +310,14 @@ func (c *Conn) instrument(hsStart time.Time) {
 	r.Histogram(obs.ConnHandshakeSeconds, obs.Help(obs.ConnHandshakeSeconds), obs.LatencyBuckets).
 		Observe(hsDur.Seconds())
 	if c.trace != nil {
-		c.trace.Emit(obs.Span{
-			Flow: c.flowID, Name: obs.SpanHandshake,
+		sp := obs.Span{
+			Flow: c.flowID, Party: c.party(), Name: obs.SpanHandshake,
 			Start: hsStart.UnixNano(), Dur: int64(hsDur),
-		})
+		}
+		c.hsCtx.Stamp(&sp)
+		c.trace.Emit(sp)
 	}
-	c.pipe.Instrument(r, c.trace, c.flowID, dir)
+	c.pipe.Instrument(r, c.trace, c.flowID, dir, c.ctx, c.party())
 }
 
 // writeRecord counts and sizes one outgoing record, then writes it under
@@ -302,6 +344,11 @@ func (c *Conn) MBPresent() bool { return c.mbPresent }
 // it garbles the generic function F and plays the OT sender.
 func (c *Conn) servePreparation() error {
 	ep := ruleprep.NewEndpoint(c.keys.K, c.cfg.RG.TagKey, c.keys.KRand)
+	if c.cfg.Trace != nil {
+		// Per-circuit prep.garble spans parent under this endpoint's
+		// handshake span.
+		ep.SetTrace(c.cfg.Trace, c.hsCtx, c.flowID, c.party())
+	}
 	var (
 		jobs   []*ruleprep.FragmentJob
 		sender *ot.ExtSender
@@ -491,10 +538,24 @@ func (c *Conn) CloseWrite() error {
 	return c.writeRecord(RecClose, nil)
 }
 
-// Close closes the connection, sending the end-of-stream first.
+// Close closes the connection, sending the end-of-stream first, and emits
+// the connection-level span (the root of the flow's distributed trace on
+// a tracing client) covering handshake through close.
 func (c *Conn) Close() error {
 	_ = c.CloseWrite()
-	return c.raw.Close()
+	err := c.raw.Close()
+	c.closeOnce.Do(func() {
+		if c.cfg.Trace == nil || !c.ctx.Valid() {
+			return
+		}
+		sp := obs.Span{
+			Flow: c.flowID, Party: c.party(), Name: obs.SpanConn,
+			Start: c.connStart.UnixNano(), Dur: int64(time.Since(c.connStart)),
+		}
+		c.ctx.Stamp(&sp)
+		c.cfg.Trace.Emit(sp)
+	})
+	return err
 }
 
 // SetValidationDisabled turns off receiver-side token validation — used

@@ -67,6 +67,69 @@ func TestHelloRoundTripAndMBFlag(t *testing.T) {
 	}
 }
 
+func TestHelloTraceExtension(t *testing.T) {
+	h := Hello{
+		PublicKey: bytes.Repeat([]byte{9}, 32),
+		Protocol:  dpienc.ProtocolI,
+		Salt0:     42,
+		HasTrace:  true,
+		TraceID:   [16]byte{0xAA, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 0xBB},
+		TraceSpan: 0xDEADBEEF,
+	}
+	enc := MarshalHello(h)
+	got, err := UnmarshalHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasTrace || got.TraceID != h.TraceID || got.TraceSpan != h.TraceSpan {
+		t.Fatalf("trace extension round trip: %+v", got)
+	}
+	// The middlebox flips MBPresent in place; the extension must survive.
+	if err := SetMBPresent(enc); err != nil {
+		t.Fatal(err)
+	}
+	got, err = UnmarshalHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MBPresent || !got.HasTrace || got.TraceID != h.TraceID || got.TraceSpan != h.TraceSpan {
+		t.Fatalf("extension lost across SetMBPresent: %+v", got)
+	}
+}
+
+func TestAppendHelloTrace(t *testing.T) {
+	plain := MarshalHello(Hello{PublicKey: bytes.Repeat([]byte{7}, 32), Salt0: 5})
+	id := [16]byte{1, 2, 3}
+	withTrace, err := AppendHelloTrace(plain, id, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalHello(withTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasTrace || got.TraceID != id || got.TraceSpan != 77 || got.Salt0 != 5 {
+		t.Fatalf("injected hello: %+v", got)
+	}
+	// Appending to a hello that already carries context is a no-op.
+	again, err := AppendHelloTrace(withTrace, [16]byte{9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, withTrace) {
+		t.Fatal("AppendHelloTrace rewrote an existing extension")
+	}
+	// A hello with unknown trailing bytes is left alone.
+	weird := append(append([]byte(nil), plain...), 0x7F, 0x7F)
+	out, err := AppendHelloTrace(weird, id, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, weird) {
+		t.Fatal("AppendHelloTrace touched an unknown extension")
+	}
+}
+
 func TestHelloRejectsShort(t *testing.T) {
 	for _, data := range [][]byte{nil, {32}, {4, 1, 2}} {
 		if _, err := UnmarshalHello(data); err == nil {

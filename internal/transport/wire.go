@@ -80,18 +80,31 @@ func ReadRecord(r io.Reader) (RecordType, []byte, error) {
 
 // Hello is the cleartext handshake payload. The middlebox sets MBPresent
 // when forwarding, informing the endpoints that a rule-preparation
-// exchange will follow the handshake.
+// exchange will follow the handshake. HasTrace marks an optional trailing
+// trace-context extension: the 128-bit distributed trace ID plus the root
+// span ID, so client, middlebox and server spans of one flow join into
+// one trace (DESIGN.md §8). Peers without tracing ignore the extension.
 type Hello struct {
 	PublicKey []byte // X25519, 32 bytes
 	Protocol  dpienc.Protocol
 	Mode      byte // tokenize.Mode
 	Salt0     uint64
 	MBPresent bool
+	HasTrace  bool
+	TraceID   [16]byte
+	TraceSpan uint64
 }
+
+// helloTraceExt tags the trace-context extension after the MBPresent
+// byte: 1 tag byte + 16 trace-ID bytes + 8 root-span-ID bytes.
+const (
+	helloTraceExt    byte = 0x01
+	helloTraceExtLen      = 1 + 16 + 8
+)
 
 // MarshalHello encodes a Hello.
 func MarshalHello(h Hello) []byte {
-	out := make([]byte, 0, 32+11)
+	out := make([]byte, 0, 32+11+helloTraceExtLen)
 	out = append(out, byte(len(h.PublicKey)))
 	out = append(out, h.PublicKey...)
 	out = append(out, byte(h.Protocol), h.Mode)
@@ -103,10 +116,17 @@ func MarshalHello(h Hello) []byte {
 	} else {
 		out = append(out, 0)
 	}
+	if h.HasTrace {
+		out = append(out, helloTraceExt)
+		out = append(out, h.TraceID[:]...)
+		binary.BigEndian.PutUint64(s[:], h.TraceSpan)
+		out = append(out, s[:]...)
+	}
 	return out
 }
 
-// UnmarshalHello decodes a Hello.
+// UnmarshalHello decodes a Hello. Unknown trailing bytes are ignored for
+// forward compatibility; a well-formed trace extension is decoded.
 func UnmarshalHello(data []byte) (Hello, error) {
 	var h Hello
 	if len(data) < 1 {
@@ -122,7 +142,35 @@ func UnmarshalHello(data []byte) (Hello, error) {
 	h.Mode = rest[1]
 	h.Salt0 = binary.BigEndian.Uint64(rest[2:10])
 	h.MBPresent = rest[10] == 1
+	if ext := rest[11:]; len(ext) >= helloTraceExtLen && ext[0] == helloTraceExt {
+		h.HasTrace = true
+		copy(h.TraceID[:], ext[1:17])
+		h.TraceSpan = binary.BigEndian.Uint64(ext[17:25])
+	}
 	return h, nil
+}
+
+// AppendHelloTrace appends a trace-context extension to an encoded hello
+// that lacks one — what the middlebox does when it traces but the client
+// sent no context, so the server can still join the middlebox's trace.
+func AppendHelloTrace(encoded []byte, traceID [16]byte, rootSpan uint64) ([]byte, error) {
+	h, err := UnmarshalHello(encoded)
+	if err != nil {
+		return nil, err
+	}
+	if h.HasTrace {
+		return encoded, nil
+	}
+	if base := 1 + int(encoded[0]) + 11; len(encoded) != base {
+		// Unknown trailing extension: leave the hello alone rather than
+		// append where no parser would look.
+		return encoded, nil
+	}
+	out := append(append([]byte(nil), encoded...), helloTraceExt)
+	out = append(out, traceID[:]...)
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], rootSpan)
+	return append(out, s[:]...), nil
 }
 
 // SetMBPresent flips the MBPresent flag inside an encoded hello in place —

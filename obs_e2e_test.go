@@ -283,8 +283,8 @@ func verifySpanOrdering(t *testing.T, spans []Span, flows int) {
 				if sp.Start < fv.prep.Start {
 					t.Errorf("flow %d %s: scan %d started before prep", id, dir, i)
 				}
-				if sp.Shard < 0 {
-					t.Errorf("flow %d %s: scan %d ran inline, want a shard in parallel mode", id, dir, i)
+				if sp.Shard == nil || *sp.Shard < 0 {
+					t.Errorf("flow %d %s: scan %d ran inline or unsharded, want a shard in parallel mode", id, dir, i)
 				}
 				if i > 0 && sp.Start < ss[i-1].Start {
 					t.Errorf("flow %d %s: scan %d out of order (%d < %d)",

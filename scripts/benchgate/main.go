@@ -69,6 +69,12 @@ func main() {
 	if cur.DetectObsSpeedup > 0 {
 		check("detect instrumented/batch speedup", cur.DetectObsSpeedup, 1-sameRun)
 	}
+	// Tracing must be noise too: one span per batch into an enabled JSONL
+	// sink may not drag the batched path down beyond scheduler jitter.
+	// Skipped for results recorded before the traced stage existed.
+	if cur.DetectTraceSpeedup > 0 {
+		check("detect traced/batch speedup", cur.DetectTraceSpeedup, 1-sameRun)
+	}
 
 	base, err := experiments.ReadPipelineJSON(*baseline)
 	switch {

@@ -30,6 +30,19 @@ if [ "$MODE" = "quick" ]; then
     exit 0
 fi
 
+# Three-party tracing over loopback: run a traced client/middlebox/server
+# session (setupbreakdown fails if the §3.3 sub-spans cover < 90% of the
+# preparation window), then strict-assemble the three span files — orphan
+# spans, a rootless trace, or critical path > wall-clock fail the gate.
+# Note: bbtrace flags must precede the positional file arguments.
+step "three-party tracing (setupbreakdown + strict assemble)"
+TRACEDIR="$(mktemp -d)"
+trap 'rm -rf "$TRACEDIR"' EXIT
+go run ./cmd/blindbench -experiment setupbreakdown -fast \
+    -setup-out "$TRACEDIR/BENCH_setup_breakdown.json" -trace-dir "$TRACEDIR"
+go run ./cmd/bbtrace -assemble -strict \
+    "$TRACEDIR/client.jsonl" "$TRACEDIR/mb.jsonl" "$TRACEDIR/server.jsonl"
+
 step "go test -race"
 go test -race ./...
 
