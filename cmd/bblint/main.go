@@ -1,14 +1,19 @@
 // Command bblint is the BlindBox static-analysis driver. It loads every
-// package named by its arguments (default ./...), type-checks them with the
-// standard library's go/types, runs the rule suite of internal/lint, and
-// prints findings as file:line:col diagnostics with rule IDs.
+// package named by its arguments (default ./...) in parallel, type-checks
+// them with the standard library's go/types, runs the rule suite of
+// internal/lint (including the secret-flow taint analysis and the
+// hotpath-alloc zero-allocation check), and prints findings as
+// file:line:col diagnostics with rule IDs. Diagnostics are deduplicated by
+// position and rule and always emitted in sorted order, independent of load
+// parallelism.
 //
 // Usage:
 //
-//	bblint [-json] [-rules] [packages...]
+//	bblint [-json] [-rules] [-parallel n] [packages...]
 //
 // Exit status: 0 when the tree is clean, 1 when findings were reported,
-// 2 on load or usage errors.
+// 2 on load or analysis errors (unparseable source, unresolvable imports,
+// bad usage).
 //
 // Findings can be suppressed in source with
 //
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/lint"
 )
@@ -30,6 +36,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (for CI diffing)")
 	listRules := flag.Bool("rules", false, "print the rule catalog and exit")
+	parallel := flag.Int("parallel", 0, "package-load worker goroutines (0 = one per core)")
 	flag.Parse()
 
 	loader, err := lint.NewLoader(".")
@@ -56,16 +63,14 @@ func main() {
 		fatal(fmt.Errorf("bblint: no packages match %v", patterns))
 	}
 
-	var pkgs []*lint.Package
-	for _, p := range paths {
-		pkg, err := loader.Load(p)
-		if err != nil {
-			fatal(fmt.Errorf("bblint: loading %s: %w", p, err))
-		}
+	pkgs, err := loader.LoadAll(paths, *parallel)
+	if err != nil {
+		fatal(fmt.Errorf("bblint: %w", err))
+	}
+	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "bblint: warning: %s: %v (analysis may be incomplete)\n", p, terr)
+			fmt.Fprintf(os.Stderr, "bblint: warning: %s: %v (analysis may be incomplete)\n", pkg.ImportPath, terr)
 		}
-		pkgs = append(pkgs, pkg)
 	}
 
 	findings := lint.Run(pkgs, rules)
@@ -83,13 +88,37 @@ func main() {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		if len(findings) > 0 {
-			fmt.Fprintf(os.Stderr, "bblint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		}
 	}
 	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bblint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		for _, line := range ruleSummary(findings) {
+			fmt.Fprintln(os.Stderr, "bblint:   "+line)
+		}
 		os.Exit(1)
 	}
+}
+
+// ruleSummary renders per-rule finding counts, most frequent first.
+func ruleSummary(findings []lint.Finding) []string {
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.RuleID]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if counts[rules[i]] != counts[rules[j]] {
+			return counts[rules[i]] > counts[rules[j]]
+		}
+		return rules[i] < rules[j]
+	})
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = fmt.Sprintf("%4d  %s", counts[r], r)
+	}
+	return out
 }
 
 // relativize rewrites finding paths relative to the working directory so CI

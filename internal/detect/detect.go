@@ -48,6 +48,7 @@ type Event struct {
 	// Offset is the stream offset of the (keyword) match.
 	Offset int
 	// SSLKey is the recovered kSSL under Protocol III (zero otherwise).
+	//bb:secret
 	SSLKey bbcrypto.Block
 	// HasSSLKey reports whether SSLKey is valid.
 	HasSSLKey bool
@@ -245,6 +246,8 @@ func (e *Engine) ScanBatch(ets []dpienc.EncryptedToken, dst []Event) []Event {
 
 // scanToken is the per-token §3.2 step shared by ProcessToken and
 // ScanBatch; it appends events to dst.
+//
+//bb:hotpath
 func (e *Engine) scanToken(et dpienc.EncryptedToken, dst []Event) []Event {
 	e.tokensSeen++
 	hits := e.index.Lookup(et.C1)

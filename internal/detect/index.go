@@ -38,11 +38,16 @@ func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[uint64][]*entry)}
 func (h *HashIndex) Name() string { return "hash" }
 
 // Lookup implements Index.
+//
+//bb:hotpath
 func (h *HashIndex) Lookup(c dpienc.Ciphertext) []*entry { return h.m[c.Uint64()] }
 
 // Update implements Index.
+//
+//bb:hotpath
 func (h *HashIndex) Update(e *entry, old, new dpienc.Ciphertext) {
 	h.remove(e, old.Uint64())
+	//lint:ignore hotpath-alloc bucket slices reach steady-state capacity; re-appending a removed entry reuses the freed slot
 	h.m[new.Uint64()] = append(h.m[new.Uint64()], e)
 }
 

@@ -31,6 +31,8 @@ type TokenAssignment struct {
 // extended slice. This is the only stateful step of token encryption; the
 // returned assignments may then be encrypted in any order, or concurrently
 // on disjoint ranges, via EncryptAssigned.
+//
+//bb:hotpath
 func (s *Sender) AssignTokens(toks []tokenize.Token, dst []TokenAssignment) []TokenAssignment {
 	s.tokensC.Add(uint64(len(toks)))
 	stride := s.saltStride()
@@ -46,6 +48,7 @@ func (s *Sender) AssignTokens(toks []tokenize.Token, dst []TokenAssignment) []To
 		if ct+stride > s.maxCt {
 			s.maxCt = ct + stride
 		}
+		//lint:ignore hotpath-alloc dst is the Sender's reusable scratch buffer; growth amortizes to steady-state batch capacity
 		dst = append(dst, TokenAssignment{blk: blk, salt: s.salt0 + ct, offset: t.Offset})
 	}
 	return dst
@@ -55,16 +58,26 @@ func (s *Sender) AssignTokens(toks []tokenize.Token, dst []TokenAssignment) []To
 // (out must be at least as long as assigned). It reads only immutable
 // Sender state (protocol, kSSL) and the stateless AES ciphers, so disjoint
 // (assigned, out) ranges of one batch may be encrypted concurrently.
+//
+//bb:hotpath
 func (s *Sender) EncryptAssigned(assigned []TokenAssignment, out []EncryptedToken) {
 	protoIII := s.protocol == ProtocolIII
+	// pt/ct are hoisted out of the loop and sliced once: slices passed
+	// through the cipher.Block interface escape, so per-token locals (as in
+	// encryptWith) cost two heap allocations per token — the allocation
+	// churn behind the parallel-encrypt slowdown in BENCH_pipeline.json.
+	// Hoisting amortizes the escape to two allocations per batch.
+	var pt, ct bbcrypto.Block
+	pts, cts := pt[:], ct[:]
 	for i, a := range assigned {
 		out[i].Offset = a.offset
-		out[i].C1 = encryptWith(a.blk, a.salt)
+		binary.BigEndian.PutUint64(pts[8:], a.salt)
+		a.blk.Encrypt(cts, pts)
+		copy(out[i].C1[:], cts[:CiphertextSize])
 		if protoIII {
-			var pt, full bbcrypto.Block
-			binary.BigEndian.PutUint64(pt[8:], a.salt+1)
-			a.blk.Encrypt(full[:], pt[:])
-			out[i].C2 = full.XOR(s.kSSL)
+			binary.BigEndian.PutUint64(pts[8:], a.salt+1)
+			a.blk.Encrypt(cts, pts)
+			out[i].C2 = ct.XOR(s.kSSL)
 		} else {
 			out[i].C2 = bbcrypto.Block{}
 		}

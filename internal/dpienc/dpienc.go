@@ -74,6 +74,7 @@ func Encrypt(tk TokenKey, salt uint64) Ciphertext {
 	return encryptWith(bbcrypto.NewAES(tk), salt)
 }
 
+//bb:hotpath
 func encryptWith(c cipher.Block, salt uint64) Ciphertext {
 	var pt, ct bbcrypto.Block
 	binary.BigEndian.PutUint64(pt[8:], salt)
@@ -136,7 +137,9 @@ type EncryptedToken struct {
 // counter table of §3.2: the i-th occurrence of a token is encrypted with
 // salt0+i so equal tokens never share a salt, without transmitting salts.
 type Sender struct {
-	k        bbcrypto.Block
+	//bb:secret
+	k bbcrypto.Block
+	//bb:secret
 	kSSL     bbcrypto.Block
 	protocol Protocol
 

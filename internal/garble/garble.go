@@ -68,6 +68,8 @@ type DecodeEntry struct {
 
 // Labels is the garbler's secret: the false-label of every input wire and
 // the global free-XOR offset R. The true label of wire i is L0[i] XOR R.
+//
+//bb:secret
 type Labels struct {
 	L0 []Block
 	R  Block

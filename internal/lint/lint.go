@@ -93,7 +93,16 @@ func DefaultRules(modulePath string, goMinor int) []Rule {
 		&TodoPanic{},
 		NewObsStats([]string{modulePath + "/internal/obs"}),
 		NewExportedDoc([]string{modulePath}),
+		NewSecretFlow(modulePath),
+		&HotPathAlloc{},
 	}
+}
+
+// preparer is an optional Rule extension: rules that need a module-wide
+// view (e.g. secret-flow's cross-package annotation index) implement it and
+// are handed every package of the run before per-package checks start.
+type preparer interface {
+	Prepare(pkgs []*Package)
 }
 
 // suppression is one parsed //lint:ignore directive.
@@ -135,8 +144,15 @@ func parseSuppressions(fset *token.FileSet, file *ast.File) []*suppression {
 }
 
 // Run executes every rule over every package, applies suppressions, and
-// returns findings sorted by position.
+// returns findings sorted by position with duplicates (same position and
+// rule, e.g. one tainted value reaching a sink along two dataflow paths)
+// removed.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	for _, rule := range rules {
+		if p, ok := rule.(preparer); ok {
+			p.Prepare(pkgs)
+		}
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		var sups []*suppression
@@ -187,7 +203,23 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.RuleID < b.RuleID
 	})
-	return findings
+	return dedupe(findings)
+}
+
+// dedupe drops findings that share position and rule with a predecessor
+// (the first message wins; the slice must be sorted).
+func dedupe(findings []Finding) []Finding {
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.File == f.File && p.Line == f.Line && p.Col == f.Col && p.RuleID == f.RuleID {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // suppressed reports whether a finding of rule id at pos is covered by a

@@ -27,6 +27,8 @@ func fixtureRules() []Rule {
 		&TodoPanic{},
 		NewObsStats([]string{"repro/internal/obs"}),
 		NewExportedDoc([]string{"repro/internal/lint/testdata/exporteddoc"}),
+		NewSecretFlow("repro"),
+		&HotPathAlloc{},
 	}
 }
 
@@ -44,6 +46,8 @@ var fixtureRuleID = map[string]string{
 	"todopanic":        "todo-panic",
 	"obsstats":         "obs-stats",
 	"exporteddoc":      "exported-doc",
+	"secretflow":       "secret-flow",
+	"hotpathalloc":     "hotpath-alloc",
 	"suppress":         directiveRule,
 }
 
@@ -158,7 +162,7 @@ func TestDefaultRulesCatalog(t *testing.T) {
 	want := []string{
 		"ct-compare", "weak-rand", "unchecked-err",
 		"mutex-copy", "loop-capture", "chan-leak", "todo-panic",
-		"obs-stats", "exported-doc",
+		"obs-stats", "exported-doc", "secret-flow", "hotpath-alloc",
 	}
 	rules := DefaultRules("repro", 22)
 	if len(rules) != len(want) {

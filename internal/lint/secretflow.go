@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SecretFlow is the secret-taint dataflow rule. BlindBox's §2/§5 threat
+// model requires that the middlebox inspects traffic without ever seeing
+// plaintext or endpoint keys; this rule enforces the code-level half of
+// that argument: declared secret material (session keys, pre-encryption
+// token plaintext, garbled wire labels — anything carrying a //bb:secret
+// annotation, plus the built-in secret types) must never flow into
+//
+//   - log / log/slog calls (including methods of a stored *slog.Logger),
+//   - fmt.Print*/Fprint* output,
+//   - internal/obs metric or span attributes (calls into the obs package
+//     and assignments to obs struct fields),
+//   - transport writes that are not the designated ciphertext path
+//     (net.Conn / internal/transport Write* and Marshal* calls), or
+//   - errors returned from a function (fmt.Errorf'd secrets end up in logs
+//     eventually; the taint follows %v/%w wrapping).
+//
+// Taint is propagated by the engine in taint.go: through assignments,
+// composites, slices, appends, string conversions, stdlib string plumbing,
+// and same-package helper calls via summaries. Encrypt* (and
+// //bb:sanitizer-annotated) call results clear taint — ciphertext is what
+// the protocol is allowed to emit. Legitimate flows (the OT label transfer,
+// public values that merely share a secret's type) are annotated in source
+// with //lint:ignore secret-flow <reason>.
+type SecretFlow struct {
+	modulePath   string
+	obsPkg       string
+	transportPkg string
+	// builtinTypes are "pkgpath.TypeName" entries treated as secret without
+	// a source annotation.
+	builtinTypes map[string]bool
+	idx          *secretIndex
+}
+
+// NewSecretFlow builds the rule for a module. The built-in source set seeds
+// taint at the module's session-key container even before annotations are
+// read.
+func NewSecretFlow(modulePath string) *SecretFlow {
+	return &SecretFlow{
+		modulePath:   modulePath,
+		obsPkg:       modulePath + "/internal/obs",
+		transportPkg: modulePath + "/internal/transport",
+		builtinTypes: map[string]bool{
+			modulePath + "/internal/bbcrypto.SessionKeys": true,
+		},
+	}
+}
+
+// ID implements Rule.
+func (r *SecretFlow) ID() string { return "secret-flow" }
+
+// Doc implements Rule.
+func (r *SecretFlow) Doc() string {
+	return "//bb:secret material must not flow into logs, errors, metrics, spans, or non-ciphertext writes"
+}
+
+// Prepare implements the preparer hook: the annotation index is built over
+// every package of the run so cross-package field/type annotations resolve.
+func (r *SecretFlow) Prepare(pkgs []*Package) {
+	r.idx = buildSecretIndex(pkgs)
+}
+
+// Check implements Rule.
+func (r *SecretFlow) Check(pkg *Package, report Reporter) {
+	idx := r.idx
+	if idx == nil {
+		idx = buildSecretIndex([]*Package{pkg})
+	}
+	c := newTaintChecker(pkg, idx, r)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			st := c.newFuncState(fd)
+			st.report = report
+			st.fixpoint(fd.Body)
+			st.reportPass(fd)
+		}
+	}
+}
+
+// sinkKind classifies a call as a taint sink; "" means not a sink.
+func (c *taintChecker) sinkKind(call *ast.CallExpr) string {
+	info := c.pkg.Info
+	fn, _ := calleeObj(info, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "log" || path == "log/slog":
+		return "log"
+	case path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		return "printed output"
+	case c.rule != nil && path == c.rule.obsPkg:
+		return "observability (metric/span)"
+	case c.rule != nil && path == c.rule.transportPkg &&
+		(strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Marshal")):
+		return "transport write"
+	}
+	// Write-like methods on net types (net.Conn and friends).
+	if strings.HasPrefix(name, "Write") {
+		if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel, isSel := info.Selections[se]; isSel && sel.Kind() == types.MethodVal {
+				if recvPkgPath(sel.Recv()) == "net" {
+					return "transport write"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// recvPkgPath returns the package path of a (possibly pointer-wrapped)
+// named receiver type, or "".
+func recvPkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// reportPass walks the analyzed body once after the fixpoint, reporting
+// every tainted value that reaches a sink (when report is set) and
+// accumulating the summary's sink and result masks.
+func (st *funcState) reportPass(decl *ast.FuncDecl) {
+	info := st.c.pkg.Info
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			st.checkCallSinks(v)
+		case *ast.AssignStmt:
+			st.checkObsFieldAssign(v)
+		case *ast.ReturnStmt:
+			st.checkReturn(v, info)
+		}
+		return true
+	})
+	st.collectResults(decl)
+}
+
+// checkCallSinks reports tainted arguments of sink calls and applies callee
+// summaries' internal-sink knowledge.
+func (st *funcState) checkCallSinks(call *ast.CallExpr) {
+	info := st.c.pkg.Info
+	if kind := st.c.sinkKind(call); kind != "" {
+		for _, arg := range call.Args {
+			m := st.eval(arg)
+			if m == 0 {
+				continue
+			}
+			st.sink |= m & paramMask
+			if st.report != nil && m&taintSource != 0 {
+				st.report(arg, "secret-tainted value reaches %s sink %s", kind, callName(call))
+			}
+		}
+		return
+	}
+	// Same-package callee whose summary says a parameter reaches a sink.
+	fn, _ := calleeObj(info, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || st.c.pkg.Pkg == nil || fn.Pkg() != st.c.pkg.Pkg {
+		return
+	}
+	sum := st.c.summaryFor(fn)
+	if sum == nil || sum.sink == 0 {
+		return
+	}
+	slots := st.callSlots(call)
+	var hit taintMask
+	for i, m := range slots {
+		if sum.sink&paramBit(i) != 0 {
+			hit |= m
+		}
+	}
+	if hit == 0 {
+		return
+	}
+	st.sink |= hit & paramMask
+	if st.report != nil && hit&taintSource != 0 {
+		st.report(call, "secret-tainted argument reaches a sink inside %s", fn.Name())
+	}
+}
+
+// checkObsFieldAssign reports tainted values assigned into observability
+// struct fields (span attributes travel as plain struct fields).
+func (st *funcState) checkObsFieldAssign(v *ast.AssignStmt) {
+	if st.c.rule == nil {
+		return
+	}
+	info := st.c.pkg.Info
+	for i, lhs := range v.Lhs {
+		if i >= len(v.Rhs) && len(v.Rhs) != 1 {
+			break
+		}
+		se, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		sel, isSel := info.Selections[se]
+		if !isSel || sel.Kind() != types.FieldVal {
+			continue
+		}
+		if recvPkgPath(sel.Recv()) != st.c.rule.obsPkg {
+			continue
+		}
+		rhs := v.Rhs[min(i, len(v.Rhs)-1)]
+		m := st.eval(rhs)
+		if m == 0 {
+			continue
+		}
+		st.sink |= m & paramMask
+		if st.report != nil && m&taintSource != 0 {
+			st.report(rhs, "secret-tainted value assigned to observability field %s", sel.Obj().Name())
+		}
+	}
+}
+
+// checkReturn reports secrets escaping through returned errors.
+func (st *funcState) checkReturn(v *ast.ReturnStmt, info *types.Info) {
+	for _, res := range v.Results {
+		t := typeOf(info, res)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		m := st.eval(res)
+		if m == 0 {
+			continue
+		}
+		st.sink |= m & paramMask
+		if st.report != nil && m&taintSource != 0 {
+			st.report(res, "secret-tainted error escapes the function (secrets in errors end up in logs)")
+		}
+	}
+}
+
+// collectResults joins return-statement taint into the summary's per-result
+// masks. Returns inside function literals belong to the literal, not the
+// enclosing function, and are skipped.
+func (st *funcState) collectResults(decl *ast.FuncDecl) {
+	if len(st.results) == 0 {
+		return
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(v.Results) == 0 {
+				// Bare return: named results carry their current taint.
+				for i, obj := range st.resultObjs {
+					if i < len(st.results) {
+						st.results[i] |= st.vars[obj]
+					}
+				}
+				return true
+			}
+			if len(v.Results) == len(st.results) {
+				for i, res := range v.Results {
+					st.results[i] |= st.eval(res)
+				}
+			} else if len(v.Results) == 1 {
+				// return f() with multi-value f: join into everything.
+				m := st.eval(v.Results[0])
+				for i := range st.results {
+					st.results[i] |= m
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// callName renders a call's callee for diagnostics: pkg.F or recv.M.
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

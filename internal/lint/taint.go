@@ -1,0 +1,723 @@
+// Function-level taint dataflow engine. This is the machinery behind the
+// secret-flow rule: a bitmask taint lattice propagated intra-procedurally to
+// a fixpoint, with memoized per-function call summaries so taint survives
+// calls into helpers of the same package (the "one-hop" summary of the
+// design doc — in practice the memoization follows helper chains until a
+// cycle cuts them off).
+//
+// Lattice. A taint mask is a uint64. Bit 63 (taintSource) means "derived
+// from declared secret material"; bits 0..62 mean "derived from parameter
+// i of the function under analysis" (the receiver, when present, is
+// parameter 0). Join is bitwise OR; the analysis is monotone, so iterating
+// each function body until the variable map stops changing terminates.
+//
+// Sources. A value is secret when it reads a //bb:secret-annotated field,
+// parameter, package variable, or a value of a //bb:secret-annotated (or
+// built-in) named type. Annotations are indexed module-wide by
+// buildSecretIndex so a field declared secret in internal/bbcrypto taints
+// reads from every package analyzed in the same run.
+//
+// Sanitizers. Calls to functions whose name starts with "Encrypt", or that
+// carry a //bb:sanitizer annotation, return untainted values regardless of
+// argument taint: post-encryption bytes are exactly what BlindBox is allowed
+// to emit.
+//
+// Propagation through calls:
+//   - string-manipulating stdlib packages (fmt, strings, bytes, strconv,
+//     errors, encoding/hex, encoding/base64) propagate the join of their
+//     arguments (and receiver) to their results;
+//   - same-package callees use their computed summary (per-result parameter
+//     dependence plus internal sink reachability);
+//   - any other call returns the receiver's taint (err.Error(), buf.Bytes()
+//     stay tainted) and, as a side effect, taints the receiver's root when
+//     tainted arguments are passed (buffers accumulate what is written).
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// taintMask is the lattice element: parameter-dependence bits plus the
+// constitutive-secret bit.
+type taintMask uint64
+
+// taintSource marks taint derived from declared secret material (as opposed
+// to mere parameter dependence, which only matters for summaries).
+const taintSource taintMask = 1 << 63
+
+// paramMask selects the parameter-dependence bits.
+const paramMask taintMask = taintSource - 1
+
+// paramBit returns the lattice bit for parameter i; parameters past 62 share
+// the last bit (join stays sound, merely less precise).
+func paramBit(i int) taintMask {
+	if i > 62 {
+		i = 62
+	}
+	return 1 << uint(i)
+}
+
+// secretAnnotation is the comment directive marking declared secrets.
+const secretAnnotation = "//bb:secret"
+
+// sanitizerAnnotation marks functions whose results are safe regardless of
+// argument taint (beyond the built-in Encrypt* name rule).
+const sanitizerAnnotation = "//bb:sanitizer"
+
+// secretIndex is the module-wide annotation index.
+type secretIndex struct {
+	// objs holds annotated fields, parameters and package variables.
+	objs map[types.Object]bool
+	// typs holds annotated named types: every value of the type is secret.
+	typs map[types.Object]bool
+	// resultFns holds functions annotated "//bb:secret return": their
+	// call results are secret at every call site, across packages.
+	resultFns map[types.Object]bool
+	// sanitizers holds //bb:sanitizer-annotated functions.
+	sanitizers map[types.Object]bool
+}
+
+// annLines extracts the annotation directives of a comment group.
+func annLines(groups ...*ast.CommentGroup) []string {
+	var out []string
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, secretAnnotation) || strings.HasPrefix(c.Text, sanitizerAnnotation) {
+				out = append(out, c.Text)
+			}
+		}
+	}
+	return out
+}
+
+// buildSecretIndex scans every package's declarations for //bb:secret and
+// //bb:sanitizer annotations and resolves them to type-checker objects.
+func buildSecretIndex(pkgs []*Package) *secretIndex {
+	idx := &secretIndex{
+		objs:       make(map[types.Object]bool),
+		typs:       make(map[types.Object]bool),
+		resultFns:  make(map[types.Object]bool),
+		sanitizers: make(map[types.Object]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					idx.indexGenDecl(pkg, d)
+				case *ast.FuncDecl:
+					idx.indexFuncDecl(pkg, d)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// indexGenDecl indexes type and package-var annotations.
+func (idx *secretIndex) indexGenDecl(pkg *Package, d *ast.GenDecl) {
+	declAnn := len(annLines(d.Doc)) > 0
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if declAnn || len(annLines(s.Doc, s.Comment)) > 0 {
+				if obj := pkg.Info.Defs[s.Name]; obj != nil {
+					idx.typs[obj] = true
+				}
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				idx.indexFields(pkg, st)
+			}
+		case *ast.ValueSpec:
+			if declAnn || len(annLines(s.Doc, s.Comment)) > 0 {
+				for _, name := range s.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						idx.objs[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// indexFields indexes //bb:secret annotations on struct fields.
+func (idx *secretIndex) indexFields(pkg *Package, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(annLines(field.Doc, field.Comment)) == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				idx.objs[obj] = true
+			}
+		}
+	}
+}
+
+// indexFuncDecl indexes function-doc annotations: "//bb:secret a b" marks
+// the named parameters secret, "//bb:secret return" marks the results
+// secret at call sites, and "//bb:sanitizer" marks the function a
+// sanitizer.
+func (idx *secretIndex) indexFuncDecl(pkg *Package, d *ast.FuncDecl) {
+	fnObj := pkg.Info.Defs[d.Name]
+	for _, line := range annLines(d.Doc) {
+		if strings.HasPrefix(line, sanitizerAnnotation) {
+			if fnObj != nil {
+				idx.sanitizers[fnObj] = true
+			}
+			continue
+		}
+		names := strings.Fields(strings.TrimPrefix(line, secretAnnotation))
+		for _, name := range names {
+			if name == "return" {
+				if fnObj != nil {
+					idx.resultFns[fnObj] = true
+				}
+				continue
+			}
+			for _, obj := range paramObjs(pkg, d) {
+				if obj != nil && obj.Name() == name {
+					idx.objs[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// paramObjs lists a function's receiver and parameter objects in lattice
+// order (receiver first).
+func paramObjs(pkg *Package, d *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				out = append(out, pkg.Info.Defs[name])
+			}
+		}
+	}
+	collect(d.Recv)
+	collect(d.Type.Params)
+	return out
+}
+
+// fnSummary is the computed call summary of one function.
+type fnSummary struct {
+	// results[j] is the taint of result j expressed over the callee's
+	// parameter bits (plus taintSource for constitutive secrets).
+	results []taintMask
+	// sink has bit i set when parameter i reaches a sink inside the
+	// function (directly or through deeper same-package calls).
+	sink taintMask
+	// computing guards against recursion: cyclic call chains see an empty
+	// summary.
+	computing bool
+}
+
+// joinedResults is the union of all result masks (used when a call is
+// evaluated in single-value context).
+func (s *fnSummary) joinedResults() taintMask {
+	var m taintMask
+	for _, r := range s.results {
+		m |= r
+	}
+	return m
+}
+
+// propagatorPkgs are stdlib packages whose functions and methods propagate
+// argument taint to their results (string/byte plumbing).
+var propagatorPkgs = map[string]bool{
+	"fmt": true, "strings": true, "bytes": true, "strconv": true,
+	"errors": true, "encoding/hex": true, "encoding/base64": true,
+	"unicode/utf8": true,
+}
+
+// taintChecker runs the analysis over one package for the secret-flow rule.
+type taintChecker struct {
+	pkg       *Package
+	idx       *secretIndex
+	rule      *SecretFlow
+	summaries map[types.Object]*fnSummary
+	decls     map[types.Object]*ast.FuncDecl
+}
+
+// newTaintChecker indexes the package's function declarations.
+func newTaintChecker(pkg *Package, idx *secretIndex, rule *SecretFlow) *taintChecker {
+	c := &taintChecker{
+		pkg:       pkg,
+		idx:       idx,
+		rule:      rule,
+		summaries: make(map[types.Object]*fnSummary),
+		decls:     make(map[types.Object]*ast.FuncDecl),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	return c
+}
+
+// funcState is the per-function analysis state.
+type funcState struct {
+	c *taintChecker
+	// paramIdx maps receiver/parameter objects to their lattice bit index.
+	paramIdx map[types.Object]int
+	// resultObjs are named result variables (for bare returns).
+	resultObjs []types.Object
+	// vars is the variable/field taint map.
+	vars    map[types.Object]taintMask
+	changed bool
+	// report is nil during summary computation.
+	report Reporter
+	// sink accumulates parameter bits that reached a sink.
+	sink taintMask
+	// results accumulates per-result return taint.
+	results []taintMask
+}
+
+// newFuncState seeds the state for decl: parameter i gets bit i (annotation
+// and type-based source bits are added lazily by eval).
+func (c *taintChecker) newFuncState(decl *ast.FuncDecl) *funcState {
+	st := &funcState{
+		c:        c,
+		paramIdx: make(map[types.Object]int),
+		vars:     make(map[types.Object]taintMask),
+	}
+	for i, obj := range paramObjs(c.pkg, decl) {
+		if obj != nil {
+			st.paramIdx[obj] = i
+			st.vars[obj] = paramBit(i)
+		}
+	}
+	if res := decl.Type.Results; res != nil {
+		n := 0
+		for _, f := range res.List {
+			if len(f.Names) == 0 {
+				n++
+				continue
+			}
+			for _, name := range f.Names {
+				st.resultObjs = append(st.resultObjs, c.pkg.Info.Defs[name])
+				n++
+			}
+		}
+		st.results = make([]taintMask, n)
+	}
+	return st
+}
+
+// set joins mask into obj's taint.
+func (st *funcState) set(obj types.Object, mask taintMask) {
+	if obj == nil || mask == 0 {
+		return
+	}
+	if old := st.vars[obj]; old|mask != old {
+		st.vars[obj] = old | mask
+		st.changed = true
+	}
+}
+
+// eval computes the taint of an expression.
+func (st *funcState) eval(e ast.Expr) taintMask {
+	m := st.evalInner(e)
+	if st.c.isSecretType(typeOf(st.c.pkg.Info, e)) {
+		m |= taintSource
+	}
+	return m
+}
+
+// isSecretType reports whether t (or its pointee) is an annotated or
+// built-in secret named type.
+func (c *taintChecker) isSecretType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if c.idx.typs[obj] {
+		return true
+	}
+	if obj.Pkg() != nil && c.rule != nil && c.rule.builtinTypes[obj.Pkg().Path()+"."+obj.Name()] {
+		return true
+	}
+	return false
+}
+
+func (st *funcState) evalInner(e ast.Expr) taintMask {
+	info := st.c.pkg.Info
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[v]
+		if obj == nil {
+			obj = info.Defs[v]
+		}
+		m := st.vars[obj]
+		if st.c.idx.objs[obj] {
+			m |= taintSource
+		}
+		return m
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok {
+			m := st.eval(v.X)
+			if st.c.idx.objs[sel.Obj()] {
+				m |= taintSource
+			}
+			return m | st.vars[sel.Obj()]
+		}
+		// Qualified identifier pkg.X.
+		obj := info.Uses[v.Sel]
+		var m taintMask
+		if st.c.idx.objs[obj] {
+			m |= taintSource
+		}
+		return m
+	case *ast.CallExpr:
+		return st.evalCall(v)
+	case *ast.CompositeLit:
+		var m taintMask
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= st.eval(kv.Value)
+				continue
+			}
+			m |= st.eval(el)
+		}
+		return m
+	case *ast.IndexExpr:
+		return st.eval(v.X)
+	case *ast.SliceExpr:
+		return st.eval(v.X)
+	case *ast.StarExpr:
+		return st.eval(v.X)
+	case *ast.ParenExpr:
+		return st.eval(v.X)
+	case *ast.UnaryExpr:
+		return st.eval(v.X)
+	case *ast.BinaryExpr:
+		return st.eval(v.X) | st.eval(v.Y)
+	case *ast.TypeAssertExpr:
+		return st.eval(v.X)
+	}
+	return 0
+}
+
+// evalCall computes the taint of a call result and applies call side
+// effects (copy into destination, receiver accumulation).
+func (st *funcState) evalCall(call *ast.CallExpr) taintMask {
+	info := st.c.pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversion: string(b), []byte(s), Named(x) keep taint.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return st.eval(call.Args[0])
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append", "min", "max":
+				var m taintMask
+				for _, a := range call.Args {
+					m |= st.eval(a)
+				}
+				return m
+			case "copy":
+				if len(call.Args) == 2 {
+					st.set(rootObj(info, call.Args[0]), st.eval(call.Args[1]))
+				}
+				return 0
+			default:
+				return 0
+			}
+		}
+	}
+
+	var argMasks []taintMask
+	for _, a := range call.Args {
+		argMasks = append(argMasks, st.eval(a))
+	}
+	argJoin := taintMask(0)
+	for _, m := range argMasks {
+		argJoin |= m
+	}
+	var recvMask taintMask
+	var recvExpr ast.Expr
+	if se, ok := fun.(*ast.SelectorExpr); ok {
+		if sel, isSel := info.Selections[se]; isSel && sel.Kind() == types.MethodVal {
+			recvExpr = se.X
+			recvMask = st.eval(se.X)
+		}
+	}
+	// Side effect: writing tainted data into a receiver (buffers, builders)
+	// taints the receiver's root.
+	if recvExpr != nil && argJoin != 0 {
+		st.set(rootObj(info, recvExpr), argJoin)
+	}
+
+	obj := calleeObj(info, call)
+	fn, _ := obj.(*types.Func)
+	if fn != nil {
+		// Sanitizers: Encrypt* results are the designated ciphertexts.
+		if strings.HasPrefix(fn.Name(), "Encrypt") || st.c.idx.sanitizers[fn] {
+			return 0
+		}
+		if st.c.idx.resultFns[fn] {
+			return taintSource
+		}
+		if pkg := fn.Pkg(); pkg != nil {
+			if propagatorPkgs[pkg.Path()] {
+				return argJoin | recvMask
+			}
+			if st.c.pkg.Pkg != nil && pkg == st.c.pkg.Pkg {
+				if sum := st.c.summaryFor(fn); sum != nil {
+					slots := st.paramSlots(fn, argMasks, recvExpr != nil, recvMask)
+					return applySummary(sum.joinedResults(), slots)
+				}
+			}
+		}
+	}
+	// Unknown call: taint survives through the receiver only.
+	return recvMask
+}
+
+// paramSlots aligns call-site argument masks with the callee's lattice
+// parameter slots (receiver first, variadic tail joined into one slot).
+func (st *funcState) paramSlots(fn *types.Func, argMasks []taintMask, hasRecv bool, recvMask taintMask) []taintMask {
+	var slots []taintMask
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if hasRecv {
+			slots = append(slots, recvMask)
+		} else {
+			slots = append(slots, 0) // method expression: receiver unknown
+		}
+		nParams := sig.Params().Len()
+		for i, m := range argMasks {
+			if i < nParams {
+				slots = append(slots, m)
+			} else if len(slots) > 0 {
+				slots[len(slots)-1] |= m
+			}
+		}
+		return slots
+	}
+	return argMasks
+}
+
+// applySummary translates a summary mask (over callee parameters) into the
+// caller's lattice given the argument masks.
+func applySummary(sum taintMask, slots []taintMask) taintMask {
+	out := sum & taintSource
+	for i, m := range slots {
+		if sum&paramBit(i) != 0 {
+			out |= m
+		}
+	}
+	return out
+}
+
+// rootObj returns the local object at the root of an lvalue-ish expression:
+// x -> x, x.f.g -> g's field object is NOT returned — the root is x's
+// innermost selector field when present, else the base identifier.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			// Prefer the field object for field sensitivity; fall back to
+			// the base for method values.
+			if sel, ok := info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj()
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// summaryFor returns fn's memoized summary, computing it on demand. Cycles
+// and body-less functions yield the empty summary.
+func (c *taintChecker) summaryFor(fn *types.Func) *fnSummary {
+	if s, ok := c.summaries[fn]; ok {
+		if s.computing {
+			return &fnSummary{}
+		}
+		return s
+	}
+	decl, ok := c.decls[fn]
+	if !ok {
+		s := &fnSummary{}
+		c.summaries[fn] = s
+		return s
+	}
+	s := &fnSummary{computing: true}
+	c.summaries[fn] = s
+	st := c.newFuncState(decl)
+	st.fixpoint(decl.Body)
+	st.reportPass(decl)
+	s.results = st.results
+	s.sink = st.sink & paramMask
+	s.computing = false
+	return s
+}
+
+// maxFixpointIters bounds the per-function fixpoint; the lattice height
+// (63 bits per variable) makes far fewer iterations sufficient in practice.
+const maxFixpointIters = 24
+
+// fixpoint iterates propagation over the body until the variable map is
+// stable.
+func (st *funcState) fixpoint(body *ast.BlockStmt) {
+	for i := 0; i < maxFixpointIters; i++ {
+		st.changed = false
+		ast.Inspect(body, st.transfer)
+		if !st.changed {
+			return
+		}
+	}
+}
+
+// transfer applies one node's taint-propagation effect.
+func (st *funcState) transfer(n ast.Node) bool {
+	info := st.c.pkg.Info
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		if len(v.Lhs) > 1 && len(v.Rhs) == 1 {
+			st.multiAssign(v)
+			return true
+		}
+		for i, lhs := range v.Lhs {
+			if i < len(v.Rhs) {
+				st.assign(lhs, st.eval(v.Rhs[i]))
+			}
+		}
+	case *ast.ValueSpec:
+		for i, name := range v.Names {
+			if i < len(v.Values) {
+				st.set(info.Defs[name], st.eval(v.Values[i]))
+			}
+		}
+	case *ast.RangeStmt:
+		m := st.eval(v.X)
+		if m != 0 {
+			if v.Key != nil {
+				st.assign(v.Key, m)
+			}
+			if v.Value != nil {
+				st.assign(v.Value, m)
+			}
+		}
+	case *ast.SendStmt:
+		st.set(rootObj(info, v.Chan), st.eval(v.Value))
+	case *ast.CallExpr:
+		// Evaluated for side effects (copy, receiver accumulation); calls
+		// reached through assignments are evaluated twice, which is
+		// harmless — joins are idempotent.
+		st.eval(v)
+	}
+	return true
+}
+
+// assign records taint flowing into an lvalue: identifiers get it directly,
+// selector targets get field-sensitive taint, everything else taints the
+// root object.
+func (st *funcState) assign(lhs ast.Expr, mask taintMask) {
+	if mask == 0 {
+		return
+	}
+	info := st.c.pkg.Info
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v.Name == "_" {
+			return
+		}
+		obj := info.Defs[v]
+		if obj == nil {
+			obj = info.Uses[v]
+		}
+		st.set(obj, mask)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			st.set(sel.Obj(), mask)
+			return
+		}
+		st.set(rootObj(info, v), mask)
+	default:
+		st.set(rootObj(info, lhs), mask)
+	}
+}
+
+// multiAssign handles x, y := f() / v, ok := m[k] forms.
+func (st *funcState) multiAssign(v *ast.AssignStmt) {
+	rhs := v.Rhs[0]
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if fn, okF := calleeObj(st.c.pkg.Info, call).(*types.Func); okF &&
+			fn.Pkg() != nil && st.c.pkg.Pkg != nil && fn.Pkg() == st.c.pkg.Pkg {
+			if sum := st.c.summaryFor(fn); sum != nil && len(sum.results) == len(v.Lhs) {
+				slots := st.callSlots(call)
+				for i, lhs := range v.Lhs {
+					st.assign(lhs, applySummary(sum.results[i], slots))
+				}
+				return
+			}
+		}
+	}
+	m := st.eval(rhs)
+	for _, lhs := range v.Lhs {
+		st.assign(lhs, m)
+	}
+}
+
+// callSlots computes the parameter-slot masks of a call for summary
+// application.
+func (st *funcState) callSlots(call *ast.CallExpr) []taintMask {
+	info := st.c.pkg.Info
+	var argMasks []taintMask
+	for _, a := range call.Args {
+		argMasks = append(argMasks, st.eval(a))
+	}
+	var recvMask taintMask
+	hasRecv := false
+	if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel, isSel := info.Selections[se]; isSel && sel.Kind() == types.MethodVal {
+			hasRecv = true
+			recvMask = st.eval(se.X)
+		}
+	}
+	fn, _ := calleeObj(info, call).(*types.Func)
+	if fn == nil {
+		return argMasks
+	}
+	return st.paramSlots(fn, argMasks, hasRecv, recvMask)
+}

@@ -1,0 +1,59 @@
+// Package hotpathalloc exercises the hotpath-alloc rule: functions
+// annotated //bb:hotpath must not contain per-call heap allocation
+// constructs.
+package hotpathalloc
+
+// badAppend is the per-token scan loop growing its result slice per call.
+//
+//bb:hotpath
+func badAppend(in []byte) []int {
+	var hits []int
+	for i, b := range in {
+		if b == 0 {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}
+
+// badMake allocates a fresh scratch buffer on every call.
+//
+//bb:hotpath
+func badMake(in []byte) int {
+	buf := make([]byte, 64)
+	return len(buf) + len(in)
+}
+
+// badLiterals builds a slice literal and a map literal per call.
+//
+//bb:hotpath
+func badLiterals(b byte) int {
+	lut := []int{1, 2, 4}
+	seen := map[byte]bool{b: true}
+	return lut[0] + len(seen)
+}
+
+// badClosure allocates a closure per call.
+//
+//bb:hotpath
+func badClosure(n int) int {
+	f := func(x int) int { return x + 1 }
+	return f(n)
+}
+
+// badConvert copies the token bytes into a fresh string per call.
+//
+//bb:hotpath
+func badConvert(tok []byte) string {
+	return string(tok)
+}
+
+// badBox boxes an int into an interface argument per call.
+//
+//bb:hotpath
+func badBox(n int) {
+	record(n)
+}
+
+// record is a cold-path helper taking an interface.
+func record(v any) { _ = v }

@@ -1,0 +1,39 @@
+// Clean counterparts: pooled/preallocated buffers, pointer-shaped interface
+// arguments, and unannotated cold paths are all fine.
+package hotpathalloc
+
+// goodPooled is the pooled-buffer variant of badAppend: the caller owns a
+// preallocated hit buffer reused across calls, so the scan writes by index
+// and never allocates.
+//
+//bb:hotpath
+func goodPooled(in []byte, dst []int) int {
+	n := 0
+	for i, b := range in {
+		if b == 0 && n < len(dst) {
+			dst[n] = i
+			n++
+		}
+	}
+	return n
+}
+
+// goodPointer passes a pointer through an interface parameter:
+// pointer-shaped values do not box.
+//
+//bb:hotpath
+func goodPointer(ev *event) {
+	record(ev)
+}
+
+// event is a sample payload for goodPointer.
+type event struct{ n int }
+
+// coldAppend allocates freely: it is not annotated, so the rule ignores it.
+func coldAppend(in []byte) []string {
+	out := make([]string, 0, len(in))
+	for range in {
+		out = append(out, "hit")
+	}
+	return out
+}

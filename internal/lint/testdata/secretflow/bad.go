@@ -1,0 +1,75 @@
+// Package secretflow exercises the secret-flow taint rule: every finding in
+// this file is a declared secret reaching a log, error, or transport sink,
+// including flows that pass through appends, Sprintf/Errorf chains, and
+// same-package helpers.
+package secretflow
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+
+	"repro/internal/bbcrypto"
+)
+
+// Session holds the per-connection detection state.
+type Session struct {
+	// Key is the DPIEnc session key.
+	Key []byte //bb:secret
+	// Peer is the public remote address.
+	Peer string
+}
+
+// badDirectLog logs an annotated secret field directly.
+func badDirectLog(s *Session) {
+	slog.Info("session up", "key", s.Key)
+}
+
+// badSprintfChain pushes the key through fmt.Errorf and two assignments
+// before it reaches slog: the taint follows the wrapping.
+func badSprintfChain(s *Session) {
+	err := fmt.Errorf("bad key %x", s.Key)
+	wrapped := fmt.Errorf("handshake setup: %w", err)
+	slog.Error("handshake failed", "err", wrapped)
+}
+
+// badSprintf formats the key into a string and logs it.
+func badSprintf(s *Session) {
+	line := fmt.Sprintf("key=%x", s.Key)
+	slog.Warn("debug", "line", line)
+}
+
+// badAppend smuggles the key into a log line through append.
+func badAppend(s *Session) {
+	buf := append([]byte("key="), s.Key...)
+	log.Printf("debug: %s", buf)
+}
+
+// badConnWrite writes raw key material to the network instead of the
+// DPIEnc ciphertext path.
+func badConnWrite(s *Session, c net.Conn) {
+	_, _ = c.Write(s.Key)
+}
+
+// badErrorEscape returns an error carrying the key; errors end up in logs.
+func badErrorEscape(s *Session) error {
+	return fmt.Errorf("rejected key %x", s.Key)
+}
+
+// badHelper leaks through a same-package helper: logBytes's summary says
+// its parameter reaches a log sink, so passing the key is reported here.
+func badHelper(s *Session) {
+	logBytes(s.Key)
+}
+
+// logBytes logs whatever it is handed; harmless until a secret arrives.
+func logBytes(b []byte) {
+	slog.Debug("bytes", "b", b)
+}
+
+// badBuiltinType leaks a field of the built-in secret type: every
+// bbcrypto.SessionKeys value is secret without any annotation.
+func badBuiltinType(keys bbcrypto.SessionKeys) {
+	slog.Info("derived", "k", keys.K)
+}

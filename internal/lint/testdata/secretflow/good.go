@@ -1,0 +1,54 @@
+// Clean counterparts: public values may be logged, and Encrypt* (or
+// //bb:sanitizer) results are the designated ciphertexts — taint stops there.
+package secretflow
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+)
+
+// goodPublicLog logs only public session fields.
+func goodPublicLog(s *Session) {
+	slog.Info("session up", "peer", s.Peer)
+}
+
+// goodSanitized sends and logs ciphertext: EncryptToken's name marks it a
+// sanitizer, so its result is untainted even though the key went in.
+func goodSanitized(s *Session, c net.Conn) {
+	ct := EncryptToken(s.Key)
+	_, _ = c.Write(ct)
+	slog.Debug("sent", "ct_len", len(ct))
+}
+
+// goodAnnotatedSanitizer uses an explicitly annotated sanitizer instead of
+// the Encrypt* name rule.
+func goodAnnotatedSanitizer(s *Session) {
+	slog.Info("key loaded", "fingerprint", fingerprint(s.Key))
+}
+
+// goodErrNoSecret returns an error built from public data only.
+func goodErrNoSecret(s *Session) error {
+	return fmt.Errorf("session with %s failed", s.Peer)
+}
+
+// EncryptToken stands in for the DPIEnc encryption path; the Encrypt name
+// prefix marks its result as sanctioned ciphertext.
+func EncryptToken(key []byte) []byte {
+	out := make([]byte, len(key))
+	for i, b := range key {
+		out[i] = b ^ 0x5a
+	}
+	return out
+}
+
+// fingerprint folds key material down to a loggable byte.
+//
+//bb:sanitizer
+func fingerprint(key []byte) byte {
+	var f byte
+	for _, b := range key {
+		f ^= b
+	}
+	return f
+}

@@ -31,7 +31,8 @@ const pointSize = 65
 // BaseSender is the sender side of one base OT: it holds two messages and
 // lets the receiver learn exactly one.
 type BaseSender struct {
-	a      []byte // scalar
+	//bb:secret
+	a      []byte // secret scalar
 	ax, ay *big.Int
 }
 

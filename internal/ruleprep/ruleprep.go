@@ -61,6 +61,7 @@ type FragmentJob struct {
 	// kRG bits), in wire order, handed to the middlebox directly.
 	EndpointLabels []bbcrypto.Block
 	// otPairs are the label pairs of the OT-transferred wires (x, tag).
+	//bb:secret
 	otPairs [][2]bbcrypto.Block
 }
 
@@ -77,9 +78,12 @@ func NewFragmentJob(index int, g *garble.Garbled, endpointLabels []bbcrypto.Bloc
 
 // Endpoint is one endpoint's (S or R) state for a rule-preparation run.
 type Endpoint struct {
-	circ  *circuit.Circuit
-	k     bbcrypto.Block
-	kRG   bbcrypto.Block
+	circ *circuit.Circuit
+	//bb:secret
+	k bbcrypto.Block
+	//bb:secret
+	kRG bbcrypto.Block
+	//bb:secret
 	krand bbcrypto.Block
 
 	trace  obs.Sink

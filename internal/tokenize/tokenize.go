@@ -53,6 +53,7 @@ const maxShortBoundaries = 3
 type Token struct {
 	// Text is the token contents, always TokenSize bytes; padded short
 	// words use Pad bytes on the right.
+	//bb:secret
 	Text [TokenSize]byte
 	// Offset is the byte offset in the logical stream where Text begins.
 	Offset int

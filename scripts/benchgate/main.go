@@ -26,6 +26,15 @@ import (
 	"repro/internal/experiments"
 )
 
+// allocCeiling is the host-independent allocs/token ceiling for the
+// steady-state hot paths: effectively zero, with headroom for O(1)
+// bookkeeping per multi-million-token pass.
+const allocCeiling = 0.01
+
+// allocSlack is the absolute slack added to the cross-run allocation
+// comparison (a zero baseline would otherwise forbid any allocation ever).
+const allocSlack = 0.005
+
 func main() {
 	current := flag.String("current", "BENCH_pipeline.json", "freshly generated pipeline result")
 	baseline := flag.String("baseline", "scripts/bench_baseline.json", "checked-in baseline result")
@@ -56,6 +65,14 @@ func main() {
 			fmt.Printf("ok   %-44s %.3g >= %.3g\n", name, got, min)
 		}
 	}
+	checkMax := func(name string, got, max float64) {
+		if got > max {
+			failed = true
+			fmt.Printf("FAIL %-44s %.3g > %.3g\n", name, got, max)
+		} else {
+			fmt.Printf("ok   %-44s %.3g <= %.3g\n", name, got, max)
+		}
+	}
 
 	// Same-run invariants. The allowance is looser than the cross-run
 	// tolerance: these compare two timings taken seconds apart, so pure
@@ -75,6 +92,15 @@ func main() {
 	if cur.DetectTraceSpeedup > 0 {
 		check("detect traced/batch speedup", cur.DetectTraceSpeedup, 1-sameRun)
 	}
+	// Allocation ceilings, valid on any host: the steady-state batch
+	// encrypt and batched detect hot paths are written to allocate nothing
+	// per token (//bb:hotpath enforces the constructs statically; this
+	// catches what escapes the lint, e.g. map growth). The ceiling leaves
+	// room for O(1)-per-pass bookkeeping amortized over millions of tokens.
+	if cur.AllocsMeasured {
+		checkMax("encrypt steady-state allocs/token", cur.EncryptAllocsPerToken, allocCeiling)
+		checkMax("detect steady-state allocs/token", cur.DetectAllocsPerToken, allocCeiling)
+	}
 
 	base, err := experiments.ReadPipelineJSON(*baseline)
 	switch {
@@ -93,6 +119,11 @@ func main() {
 		check("detect parallel tokens/sec vs baseline", cur.DetectParTokensPerSec, floor*base.DetectParTokensPerSec)
 		check("encrypt sequential tokens/sec vs baseline", cur.EncryptSeqTokensPerSec, floor*base.EncryptSeqTokensPerSec)
 		check("encrypt parallel tokens/sec vs baseline", cur.EncryptParTokensPerSec, floor*base.EncryptParTokensPerSec)
+		// Allocation regression: only when both sides carry the audit.
+		if base.AllocsMeasured && cur.AllocsMeasured {
+			checkMax("encrypt allocs/token vs baseline", cur.EncryptAllocsPerToken, base.EncryptAllocsPerToken*(1+tol)+allocSlack)
+			checkMax("detect allocs/token vs baseline", cur.DetectAllocsPerToken, base.DetectAllocsPerToken*(1+tol)+allocSlack)
+		}
 	}
 
 	if failed {

@@ -19,8 +19,15 @@ go vet ./...
 step "go build"
 go build ./...
 
+# bblint writes its machine-readable report unconditionally (CI uploads it
+# as an artifact); on findings the JSON run exits 1, the guard prints the
+# human-readable diagnostics plus the per-rule summary, and the gate fails.
 step "bblint (static analysis)"
-go run ./cmd/bblint ./...
+if ! go run ./cmd/bblint -json ./... > bblint-report.json; then
+    echo "bblint findings (report: bblint-report.json):"
+    go run ./cmd/bblint ./... || true
+    exit 1
+fi
 
 step "go test"
 go test ./...
