@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, setupbreakdown, ablation, faults")
+	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, setupbreakdown, ablation, faults, scenarios")
 	fast := flag.Bool("fast", false, "reduce sample sizes for a quicker run")
 	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_pipeline.json", "path for the pipeline experiment's machine-readable result (empty disables)")
@@ -37,6 +37,7 @@ func main() {
 	policy := flag.String("policy", "fail-closed", "degradation policy for the faults experiment: fail-closed or fail-open")
 	faultsOut := flag.String("faults-out", "BENCH_faults.json", "path for the faults experiment's machine-readable result (empty disables)")
 	setupOut := flag.String("setup-out", "BENCH_setup_breakdown.json", "path for the setupbreakdown experiment's machine-readable result (empty disables)")
+	scenariosOut := flag.String("scenarios-out", "BENCH_scenarios.json", "path for the scenarios experiment's machine-readable result (empty disables)")
 	traceDir := flag.String("trace-dir", "", "setupbreakdown: also write the parties' raw span files (client/mb/server.jsonl) to this directory")
 	flag.Parse()
 
@@ -54,10 +55,11 @@ func main() {
 		"setupbreakdown": func(fast bool) error {
 			return runSetupBreakdown(fast, *setupOut, *traceDir)
 		},
-		"ablation": runAblation,
-		"faults":   func(fast bool) error { return runFaults(fast, *policy, *faultsOut) },
+		"ablation":  runAblation,
+		"faults":    func(fast bool) error { return runFaults(fast, *policy, *faultsOut) },
+		"scenarios": func(bool) error { return runScenarios(*scenariosOut) },
 	}
-	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "setupbreakdown", "ablation", "faults"}
+	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "setupbreakdown", "ablation", "faults", "scenarios"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -259,6 +261,21 @@ func runFaults(fast bool, policy, out string) error {
 	experiments.PrintFaults(os.Stdout, res)
 	if out != "" {
 		if err := experiments.WriteFaultsJSON(out, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func runScenarios(out string) error {
+	res, err := experiments.Scenarios(experiments.DefaultScenariosOptions())
+	if err != nil {
+		return err
+	}
+	experiments.PrintScenarios(os.Stdout, res)
+	if out != "" {
+		if err := experiments.WriteScenariosJSON(out, res); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)

@@ -1,0 +1,349 @@
+// Adversarial end-to-end suite: every evasion transform's cases flow as
+// real client -> middlebox -> server sessions over loopback on Protocols
+// I-III, with the case's write boundaries preserved as separate
+// conn.Write calls. Cases ride in one session per expected outcome:
+//
+//   - the must-detect session must raise a rule alert for every targeted
+//     SID;
+//   - the documented-miss session must stay alert-free AND every miss
+//     class it exercises must be enumerated in DESIGN.md §10 (an
+//     undocumented miss fails the suite);
+//   - the must-not-false-alert session must stay alert-free.
+//
+// Packet-level transforms (reassembly ambiguities) contribute their
+// middlebox-reassembled views, so all twelve named transforms cross the
+// wire.
+package blindbox
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/evasion"
+	"repro/internal/tokenize"
+)
+
+// evasionE2ECase maps one protocol to its tokenization mode and ruleset.
+// Protocol I supports single-keyword rules only, so the multi-keyword rule
+// (sid 105) and the cases targeting it are filtered out there.
+type evasionE2ECase struct {
+	name      string
+	cfg       Config
+	mode      tokenize.Mode
+	dropSIDs  map[int]bool
+	secondary bool
+}
+
+func evasionE2ECases() []evasionE2ECase {
+	return []evasionE2ECase{
+		{name: "protocolI-delimiter", cfg: Config{Protocol: ProtocolI, Mode: DelimiterTokens},
+			mode: tokenize.Delimiter, dropSIDs: map[int]bool{evasion.SIDMulti: true}},
+		{name: "protocolII-delimiter", cfg: Config{Protocol: ProtocolII, Mode: DelimiterTokens},
+			mode: tokenize.Delimiter},
+		{name: "protocolIII-window", cfg: Config{Protocol: ProtocolIII, Mode: WindowTokens},
+			mode: tokenize.Window, secondary: true},
+	}
+}
+
+// evasionRuleText returns the evasion pack ruleset minus the dropped SIDs.
+func evasionRuleText(drop map[int]bool) string {
+	var keep []string
+	for _, line := range strings.Split(evasion.RuleText, "\n") {
+		dropped := false
+		for sid := range drop {
+			if strings.Contains(line, fmt.Sprintf("sid:%d;", sid)) {
+				dropped = true
+			}
+		}
+		if !dropped {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+// outcomeGroup is one session's write plan: the concatenation of every
+// case with a given expected outcome, each case's write boundaries kept,
+// cases separated by a delimiter write so no cross-case token forms.
+type outcomeGroup struct {
+	outcome evasion.Outcome
+	writes  [][]byte
+	// wantSIDs lists, for must-detect, each case's targeted SID (with
+	// repetition per case; all must alert).
+	wantSIDs []int
+	// missClasses lists, for documented-miss, each case's declared class.
+	missClasses []string
+}
+
+// addCase appends one case's chunked writes to the group.
+func (g *outcomeGroup) addCase(payload []byte, chunks []int) {
+	prev := 0
+	for _, cut := range chunks {
+		g.writes = append(g.writes, payload[prev:cut])
+		prev = cut
+	}
+	g.writes = append(g.writes, payload[prev:], []byte(" "))
+}
+
+// buildGroups assembles the per-outcome write plans for a protocol: all
+// stream cases for the mode plus the packet transforms' reassembled
+// middlebox views (with their expectations adjusted to that view: the
+// out-of-order view has lost the keyword, so its session must stay
+// alert-free, which is exactly the documented-miss contract).
+func buildGroups(t *testing.T, tc evasionE2ECase) map[evasion.Outcome]*outcomeGroup {
+	t.Helper()
+	groups := map[evasion.Outcome]*outcomeGroup{
+		evasion.MustDetect:        {outcome: evasion.MustDetect},
+		evasion.DocumentedMiss:    {outcome: evasion.DocumentedMiss},
+		evasion.MustNotFalseAlert: {outcome: evasion.MustNotFalseAlert},
+	}
+	for _, c := range evasion.StreamCases(tc.mode) {
+		if tc.dropSIDs[c.SID] {
+			continue
+		}
+		g := groups[c.Expect]
+		g.addCase(c.Payload, c.Chunks)
+		switch c.Expect {
+		case evasion.MustDetect:
+			g.wantSIDs = append(g.wantSIDs, c.SID)
+		case evasion.DocumentedMiss:
+			g.missClasses = append(g.missClasses, c.MissClass)
+		}
+	}
+	for _, pc := range evasion.PacketCases(4242) {
+		view, err := evasion.ReplayThroughCapture(pc.Segments)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.Label, err)
+		}
+		g := groups[pc.Expect]
+		g.addCase(view, nil)
+		switch pc.Expect {
+		case evasion.MustDetect:
+			g.wantSIDs = append(g.wantSIDs, pc.SID)
+		case evasion.DocumentedMiss:
+			g.missClasses = append(g.missClasses, pc.MissClass)
+		}
+	}
+	return groups
+}
+
+// sessionAlerts summarizes one session's alerts.
+type sessionAlerts struct {
+	ruleSIDs      map[int]bool
+	secondarySIDs map[int]bool
+	keywordHits   int
+	recovered     bool
+}
+
+// runEvasionSessions drives one session per outcome group through a live
+// middlebox and returns each group's alert summary.
+func runEvasionSessions(t *testing.T, tc evasionE2ECase, groups []*outcomeGroup) []sessionAlerts {
+	t.Helper()
+	g, err := NewRuleGenerator("EvasionRG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ParseRules("evasion-e2e", evasionRuleText(tc.dropSIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu     sync.Mutex
+		alerts []Alert
+	)
+	mb, err := NewMiddlebox(MiddleboxConfig{
+		Ruleset:     g.Sign(rs),
+		RGPublicKey: g.PublicKey(),
+		Secondary:   tc.secondary,
+		OnAlert: func(a Alert) {
+			mu.Lock()
+			alerts = append(alerts, a)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLn.Close()
+	mbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mbLn.Close()
+	epCfg := ConnConfig{Core: DefaultConfig(), RG: RGMaterial{TagKey: g.TagKey()}}
+	go func() {
+		for {
+			raw, err := serverLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn, err := Server(raw, epCfg)
+				if err != nil {
+					raw.Close()
+					return
+				}
+				if _, err := io.Copy(io.Discard, conn); err == nil {
+					conn.Write([]byte("ok"))
+					conn.CloseWrite()
+				}
+				conn.Close()
+			}()
+		}
+	}()
+	go mb.Serve(mbLn, serverLn.Addr().String())
+
+	for gi, grp := range groups {
+		conn, err := Dial(mbLn.Addr().String(), ConnConfig{Core: tc.cfg, RG: RGMaterial{TagKey: g.TagKey()}})
+		if err != nil {
+			t.Fatalf("group %d dial: %v", gi, err)
+		}
+		var total int
+		for _, w := range grp.writes {
+			if len(w) == 0 {
+				continue
+			}
+			if _, err := conn.Write(w); err != nil {
+				t.Fatalf("group %d write: %v", gi, err)
+			}
+			total += len(w)
+		}
+		if err := conn.CloseWrite(); err != nil {
+			t.Fatalf("group %d: %v", gi, err)
+		}
+		if _, err := io.Copy(io.Discard, conn); err != nil {
+			t.Fatalf("group %d read: %v", gi, err)
+		}
+		conn.Close()
+		if total == 0 {
+			t.Fatalf("group %d sent no bytes", gi)
+		}
+	}
+	if err := mb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// The must-detect group always runs as session 0 and must be the ONLY
+	// connection that produces any event at all: the miss and benign
+	// sessions complete no keyword, so even a KeywordMatch from a second
+	// connection is an evasion-suite failure. That makes the mapping
+	// unambiguous without relying on ConnID assignment details.
+	byConn := map[uint64]*sessionAlerts{}
+	for _, a := range alerts {
+		sa := byConn[a.ConnID]
+		if sa == nil {
+			sa = &sessionAlerts{ruleSIDs: map[int]bool{}, secondarySIDs: map[int]bool{}}
+			byConn[a.ConnID] = sa
+		}
+		if a.Secondary {
+			for _, sid := range a.SecondarySIDs {
+				sa.secondarySIDs[sid] = true
+			}
+			sa.recovered = true
+			continue
+		}
+		if a.Event.HasSSLKey {
+			sa.recovered = true
+		}
+		switch a.Event.Kind {
+		case RuleMatch:
+			if a.Event.Rule != nil {
+				sa.ruleSIDs[a.Event.Rule.SID] = true
+			}
+		case KeywordMatch:
+			sa.keywordHits++
+		}
+	}
+	out := make([]sessionAlerts, len(groups))
+	for i := range out {
+		out[i] = sessionAlerts{ruleSIDs: map[int]bool{}, secondarySIDs: map[int]bool{}}
+	}
+	if len(byConn) > 1 {
+		for id, sa := range byConn {
+			t.Errorf("connection %d alerted: rules %v, %d keyword hits, secondary %v",
+				id, keys(sa.ruleSIDs), sa.keywordHits, keys(sa.secondarySIDs))
+		}
+		t.Fatalf("%d connections alerted; only the must-detect session may", len(byConn))
+	}
+	for _, sa := range byConn {
+		out[0] = *sa
+	}
+	return out
+}
+
+// TestEvasionE2E drives the adversary suite over live loopback sessions on
+// all three protocols.
+func TestEvasionE2E(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	if !bytes.Contains(design, []byte("Adversarial model")) {
+		t.Fatal("DESIGN.md lacks the §10 adversarial-model section")
+	}
+
+	for _, tc := range evasionE2ECases() {
+		t.Run(tc.name, func(t *testing.T) {
+			gm := buildGroups(t, tc)
+			// Fixed order: the alerting session first, then the two
+			// alert-free sessions (see runEvasionSessions rank mapping).
+			groups := []*outcomeGroup{
+				gm[evasion.MustDetect],
+				gm[evasion.DocumentedMiss],
+				gm[evasion.MustNotFalseAlert],
+			}
+			results := runEvasionSessions(t, tc, groups)
+
+			det := results[0]
+			for _, sid := range groups[0].wantSIDs {
+				if !det.ruleSIDs[sid] {
+					t.Errorf("must-detect session missed sid %d (alerted: %v)", sid, keys(det.ruleSIDs))
+				}
+			}
+			if tc.secondary && !det.recovered {
+				t.Error("Protocol III must-detect session ran without probable-cause recovery")
+			}
+
+			miss := results[1]
+			if len(miss.ruleSIDs) != 0 || len(miss.secondarySIDs) != 0 {
+				t.Errorf("documented-miss session alerted: rules %v secondary %v",
+					keys(miss.ruleSIDs), keys(miss.secondarySIDs))
+			}
+			if len(groups[1].missClasses) == 0 {
+				t.Error("documented-miss session carried no cases — the miss contract is vacuous")
+			}
+			for _, mc := range groups[1].missClasses {
+				if !bytes.Contains(design, []byte(mc)) {
+					t.Errorf("miss class %q exercised on the wire but not enumerated in DESIGN.md", mc)
+				}
+			}
+
+			benign := results[2]
+			if len(benign.ruleSIDs) != 0 || len(benign.secondarySIDs) != 0 {
+				t.Errorf("must-not-false-alert session alerted: rules %v secondary %v",
+					keys(benign.ruleSIDs), keys(benign.secondarySIDs))
+			}
+		})
+	}
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func TestWithHitPinsPlacementExactly(t *testing.T) {
+	hit := []byte(" attack01 ")
+	p := SynthesizeTextSeeded(7, 4096, WithHit(2048, hit))
+	if len(p) != 4096 {
+		t.Fatalf("pinned hit changed payload length: %d", len(p))
+	}
+	if !bytes.Equal(p[2048:2048+len(hit)], hit) {
+		t.Fatalf("hit not at pinned offset: %q", p[2040:2070])
+	}
+	// Without the option the payload is the plain synthesis — the option
+	// must be a pure overlay, not a reseed.
+	plain := SynthesizeTextSeeded(7, 4096)
+	if !bytes.Equal(p[:2048], plain[:2048]) || !bytes.Equal(p[2048+len(hit):], plain[2048+len(hit):]) {
+		t.Fatal("WithHit disturbed bytes outside the pinned placement")
+	}
+}
+
+func TestWithHitMultiplePlacementsStayExact(t *testing.T) {
+	a, b := []byte("<first/>"), []byte("<second/>")
+	p := SynthesizeTextSeeded(9, 1024, WithHit(100, a), WithHit(500, b))
+	if !bytes.Equal(p[100:108], a) || !bytes.Equal(p[500:509], b) {
+		t.Fatal("multiple pinned placements drifted")
+	}
+}
+
+func TestWithHitOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pinned placement did not panic")
+		}
+	}()
+	SynthesizeTextSeeded(1, 64, WithHit(60, []byte("toolarge")))
+}
+
+func TestBitTorrentFlowsMatchPinnedGroundTruth(t *testing.T) {
+	rs, err := BitTorrentRules()
+	if err != nil {
+		t.Fatalf("BitTorrentRules: %v", err)
+	}
+	ids := baseline.New(rs)
+	for _, f := range BitTorrentFlows(1) {
+		got := map[int]bool{}
+		for _, sid := range ids.Inspect(f.Payload).RuleSIDs {
+			got[sid] = true
+		}
+		for _, sid := range f.MustSIDs {
+			if !got[sid] {
+				t.Errorf("%s: ground-truth sid %d not matched by baseline", f.Name, sid)
+			}
+		}
+		if len(got) != len(f.MustSIDs) {
+			t.Errorf("%s: baseline matched %v, ground truth pins %v", f.Name, got, f.MustSIDs)
+		}
+	}
+}
+
+func TestBitTorrentFlowsDeterministic(t *testing.T) {
+	a, b := BitTorrentFlows(5), BitTorrentFlows(5)
+	if len(a) != len(b) {
+		t.Fatalf("flow count varies")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			t.Errorf("flow %s not deterministic", a[i].Name)
+		}
+	}
+	c := BitTorrentFlows(6)
+	if bytes.Equal(a[0].Payload, c[0].Payload) {
+		t.Error("distinct seeds produced identical handshake flows")
+	}
+}

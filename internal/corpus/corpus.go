@@ -38,11 +38,37 @@ video image media player stream render layout margin padding border
 
 var attrs = []string{"id", "class", "href", "src", "style", "data-v", "lang", "rel"}
 
+// TextOption post-processes a synthesized payload in place. Options let
+// callers pin content at exact offsets instead of deriving placement from
+// rng draws, which keeps ground-truth bookkeeping exact (the evasion
+// corpora depend on knowing precisely where a rule hit sits).
+type TextOption func(payload []byte)
+
+// WithHit pins a rule-hit placement: the payload bytes [at, at+len(data))
+// are overwritten with data. Overwriting (rather than splicing) preserves
+// the payload length, so every pinned offset — including other WithHit
+// placements — stays exact. Placements must lie fully inside the payload.
+func WithHit(at int, data []byte) TextOption {
+	return func(payload []byte) {
+		if at < 0 || at+len(data) > len(payload) {
+			//lint:ignore todo-panic an out-of-range pinned placement is a caller programming error in corpus construction, never reachable from wire data
+			panic(fmt.Sprintf("corpus: pinned hit [%d:%d) outside payload of %d bytes",
+				at, at+len(data), len(payload)))
+		}
+		copy(payload[at:], data)
+	}
+}
+
 // SynthesizeTextSeeded is SynthesizeText with a self-contained
 // deterministic source, so callers outside the workload packages do not
-// need to import math/rand themselves.
-func SynthesizeTextSeeded(seed int64, n int) []byte {
-	return SynthesizeText(rand.New(rand.NewSource(seed)), n)
+// need to import math/rand themselves. Options run after synthesis, in
+// order; see WithHit for pinning rule-hit placements exactly.
+func SynthesizeTextSeeded(seed int64, n int, opts ...TextOption) []byte {
+	payload := SynthesizeText(rand.New(rand.NewSource(seed)), n)
+	for _, opt := range opts {
+		opt(payload)
+	}
+	return payload
 }
 
 // SynthesizeText produces n bytes of HTML/JS-like text with web-typical

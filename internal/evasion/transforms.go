@@ -1,0 +1,382 @@
+// The named stream-level evasion transforms. Each transform derives
+// deterministic adversarial cases from the pack ruleset: a ground-truth
+// corpus payload (seeded benign text) with keyword material pinned at
+// exact offsets via corpus.WithHit, mutated and chunked per the evasion
+// class, and tagged with the expected outcome for the tokenization mode.
+
+package evasion
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/rules"
+	"repro/internal/tokenize"
+)
+
+// RuleText is the evasion pack's ruleset: one rule per keyword shape the
+// tokenizer treats differently (long undelimited, exact-window, short,
+// internally-delimited, multi-keyword).
+const RuleText = `alert tcp any any -> any any (msg:"EV long keyword"; content:"evilpayload9"; sid:101;)
+alert tcp any any -> any any (msg:"EV exact-window keyword"; content:"attack01"; sid:102;)
+alert tcp any any -> any any (msg:"EV short keyword"; content:"badkw"; sid:103;)
+alert tcp any any -> any any (msg:"EV query keyword"; content:"?cmd=evil"; sid:104;)
+alert tcp any any -> any any (msg:"EV multi keyword"; content:"evilhdrX"; content:"attack01"; sid:105;)`
+
+// Evasion pack rule SIDs.
+const (
+	// SIDLong is a 12-byte keyword with no internal delimiters.
+	SIDLong = 101
+	// SIDExact is an exactly-TokenSize keyword.
+	SIDExact = 102
+	// SIDShort is a sub-TokenSize keyword (padded-token class).
+	SIDShort = 103
+	// SIDQuery is a keyword anchored on an internal keyword delimiter.
+	SIDQuery = 104
+	// SIDMulti is a two-keyword Protocol II rule.
+	SIDMulti = 105
+)
+
+// Rules parses the evasion pack ruleset.
+func Rules() (*rules.Ruleset, error) { return rules.Parse("evasion", RuleText) }
+
+// packRule pins one rule's keyword material for case construction.
+type packRule struct {
+	sid int
+	kws []string
+}
+
+var packRules = []packRule{
+	{SIDLong, []string{"evilpayload9"}},
+	{SIDExact, []string{"attack01"}},
+	{SIDShort, []string{"badkw"}},
+	{SIDQuery, []string{"?cmd=evil"}},
+	{SIDMulti, []string{"evilhdrX", "attack01"}},
+}
+
+// payloadBytes is the benign-carrier size of every stream case.
+const payloadBytes = 4 << 10
+
+// hitOffsets places the i-th keyword of a rule; spacing leaves room for
+// benign bytes between multi-keyword hits (Protocol II distance
+// semantics are not under test here).
+func hitOffset(i int) int { return 1024 + i*1024 }
+
+// baseSeed separates evasion payload seeds from the other corpora.
+const baseSeed = 7700
+
+// caseSeed derives a distinct benign carrier per (transform, sid).
+func caseSeed(transform int, sid int) int64 {
+	return baseSeed + int64(transform)*1000 + int64(sid)
+}
+
+// shortUnderWindow reports whether the rule carries a sub-window keyword,
+// which window tokenization cannot express at all.
+func shortUnderWindow(pr packRule, mode tokenize.Mode) bool {
+	if mode != tokenize.Window {
+		return false
+	}
+	for _, kw := range pr.kws {
+		if len(kw) < tokenize.TokenSize {
+			return true
+		}
+	}
+	return false
+}
+
+// carrier builds the benign payload with each rule keyword (possibly
+// mutated by mutate) planted via the glue function at its pinned offset.
+func carrier(seed int64, pr packRule, glue func(string) string, mutate func(string) string) []byte {
+	opts := make([]corpus.TextOption, 0, len(pr.kws))
+	for i, kw := range pr.kws {
+		if mutate != nil {
+			kw = mutate(kw)
+		}
+		opts = append(opts, corpus.WithHit(hitOffset(i), []byte(glue(kw))))
+	}
+	return corpus.SynthesizeTextSeeded(seed, payloadBytes, opts...)
+}
+
+// alignedGlue plants a keyword delimiter-bounded.
+func alignedGlue(kw string) string { return " " + kw + " " }
+
+// midwordGlue embeds a keyword mid-word: alphanumerics on both sides, so
+// no delimiter boundary anchors it.
+func midwordGlue(kw string) string { return "zq" + kw + "qz" }
+
+// flipCase swaps the case of every ASCII letter.
+func flipCase(kw string) string {
+	out := []byte(kw)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z':
+			out[i] = c - 'a' + 'A'
+		case c >= 'A' && c <= 'Z':
+			out[i] = c - 'A' + 'a'
+		}
+	}
+	return string(out)
+}
+
+// stuffDelimiter inserts a delimiter inside the keyword's leading
+// fragment, breaking every fragment the rule compiles to.
+func stuffDelimiter(kw string) string { return kw[:4] + "." + kw[4:] }
+
+// nearMiss substitutes one byte inside the keyword's leading fragment.
+func nearMiss(kw string) string {
+	out := []byte(kw)
+	if out[2] == 'X' {
+		out[2] = 'Y'
+	} else {
+		out[2] = 'X'
+	}
+	return string(out)
+}
+
+// kwCuts returns write-boundary offsets inside each planted keyword:
+// directly after the first keyword byte, mid-keyword, and directly before
+// the last byte — the splits a keyword-aware attacker aims at token and
+// window boundaries.
+func kwCuts(pr packRule) []int {
+	var cuts []int
+	for i, kw := range pr.kws {
+		start := hitOffset(i) + 1 // glue is " kw ", keyword starts one past
+		cuts = append(cuts, start+1, start+len(kw)/2, start+len(kw)-1)
+	}
+	return cuts
+}
+
+// tinyCuts fragments the regions around every planted keyword into 1–3
+// byte writes (cycling), with single cuts at the region edges; the rest of
+// the payload flows in large writes.
+func tinyCuts(pr packRule) []int {
+	var cuts []int
+	for i, kw := range pr.kws {
+		lo := hitOffset(i) - 8
+		hi := hitOffset(i) + len(kw) + 10
+		cuts = append(cuts, lo)
+		at, step := lo, 1
+		for at < hi {
+			at += step
+			cuts = append(cuts, at)
+			step = step%3 + 1
+		}
+	}
+	return cuts
+}
+
+// detectOutcome is the default expectation for a delimiter-bounded planted
+// keyword: detected everywhere except the short-keyword window gap.
+func detectOutcome(pr packRule, mode tokenize.Mode) (Outcome, string) {
+	if shortUnderWindow(pr, mode) {
+		return DocumentedMiss, MissShortKeywordWindow
+	}
+	return MustDetect, ""
+}
+
+// Transforms returns the named stream-level evasion transforms, in
+// deterministic order.
+func Transforms() []Transform {
+	return []Transform{
+		{
+			Name: "aligned",
+			Desc: "keyword planted delimiter-bounded in one write (ground-truth control)",
+			Cases: func(mode tokenize.Mode) []Case {
+				var out []Case
+				for _, pr := range packRules {
+					exp, miss := detectOutcome(pr, mode)
+					out = append(out, Case{
+						Transform: "aligned",
+						Label:     fmt.Sprintf("aligned/sid%d", pr.sid),
+						Payload:   carrier(caseSeed(0, pr.sid), pr, alignedGlue, nil),
+						SID:       pr.sid,
+						Expect:    exp,
+						MissClass: miss,
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "boundary-split",
+			Desc: "keyword split across writes directly after its first byte, mid-keyword, and before its last byte",
+			Cases: func(mode tokenize.Mode) []Case {
+				var out []Case
+				for _, pr := range packRules {
+					exp, miss := detectOutcome(pr, mode)
+					out = append(out, Case{
+						Transform: "boundary-split",
+						Label:     fmt.Sprintf("boundary-split/sid%d", pr.sid),
+						Payload:   carrier(caseSeed(1, pr.sid), pr, alignedGlue, nil),
+						Chunks:    kwCuts(pr),
+						SID:       pr.sid,
+						Expect:    exp,
+						MissClass: miss,
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "tiny-fragments",
+			Desc: "stream fragmented into 1-3 byte writes around every keyword (parser-ambiguous offsets)",
+			Cases: func(mode tokenize.Mode) []Case {
+				var out []Case
+				for _, pr := range packRules {
+					exp, miss := detectOutcome(pr, mode)
+					out = append(out, Case{
+						Transform: "tiny-fragments",
+						Label:     fmt.Sprintf("tiny-fragments/sid%d", pr.sid),
+						Payload:   carrier(caseSeed(2, pr.sid), pr, alignedGlue, nil),
+						Chunks:    tinyCuts(pr),
+						SID:       pr.sid,
+						Expect:    exp,
+						MissClass: miss,
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "midword-glue",
+			Desc: "keyword embedded mid-word (no delimiter boundary) — the §7.1 delimiter-mode loss",
+			Cases: func(mode tokenize.Mode) []Case {
+				var out []Case
+				for _, pr := range packRules {
+					var (
+						exp  Outcome
+						miss string
+					)
+					switch {
+					case shortUnderWindow(pr, mode):
+						exp, miss = DocumentedMiss, MissShortKeywordWindow
+					case mode == tokenize.Window:
+						// Window tokenization covers every offset; glue
+						// cannot hide a full-size keyword.
+						exp = MustDetect
+					case pr.sid == SIDQuery:
+						// The keyword's internal '?'/'=' delimiters anchor
+						// word starts even when glued: gluing does not evade
+						// internally-delimited keywords.
+						exp = MustDetect
+					default:
+						exp, miss = DocumentedMiss, MissMidwordDelimiter
+					}
+					out = append(out, Case{
+						Transform: "midword-glue",
+						Label:     fmt.Sprintf("midword-glue/sid%d", pr.sid),
+						Payload:   carrier(caseSeed(3, pr.sid), pr, midwordGlue, nil),
+						SID:       pr.sid,
+						Expect:    exp,
+						MissClass: miss,
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "case-flip",
+			Desc: "keyword case-mutated; exact-match detection is case-sensitive on both engines",
+			Cases: func(mode tokenize.Mode) []Case {
+				var out []Case
+				for _, pr := range packRules {
+					out = append(out, Case{
+						Transform: "case-flip",
+						Label:     fmt.Sprintf("case-flip/sid%d", pr.sid),
+						Payload:   carrier(caseSeed(4, pr.sid), pr, alignedGlue, flipCase),
+						SID:       pr.sid,
+						Expect:    MustNotFalseAlert,
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "delimiter-stuff",
+			Desc: "delimiter inserted inside the keyword's leading fragment, breaking every compiled fragment",
+			Cases: func(mode tokenize.Mode) []Case {
+				var out []Case
+				for _, pr := range packRules {
+					out = append(out, Case{
+						Transform: "delimiter-stuff",
+						Label:     fmt.Sprintf("delimiter-stuff/sid%d", pr.sid),
+						Payload:   carrier(caseSeed(5, pr.sid), pr, alignedGlue, stuffDelimiter),
+						SID:       pr.sid,
+						Expect:    MustNotFalseAlert,
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "near-miss",
+			Desc: "one byte substituted inside the keyword's leading fragment",
+			Cases: func(mode tokenize.Mode) []Case {
+				var out []Case
+				for _, pr := range packRules {
+					out = append(out, Case{
+						Transform: "near-miss",
+						Label:     fmt.Sprintf("near-miss/sid%d", pr.sid),
+						Payload:   carrier(caseSeed(6, pr.sid), pr, alignedGlue, nearMiss),
+						SID:       pr.sid,
+						Expect:    MustNotFalseAlert,
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "pad-adjacent",
+			Desc: "short keyword followed by literal pad bytes (0x00) — padded-token forgery attempt",
+			Cases: func(mode tokenize.Mode) []Case {
+				pr := packRules[2] // SIDShort
+				exp, miss := detectOutcome(pr, mode)
+				return []Case{{
+					Transform: "pad-adjacent",
+					Label:     "pad-adjacent/sid103",
+					Payload: carrier(caseSeed(7, pr.sid), pr,
+						func(kw string) string { return " " + kw + "\x00\x00\x00 " }, nil),
+					SID:       pr.sid,
+					Expect:    exp,
+					MissClass: miss,
+				}}
+			},
+		},
+		{
+			Name: "prefix-tail-alert",
+			Desc: "long undelimited keyword with a mutated tail: delimiter-mode prefix matching over-alerts (documented), window mode stays silent",
+			Cases: func(mode tokenize.Mode) []Case {
+				pr := packRules[0] // SIDLong
+				mutTail := func(kw string) string {
+					return kw[:tokenize.TokenSize] + strings.Repeat("Z", len(kw)-tokenize.TokenSize)
+				}
+				c := Case{
+					Transform: "prefix-tail-alert",
+					Label:     "prefix-tail-alert/sid101",
+					Payload:   carrier(caseSeed(8, pr.sid), pr, alignedGlue, mutTail),
+					SID:       pr.sid,
+				}
+				if mode == tokenize.Delimiter {
+					// The leading fragment is the keyword's only delimiter-
+					// mode fragment, so the mutated tail still alerts — a
+					// documented over-alert relative to the baseline.
+					c.Expect = MustDetect
+					c.BaselineDiverges = true
+				} else {
+					c.Expect = MustNotFalseAlert
+				}
+				return []Case{c}
+			},
+		},
+	}
+}
+
+// StreamCases flattens every transform's cases for the mode.
+func StreamCases(mode tokenize.Mode) []Case {
+	var out []Case
+	for _, tr := range Transforms() {
+		out = append(out, tr.Cases(mode)...)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestScenariosConformance runs the full adversarial-scenario experiment
+// and asserts the issue's acceptance criteria: at least two packs and six
+// named transforms, zero undeclared misses, zero false alerts, every
+// MustDetect caught, and every case conforming.
+func TestScenariosConformance(t *testing.T) {
+	res, err := Scenarios(DefaultScenariosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packs) < 2 {
+		t.Fatalf("%d packs, want >= 2", len(res.Packs))
+	}
+	if len(res.Transforms) < 6 {
+		t.Fatalf("%d named transforms, want >= 6: %v", len(res.Transforms), res.Transforms)
+	}
+	packNames := map[string]bool{}
+	for _, p := range res.Packs {
+		packNames[p.Pack] = true
+		if p.UndeclaredMisses != 0 {
+			t.Errorf("%s: %d undeclared misses", p.Pack, p.UndeclaredMisses)
+		}
+		if p.FalseAlerts != 0 {
+			t.Errorf("%s: %d false alerts", p.Pack, p.FalseAlerts)
+		}
+		if p.Detected != p.MustDetect {
+			t.Errorf("%s: detection %d/%d", p.Pack, p.Detected, p.MustDetect)
+		}
+		if p.Cases == 0 || p.Tokens == 0 {
+			t.Errorf("%s: empty pack (%d cases, %d tokens)", p.Pack, p.Cases, p.Tokens)
+		}
+	}
+	for _, want := range []string{"evasion", "bittorrent"} {
+		if !packNames[want] {
+			t.Errorf("pack %q missing (have %v)", want, packNames)
+		}
+	}
+	for _, c := range res.Cases {
+		if !c.OK {
+			t.Errorf("%s/%s [%s]: %s", c.Pack, c.Label, c.Outcome, c.Reason)
+		}
+	}
+	if len(res.MissClasses) == 0 {
+		t.Error("no documented miss classes exercised — the miss taxonomy is untested")
+	}
+}
+
+// TestScenariosJSONRoundTrip pins the machine-readable contract benchgate
+// consumes.
+func TestScenariosJSONRoundTrip(t *testing.T) {
+	res, err := Scenarios(DefaultScenariosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scenarios.json")
+	if err := WriteScenariosJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenariosJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Packs) != len(res.Packs) || len(got.Cases) != len(res.Cases) ||
+		len(got.Transforms) != len(res.Transforms) {
+		t.Fatal("round trip lost packs, cases or transforms")
+	}
+	for i := range got.Packs {
+		if got.Packs[i].Pack != res.Packs[i].Pack ||
+			got.Packs[i].UndeclaredMisses != res.Packs[i].UndeclaredMisses ||
+			got.Packs[i].DetectionRate != res.Packs[i].DetectionRate {
+			t.Fatalf("pack %d diverged after round trip", i)
+		}
+	}
+}

@@ -347,7 +347,15 @@ func clamp(n *SpanNode, offsets map[string]int64) {
 		}
 		clamp(c, offsets)
 	}
-	sort.SliceStable(n.Children, func(i, j int) bool { return n.Children[i].Start < n.Children[j].Start })
+	// Children are linked from a map walk, so ties on the aligned start
+	// need the span ID as a deterministic tie-break or the rendered tree
+	// order varies run to run.
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		if n.Children[i].Start != n.Children[j].Start {
+			return n.Children[i].Start < n.Children[j].Start
+		}
+		return n.Children[i].Span.SpanID < n.Children[j].Span.SpanID
+	})
 }
 
 // markCritical walks the chain of last-finishing children: starting from

@@ -1,0 +1,56 @@
+// Generator for p2p_golden.pcap: the BitTorrent/P2P scenario corpus
+// (corpus.BitTorrentFlows, seed 1) segmentized and written as a classic
+// libpcap capture. The fixture is checked in; regenerate only when the
+// corpus or the capture format intentionally changes:
+//
+//	go run ./internal/pcapio/testdata [out.pcap]
+//
+// The testdata directory is ignored by the go tool, so this file does not
+// enter the library build.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+)
+
+func main() {
+	out := "internal/pcapio/testdata/p2p_golden.pcap"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		die(err)
+	}
+	w, err := pcapio.NewWriter(f)
+	if err != nil {
+		die(err)
+	}
+	ts := uint32(0)
+	for i, flow := range corpus.BitTorrentFlows(1) {
+		key := packet.FlowKey{
+			SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+			SrcPort: uint16(50000 + i), DstPort: 6881,
+		}
+		for _, seg := range packet.Segmentize(key, flow.Payload, 1460) {
+			if err := w.WritePacket(pcapio.Packet{TimestampSec: ts, Data: seg.Marshal()}); err != nil {
+				die(err)
+			}
+			ts++
+		}
+	}
+	if err := f.Close(); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Fuzz target for the adversarial tokenize→detect round trip. It lives in
+// the external test package: the detection engine imports tokenize, so the
+// in-package fuzz files cannot reach it.
+
+package tokenize_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/evasion"
+	"repro/internal/tokenize"
+)
+
+// FuzzEvasionTokenizeDetect mutates boundary-split payloads through the
+// full offline encrypted path (tokenize → dpienc → detect) and checks the
+// adversarial invariants: no panic on arbitrary bytes and chunkings; the
+// chunked stream detects exactly what the one-shot stream detects (same
+// rule SIDs, byte-identical alert transcript); and a delimiter-bounded
+// planted keyword is detected no matter what attacker-chosen bytes
+// precede it or where the write boundaries fall.
+func FuzzEvasionTokenizeDetect(f *testing.F) {
+	rs, err := evasion.Rules()
+	if err != nil {
+		f.Fatal(err)
+	}
+	runners := map[tokenize.Mode]*evasion.Runner{
+		tokenize.Window:    evasion.NewRunner(rs, tokenize.Window),
+		tokenize.Delimiter: evasion.NewRunner(rs, tokenize.Delimiter),
+	}
+
+	f.Add([]byte("GET /index.html?q=attack01 HTTP/1.1\r\n\r\n"), uint8(3), uint8(1))
+	f.Add([]byte("zqevilpayload9qz plus ?cmd=evil trailing"), uint8(1), uint8(1))
+	f.Add([]byte{0x13, 'B', 'i', 't', 0, 255, ' ', 'b', 'a', 'd', 'k', 'w', ' '}, uint8(2), uint8(0))
+	f.Add([]byte("evilpayl\x00tail with evil.payload9 stuffing"), uint8(5), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8, modeByte uint8) {
+		if len(data) > 4096 {
+			return
+		}
+		mode := tokenize.Window
+		if modeByte%2 == 1 {
+			mode = tokenize.Delimiter
+		}
+		r := runners[mode]
+
+		// The planted keyword is delimiter-bounded after arbitrary attacker
+		// bytes; SIDExact ("attack01", exactly one token) must always fire.
+		payload := append(append([]byte(nil), data...), []byte(" attack01 ")...)
+		c := int(chunk%16) + 1
+		var cuts []int
+		for at := c; at < len(payload); at += c {
+			cuts = append(cuts, at)
+		}
+
+		oneShot := r.Run(evasion.Case{Label: "fuzz/one-shot", Payload: payload, SID: evasion.SIDExact, Expect: evasion.MustDetect})
+		chunked := r.Run(evasion.Case{Label: "fuzz/chunked", Payload: payload, Chunks: cuts, SID: evasion.SIDExact, Expect: evasion.MustDetect})
+
+		if !reflect.DeepEqual(oneShot.DetectedSIDs, chunked.DetectedSIDs) {
+			t.Fatalf("chunked detection diverged (mode %v, chunk %d): one-shot %v, chunked %v",
+				mode, c, oneShot.DetectedSIDs, chunked.DetectedSIDs)
+		}
+		if oneShot.EncTranscript != chunked.EncTranscript {
+			t.Fatalf("chunked transcript diverged (mode %v, chunk %d):\none-shot:\n%s\nchunked:\n%s",
+				mode, c, oneShot.EncTranscript, chunked.EncTranscript)
+		}
+		found := false
+		for _, sid := range chunked.DetectedSIDs {
+			if sid == evasion.SIDExact {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("planted delimiter-bounded keyword escaped detection (mode %v, chunk %d, detected %v)",
+				mode, c, chunked.DetectedSIDs)
+		}
+	})
+}

@@ -59,6 +59,16 @@ go test -race ./...
 step "chaos suite (-race)"
 go test -race -run 'TestChaos' -timeout 5m .
 
+# Adversarial scenarios: the evasion suite runs as live loopback sessions
+# under the race detector (an undeclared miss, an undocumented miss class,
+# or a false alert fails the test), then the scenarios experiment
+# regenerates BENCH_scenarios.json and benchgate enforces the conformance
+# contract against it (and against DESIGN.md's miss-class enumeration).
+step "adversarial scenarios (evasion e2e -race + benchgate -scenarios)"
+go test -race -run 'TestEvasionE2E' -timeout 10m .
+go run ./cmd/blindbench -experiment scenarios -scenarios-out BENCH_scenarios.json
+go run ./scripts/benchgate -scenarios BENCH_scenarios.json -design DESIGN.md
+
 # Fuzz smoke: each corpus gets a short budget. `go test -fuzz` accepts a
 # single fuzz target per invocation, so loop over every target explicitly.
 step "fuzz smoke (${FUZZTIME} per target)"
@@ -68,6 +78,7 @@ while read -r pkg target; do
 done <<'EOF'
 ./internal/tokenize FuzzStreamingEquivalence
 ./internal/tokenize FuzzSplitKeywordConsistency
+./internal/tokenize FuzzEvasionTokenizeDetect
 ./internal/rules FuzzParseRule
 ./internal/rules FuzzParse
 ./internal/garble FuzzUnmarshal
