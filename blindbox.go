@@ -186,3 +186,21 @@ type TraceSink = obs.Sink
 // NewTraceSink writes spans to w as JSON lines, one span per line, buffered
 // — the format `bbtrace -spans` consumes. Call Flush before closing w.
 func NewTraceSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
+
+// Recorder is the flight-recorder / tail-sampling layer: install one in
+// MiddleboxConfig.Recorder or ConnConfig.Recorder to bound tracing cost —
+// head-sampled flows stream their spans, flows ending in an interesting
+// state flush a bounded per-flow ring, the rest cost nothing downstream
+// (DESIGN.md §8).
+type Recorder = obs.Recorder
+
+// RecorderConfig configures a Recorder (ring size, head-sampling rate,
+// sink, self-metrics).
+type RecorderConfig = obs.RecorderConfig
+
+// FlowSummary is one row of the recorder's /debug/flows tables.
+type FlowSummary = obs.FlowSummary
+
+// NewRecorder builds a flight recorder; mount its debug endpoints on an
+// AdminMux with Recorder.Mount.
+func NewRecorder(cfg RecorderConfig) *Recorder { return obs.NewRecorder(cfg) }

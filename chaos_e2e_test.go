@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/middlebox"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/transport"
 )
@@ -457,4 +458,174 @@ func TestChaosDialRetryTyped(t *testing.T) {
 	if rerr.Attempts != 2 {
 		t.Fatalf("retry attempts = %d, want 2", rerr.Attempts)
 	}
+}
+
+// flightRecorderSession drives one echo session through a directly-driven
+// Interpose whose server leg is optionally wrapped in a FaultConn, with the
+// middlebox recording into rec. It returns once Interpose has ended the
+// flow (so the flight recorder has settled its disposition).
+func flightRecorderSession(t *testing.T, rec *obs.Recorder, serverFaults []netem.Fault, payload []byte) {
+	t.Helper()
+	g, err := NewRuleGenerator("ChaosRG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ParseRules("chaos",
+		`alert tcp any any -> any any (msg:"kw"; content:"attack01"; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := NewMiddlebox(MiddleboxConfig{
+		Ruleset:     g.Sign(rs),
+		RGPublicKey: g.PublicKey(),
+		Recorder:    rec,
+		Timeouts:    chaosMBTimeouts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+
+	epCfg := ConnConfig{
+		Core:     DefaultConfig(),
+		RG:       RGMaterial{TagKey: g.TagKey()},
+		Timeouts: chaosEndpointTimeouts(),
+	}
+	serverLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLn.Close()
+	go func() {
+		raw, err := serverLn.Accept()
+		if err != nil {
+			return
+		}
+		conn, err := Server(raw, epCfg)
+		if err != nil {
+			raw.Close()
+			return
+		}
+		defer conn.Close()
+		data, err := io.ReadAll(conn)
+		if err != nil {
+			return
+		}
+		conn.Write(data)
+		conn.CloseWrite()
+	}()
+	mbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mbLn.Close()
+
+	errC := make(chan error, 1)
+	go func() {
+		clientLeg, err := mbLn.Accept()
+		if err != nil {
+			errC <- err
+			return
+		}
+		rawServer, err := net.Dial("tcp", serverLn.Addr().String())
+		if err != nil {
+			clientLeg.Close()
+			errC <- err
+			return
+		}
+		var serverLeg net.Conn = rawServer
+		if len(serverFaults) > 0 {
+			serverLeg = netem.NewFaultConn(rawServer, serverFaults...)
+		}
+		errC <- mb.Interpose(clientLeg, serverLeg)
+	}()
+
+	raw, err := net.Dial("tcp", mbLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runChaosSession(t, epCfg, raw, payload, 15*time.Second)
+	if res.err != nil {
+		t.Fatalf("session failed: %v", res.err)
+	}
+	select {
+	case <-errC:
+		// Interpose returned; its deferred End settled the flow.
+	case <-time.After(10 * time.Second):
+		t.Fatal("Interpose did not return after the session completed")
+	}
+}
+
+// assertSingleTailTrace checks the flushed spans form one complete trace:
+// every span tail-labeled, every span on the same trace ID, and the flow's
+// lifecycle spans (conn, handshake) present alongside the wanted names.
+func assertSingleTailTrace(t *testing.T, spans []obs.Span, want ...string) {
+	t.Helper()
+	if len(spans) == 0 {
+		t.Fatal("flight recorder flushed nothing")
+	}
+	names := map[string]int{}
+	trace := spans[0].TraceID
+	if trace == "" {
+		t.Fatalf("flushed span carries no trace ID: %+v", spans[0])
+	}
+	for _, sp := range spans {
+		names[sp.Name]++
+		if sp.Sampled != "tail" {
+			t.Fatalf("span %s labeled %q, want tail", sp.Name, sp.Sampled)
+		}
+		if sp.TraceID != trace {
+			t.Fatalf("span %s on trace %s, want the flow's single trace %s", sp.Name, sp.TraceID, trace)
+		}
+	}
+	for _, name := range append([]string{obs.SpanConn, obs.SpanHandshake}, want...) {
+		if names[name] == 0 {
+			t.Errorf("flushed trace is missing %s span(s); got %v", name, names)
+		}
+	}
+}
+
+// TestChaosFaultedFlowFlushesFlightRecorder injects a deterministic netem
+// fault on the middlebox's server leg and verifies the tail-sampling
+// contract for faulted flows: with head sampling off, the flow's full
+// flight-recorder ring is flushed, it contains the fault event harvested
+// from the FaultConn transcript, and every span sits on one trace ID.
+func TestChaosFaultedFlowFlushesFlightRecorder(t *testing.T) {
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.RecorderConfig{Sample: 0, Sink: sink})
+	// A survivable latency fault on the first server-leg write: the session
+	// completes, so only the fault makes this flow interesting.
+	fault := netem.Fault{Kind: netem.FaultLatency, After: 0, Dur: 10 * time.Millisecond}
+	payload := bytes.Repeat([]byte("plain benign words here. "), 64)
+	flightRecorderSession(t, rec, []netem.Fault{fault}, payload)
+
+	spans := sink.Spans()
+	assertSingleTailTrace(t, spans, obs.SpanEventFault)
+	for _, sp := range spans {
+		if sp.Name == obs.SpanEventFault && sp.Err != fault.String() {
+			t.Errorf("fault event detail %q, want the transcript entry %q", sp.Err, fault.String())
+		}
+	}
+	recents := rec.Recent()
+	if len(recents) != 1 || recents[0].Disposition != obs.DispositionTail {
+		t.Fatalf("recent flow table = %+v, want one tail-flushed flow", recents)
+	}
+}
+
+// TestChaosAlertFlowFlushesFlightRecorder verifies the other interesting
+// terminal state: an unsampled flow that fires an alert flushes a complete
+// trace — scan, forward and the alert event — on a single trace ID.
+func TestChaosAlertFlowFlushesFlightRecorder(t *testing.T) {
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.RecorderConfig{Sample: 0, Sink: sink})
+	flightRecorderSession(t, rec, nil, conformancePayload(77, 6<<10))
+
+	spans := sink.Spans()
+	assertSingleTailTrace(t, spans, obs.SpanScan, obs.SpanForward, obs.SpanEventAlert)
+	for _, sp := range spans {
+		if sp.Name == obs.SpanEventAlert && sp.Err == "sid 1" {
+			return
+		}
+	}
+	t.Fatalf("no alert event for sid 1 in the flushed trace")
 }

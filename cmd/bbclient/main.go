@@ -7,7 +7,7 @@
 // Usage:
 //
 //	bbclient -addr 127.0.0.1:8443 -rgconfig blindbox.endpoint.json [-data "GET / ..."] [-protocol 2] [-tokens delimiter]
-//	         [-timeout 30s] [-retries 3] [-trace spans.jsonl]
+//	         [-timeout 30s] [-retries 3] [-trace spans.jsonl] [-trace-sample 1] [-recorder-events 256]
 //
 // -timeout bounds the dial and the whole handshake (including rule
 // preparation when a middlebox is on path); 0 selects the 30s default and
@@ -19,6 +19,11 @@
 // prep.garble, tokenize, encrypt) to the given JSONL file and roots a
 // distributed trace that the middlebox and server join over the wire —
 // assemble the three files with `bbtrace -assemble` (DESIGN.md §8).
+// -trace-sample below 1 engages the flight recorder: that fraction of
+// flows streams every span (the head-sampling decision rides the hello so
+// all parties agree), the rest buffer their last -recorder-events spans
+// and flush them only when the flow ends in an interesting state (alert,
+// timeout, error).
 package main
 
 import (
@@ -45,6 +50,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "dial + handshake deadline (0 = default 30s, negative disables)")
 	retries := flag.Int("retries", 0, "dial attempts with backoff (0 = default 3)")
 	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate: fraction of flows that stream every span (interesting flows always flush)")
+	recorderEvents := flag.Int("recorder-events", obs.DefaultRecorderEvents, "per-flow flight-recorder ring capacity in spans")
 	flag.Parse()
 	if *rgPath == "" {
 		flag.Usage()
@@ -83,6 +90,14 @@ func main() {
 			os.Exit(1)
 		}()
 		cfg.Trace = sink
+		// The recorder enforces -trace-sample: at the default rate of 1
+		// every flow streams (legacy behavior); below 1 only sampled and
+		// interesting flows reach the span file.
+		cfg.Recorder = blindbox.NewRecorder(blindbox.RecorderConfig{
+			Events: *recorderEvents,
+			Sample: *traceSample,
+			Sink:   sink,
+		})
 	}
 	cfg.Timeouts.Handshake = *timeout
 	cfg.DialRetry.Attempts = *retries

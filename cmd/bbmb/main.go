@@ -6,16 +6,22 @@
 // Usage:
 //
 //	bbmb -listen :8443 -forward server:9443 -rules rules.txt -rgconfig rg.json [-secondary]
-//	     [-admin :8081] [-trace spans.jsonl] [-log-level info]
-//	     [-policy fail-closed] [-dial-retries 3] [-prep-retries 3]
+//	     [-admin :8081] [-trace spans.jsonl] [-trace-sample 0.01] [-recorder-events 256]
+//	     [-log-level info] [-policy fail-closed] [-dial-retries 3] [-prep-retries 3]
 //	     [-timeout-handshake 10s] [-timeout-prep 60s] [-timeout-idle -1s]
 //	     [-timeout-write 1m] [-timeout-barrier 30s]
 //
 // The ruleset and RG configuration are produced by bbrulegen. With -admin,
 // the middlebox serves Prometheus metrics on /metrics, a JSON snapshot on
-// /metrics.json, and net/http/pprof under /debug/pprof/. With -trace, every
-// pipeline span (handshake, prep, scan, forward) is appended to the given
-// JSONL file, summarizable with `bbtrace -spans`.
+// /metrics.json, net/http/pprof under /debug/pprof/, and the flight
+// recorder's flow tables on /debug/flows and /debug/flightrecorder?flow=N.
+// With -trace, spans are appended to the given JSONL file, summarizable
+// with `bbtrace -spans`: head-sampled flows (-trace-sample of flows,
+// decided at the client when it traces, here otherwise) stream every span,
+// and every other flow buffers its last -recorder-events spans in a
+// per-flow ring flushed only on an interesting end — alert, block,
+// timeout, degradation, retry exhaustion or connection error. -trace-sample 1
+// streams everything (the legacy behavior); 0 keeps only interesting flows.
 //
 // The fault-tolerance knobs (RUNBOOK.md) bound every blocking step: a
 // timeout flag of 0 selects the library default, a negative value disables
@@ -52,6 +58,8 @@ func main() {
 	secondary := flag.Bool("secondary", false, "enable the Protocol III decryption element and secondary inspection")
 	admin := flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
 	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate: fraction of flows that stream every span (interesting flows always flush)")
+	recorderEvents := flag.Int("recorder-events", obs.DefaultRecorderEvents, "per-flow flight-recorder ring capacity in spans")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	policy := flag.String("policy", "fail-closed", "degradation policy on barrier timeout: fail-closed or fail-open")
 	dialRetries := flag.Int("dial-retries", 0, "upstream dial attempts (0 = default 3)")
@@ -109,6 +117,15 @@ func main() {
 		}()
 		trace = sink
 	}
+	// The flight recorder is always on: rings are pooled and bounded, the
+	// /debug endpoints work without -trace, and with -trace it enforces the
+	// sampling policy instead of streaming every flow.
+	rec := blindbox.NewRecorder(blindbox.RecorderConfig{
+		Events:  *recorderEvents,
+		Sample:  *traceSample,
+		Sink:    trace,
+		Metrics: reg,
+	})
 
 	mb, err := blindbox.NewMiddlebox(middlebox.Config{
 		Ruleset:     signed,
@@ -116,6 +133,7 @@ func main() {
 		Secondary:   *secondary,
 		Metrics:     reg,
 		Trace:       trace,
+		Recorder:    rec,
 		Logger:      logger,
 		Policy:      pol,
 		Timeouts: middlebox.Timeouts{
@@ -140,12 +158,14 @@ func main() {
 	}
 
 	if *admin != "" {
-		aln, err := obs.ServeAdmin(*admin, reg, logger)
+		mux := obs.AdminMux(reg)
+		rec.Mount(mux)
+		aln, err := obs.ServeAdminMux(*admin, mux, logger)
 		if err != nil {
 			log.Fatalf("admin endpoint: %v", err)
 		}
 		defer aln.Close()
-		fmt.Printf("bbmb: admin endpoint on http://%s/metrics (pprof under /debug/pprof/)\n", aln.Addr())
+		fmt.Printf("bbmb: admin endpoint on http://%s/metrics (pprof under /debug/pprof/, flight recorder on /debug/flows)\n", aln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)

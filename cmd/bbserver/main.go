@@ -5,15 +5,20 @@
 // Usage:
 //
 //	bbserver -listen :9443 -rgconfig blindbox.endpoint.json [-mode echo|page] [-bytes 65536]
-//	         [-admin :8082] [-trace spans.jsonl]
+//	         [-admin :8082] [-trace spans.jsonl] [-trace-sample 0.01] [-recorder-events 256]
 //
 // With -admin, the server exposes its endpoint metrics (handshake duration,
-// records written) on /metrics plus net/http/pprof under /debug/pprof/.
+// records written) on /metrics plus net/http/pprof under /debug/pprof/ and
+// the flight recorder's flow tables on /debug/flows and
+// /debug/flightrecorder?flow=N.
 // With -trace, the server appends its pipeline spans (conn, handshake,
 // prep.garble, tokenize, encrypt) to the given JSONL file, joining the
 // distributed trace the client or middlebox propagates in the handshake —
 // assemble the parties' files with `bbtrace -assemble` (DESIGN.md §8).
-// SIGINT/SIGTERM flush the span buffer before exit.
+// The head-sampling decision arrives on the hello with the trace context;
+// for flows without one, -trace-sample decides locally. Flows that end in
+// an interesting state (alert, timeout, error) always flush their last
+// -recorder-events spans. SIGINT/SIGTERM flush the span buffer before exit.
 package main
 
 import (
@@ -41,6 +46,8 @@ func main() {
 	pageBytes := flag.Int("bytes", 64<<10, "synthetic page size for -mode page")
 	admin := flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
 	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate for flows without a wire decision (interesting flows always flush)")
+	recorderEvents := flag.Int("recorder-events", obs.DefaultRecorderEvents, "per-flow flight-recorder ring capacity in spans")
 	flag.Parse()
 	if *rgPath == "" {
 		flag.Usage()
@@ -72,16 +79,27 @@ func main() {
 		}()
 		cfg.Trace = sink
 	}
+	// The flight recorder is always on: rings are pooled and bounded, the
+	// /debug endpoints work without -trace, and with -trace it enforces the
+	// sampling policy instead of streaming every flow.
+	reg := obs.NewRegistry()
+	cfg.Recorder = blindbox.NewRecorder(blindbox.RecorderConfig{
+		Events:  *recorderEvents,
+		Sample:  *traceSample,
+		Sink:    cfg.Trace,
+		Metrics: reg,
+	})
 
 	if *admin != "" {
-		reg := obs.NewRegistry()
 		cfg.Metrics = reg
-		aln, err := obs.ServeAdmin(*admin, reg, obs.NewLogger(os.Stderr, slog.LevelInfo))
+		mux := obs.AdminMux(reg)
+		cfg.Recorder.Mount(mux)
+		aln, err := obs.ServeAdminMux(*admin, mux, obs.NewLogger(os.Stderr, slog.LevelInfo))
 		if err != nil {
 			log.Fatalf("admin endpoint: %v", err)
 		}
 		defer aln.Close()
-		fmt.Printf("bbserver: admin endpoint on http://%s/metrics\n", aln.Addr())
+		fmt.Printf("bbserver: admin endpoint on http://%s/metrics (flight recorder on /debug/flows)\n", aln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -39,6 +39,10 @@ type traceReport struct {
 	Offsets map[string]int64 `json:"clock_offsets_ns"`
 	// Orphans counts spans not reachable from the root.
 	Orphans int `json:"orphans"`
+	// Partial marks a trace whose root was sampled out at its party (the
+	// flight recorder kept only some parties' spans); the tree hangs off a
+	// synthesized placeholder root.
+	Partial bool `json:"partial,omitempty"`
 	// Stages aggregates the tree per span name, by critical time.
 	Stages []obs.StageStat `json:"stages"`
 }
@@ -79,13 +83,17 @@ func assembleFiles(paths []string, jsonPath string, strict bool, w io.Writer) er
 			CritNs:  ft.CritNs,
 			Offsets: ft.Offsets,
 			Orphans: len(ft.Orphans),
+			Partial: ft.Partial,
 			Stages:  ft.Stages(),
 		})
 		if strictErr == nil {
+			// Partial traces (root sampled out at its party) get a pass on
+			// the root and orphan checks: missing ancestors are expected
+			// under tail sampling, and the synthesized root adopts them.
 			switch {
 			case ft.Root == nil:
 				strictErr = fmt.Errorf("trace %s: no root span", ft.Trace)
-			case len(ft.Orphans) > 0:
+			case len(ft.Orphans) > 0 && !ft.Partial:
 				strictErr = fmt.Errorf("trace %s: %d orphan span(s)", ft.Trace, len(ft.Orphans))
 			case ft.CritNs > ft.WallNs:
 				strictErr = fmt.Errorf("trace %s: critical path %dns exceeds wall-clock %dns", ft.Trace, ft.CritNs, ft.WallNs)
@@ -117,8 +125,12 @@ func assembleFiles(paths []string, jsonPath string, strict bool, w io.Writer) er
 // orphans. Offsets are relative to the root's aligned start so the output
 // is stable across runs of the same fixture.
 func printFlow(w io.Writer, ft *obs.FlowTrace) {
-	fmt.Fprintf(w, "trace %s: wall %s, critical %s (%.1f%%)\n",
-		ft.Trace, ns(ft.WallNs), ns(ft.CritNs), pct(ft.CritNs, ft.WallNs))
+	partial := ""
+	if ft.Partial {
+		partial = " [partial: root sampled out]"
+	}
+	fmt.Fprintf(w, "trace %s: wall %s, critical %s (%.1f%%)%s\n",
+		ft.Trace, ns(ft.WallNs), ns(ft.CritNs), pct(ft.CritNs, ft.WallNs), partial)
 	if len(ft.Offsets) > 1 {
 		fmt.Fprintf(w, "  clock offsets:")
 		for _, party := range []string{obs.PartyClient, obs.PartyMB, obs.PartyServer} {

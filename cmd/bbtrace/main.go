@@ -127,6 +127,11 @@ func summarizeSpans(path string) error {
 	}
 	byName := map[string]*agg{}
 	flows := map[uint64]bool{}
+	// disposition tracks how each flow's spans reached the file: "head"
+	// (streamed by head sampling) or "tail" (flight-recorder flush on an
+	// interesting end). Flows without the label predate the recorder or
+	// streamed directly; they are reported as unlabeled, not as errors.
+	disposition := map[uint64]string{}
 	for _, sp := range spans {
 		a := byName[sp.Name]
 		if a == nil {
@@ -145,6 +150,9 @@ func summarizeSpans(path string) error {
 			a.errs++
 		}
 		flows[sp.Flow] = true
+		if sp.Sampled != "" {
+			disposition[sp.Flow] = sp.Sampled
+		}
 	}
 
 	names := make([]string, 0, len(byName))
@@ -153,6 +161,18 @@ func summarizeSpans(path string) error {
 	}
 	sort.Strings(names)
 	fmt.Printf("%s: %d spans over %d flows\n", path, len(spans), len(flows))
+	if len(disposition) > 0 {
+		head, tail := 0, 0
+		for _, d := range disposition {
+			if d == "tail" {
+				tail++
+			} else {
+				head++
+			}
+		}
+		fmt.Printf("sampling: %d head-sampled, %d tail-flushed, %d unlabeled flows (sampled-out flows never reach the file)\n",
+			head, tail, len(flows)-head-tail)
+	}
 	fmt.Printf("%-10s %8s %12s %12s %12s %10s %12s %6s\n",
 		"span", "count", "total", "mean", "max", "tokens", "bytes", "errs")
 	for _, name := range names {

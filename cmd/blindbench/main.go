@@ -8,6 +8,7 @@
 //	blindbench -experiment pipeline -parallel 4 -out BENCH_pipeline.json [-metrics-out metrics.json]
 //	blindbench -experiment faults -policy fail-closed -faults-out BENCH_faults.json
 //	blindbench -experiment setupbreakdown -setup-out BENCH_setup_breakdown.json [-trace-dir traces/]
+//	blindbench -experiment obsoverhead -obs-out BENCH_obs.json
 //
 // Absolute numbers reflect this host, not the paper's DPDK testbed; the
 // reproduced quantities are the comparative shapes (see EXPERIMENTS.md).
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, setupbreakdown, ablation, faults, scenarios")
+	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, setupbreakdown, ablation, faults, scenarios, obsoverhead")
 	fast := flag.Bool("fast", false, "reduce sample sizes for a quicker run")
 	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_pipeline.json", "path for the pipeline experiment's machine-readable result (empty disables)")
@@ -38,6 +39,7 @@ func main() {
 	faultsOut := flag.String("faults-out", "BENCH_faults.json", "path for the faults experiment's machine-readable result (empty disables)")
 	setupOut := flag.String("setup-out", "BENCH_setup_breakdown.json", "path for the setupbreakdown experiment's machine-readable result (empty disables)")
 	scenariosOut := flag.String("scenarios-out", "BENCH_scenarios.json", "path for the scenarios experiment's machine-readable result (empty disables)")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "path for the obsoverhead experiment's machine-readable result (empty disables)")
 	traceDir := flag.String("trace-dir", "", "setupbreakdown: also write the parties' raw span files (client/mb/server.jsonl) to this directory")
 	flag.Parse()
 
@@ -55,11 +57,12 @@ func main() {
 		"setupbreakdown": func(fast bool) error {
 			return runSetupBreakdown(fast, *setupOut, *traceDir)
 		},
-		"ablation":  runAblation,
-		"faults":    func(fast bool) error { return runFaults(fast, *policy, *faultsOut) },
-		"scenarios": func(bool) error { return runScenarios(*scenariosOut) },
+		"ablation":    runAblation,
+		"faults":      func(fast bool) error { return runFaults(fast, *policy, *faultsOut) },
+		"scenarios":   func(bool) error { return runScenarios(*scenariosOut) },
+		"obsoverhead": func(fast bool) error { return runObsOverhead(fast, *obsOut) },
 	}
-	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "setupbreakdown", "ablation", "faults", "scenarios"}
+	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "accuracy", "throughput", "pipeline", "setup", "setupbreakdown", "ablation", "faults", "scenarios", "obsoverhead"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -276,6 +279,28 @@ func runScenarios(out string) error {
 	experiments.PrintScenarios(os.Stdout, res)
 	if out != "" {
 		if err := experiments.WriteScenariosJSON(out, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func runObsOverhead(fast bool, out string) error {
+	opt := experiments.DefaultObsOverheadOptions()
+	if fast {
+		opt.Rules = 300
+		opt.TrafficBytes = 1 << 20
+		opt.Flows = 16
+		opt.Reps = 2
+	}
+	res, err := experiments.ObsOverhead(opt)
+	if err != nil {
+		return err
+	}
+	experiments.PrintObsOverhead(os.Stdout, res)
+	if out != "" {
+		if err := experiments.WriteObsOverheadJSON(out, res); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)

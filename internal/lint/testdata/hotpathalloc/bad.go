@@ -57,3 +57,20 @@ func badBox(n int) {
 
 // record is a cold-path helper taking an interface.
 func record(v any) { _ = v }
+
+// badRing is a flight-recorder ring append that reallocates the ring and
+// re-stamps the trace string per recorded span — the constructs the real
+// recorder's record path must avoid.
+//
+//bb:hotpath
+func badRing(ring []span, next int, sp span, id [16]byte) []span {
+	ring = append(ring, sp)
+	ring[next].trace = string(id[:])
+	return ring
+}
+
+// span is a sample record for the ring fixtures.
+type span struct {
+	trace string
+	n     int
+}

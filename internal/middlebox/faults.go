@@ -14,11 +14,15 @@
 package middlebox
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"time"
 
+	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -145,5 +149,40 @@ func (mb *Middlebox) stepTimeout(id uint64, step string, err error) error {
 func setDeadline(t time.Time, conns ...net.Conn) {
 	for _, c := range conns {
 		_ = c.SetDeadline(t)
+	}
+}
+
+// errString renders a connection's terminal error for the flight recorder:
+// "" for nil and io.EOF (ordinary teardown), the message otherwise.
+func errString(err error) string {
+	if err == nil || errors.Is(err, io.EOF) {
+		return ""
+	}
+	return err.Error()
+}
+
+// faultReporter is the transcript interface of netem.FaultConn: legs
+// wrapped by the chaos harness report the faults that fired on them.
+type faultReporter interface {
+	Fired() []netem.Fault
+}
+
+// harvestFaults records the injected-fault transcript of either leg as
+// flight-recorder events, so a netem-faulted flow always flushes with the
+// faults that hit it attached (the chaos suite asserts exactly that).
+// Legs that are not FaultConns — every production leg — are skipped.
+func (mb *Middlebox) harvestFaults(fr *obs.FlowRecorder, client, server net.Conn) {
+	for i, leg := range [...]net.Conn{client, server} {
+		rep, ok := leg.(faultReporter)
+		if !ok {
+			continue
+		}
+		legName := "client"
+		if i == 1 {
+			legName = "server"
+		}
+		for _, f := range rep.Fired() {
+			fr.Event(obs.SpanEventFault, legName, f.String())
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,6 +116,15 @@ type Config struct {
 	// Trace receives per-flow spans (handshake, prep, scan, forward).
 	// Nil disables tracing; Emit must be safe for concurrent use.
 	Trace obs.Sink
+	// Recorder, when set, interposes a per-flow flight recorder between
+	// the span producers and Trace: head-sampled flows (the decision is
+	// adopted from the client's hello, or taken here and injected into
+	// the forwarded hello) stream their spans; flows ending in an
+	// interesting state — alert, block, timeout, degradation, prep-retry
+	// exhaustion, injected fault, connection error — flush their whole
+	// ring; the rest are dropped. Nil preserves the legacy
+	// stream-everything behavior of Trace.
+	Recorder *obs.Recorder
 	// Logger receives structured connection-lifecycle and error logs.
 	// Nil discards them.
 	Logger *slog.Logger
@@ -171,6 +181,7 @@ type Middlebox struct {
 	connSeq   atomic.Uint64
 	met       *mbMetrics
 	trace     obs.Sink
+	recorder  *obs.Recorder
 	log       *slog.Logger
 
 	// lifecycle: Close waits for active connections, then drains the
@@ -196,12 +207,13 @@ func New(cfg Config) (*Middlebox, error) {
 		return nil, errors.New("middlebox: ruleset signature invalid")
 	}
 	mb := &Middlebox{
-		cfg:   cfg,
-		tmo:   cfg.Timeouts.withDefaults(),
-		met:   newMBMetrics(cfg.Metrics),
-		trace: cfg.Trace,
-		log:   obs.OrNop(cfg.Logger),
-		setup: make(map[uint64][2]net.Conn),
+		cfg:      cfg,
+		tmo:      cfg.Timeouts.withDefaults(),
+		met:      newMBMetrics(cfg.Metrics),
+		trace:    cfg.Trace,
+		recorder: cfg.Recorder,
+		log:      obs.OrNop(cfg.Logger),
+		setup:    make(map[uint64][2]net.Conn),
 	}
 	if cfg.Secondary {
 		mb.secondary = baseline.New(cfg.Ruleset.Ruleset)
@@ -363,7 +375,7 @@ func (mb *Middlebox) Interpose(client, server net.Conn) error {
 	return err
 }
 
-func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
+func (mb *Middlebox) interpose(id uint64, client, server net.Conn) (retErr error) {
 	// 1. Handshake interposition: mark MBPresent both ways, bounded by the
 	// handshake deadline on both legs. When tracing, the client's trace
 	// context is adopted from its hello (so middlebox spans become children
@@ -372,26 +384,41 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	// hello so the server can still join (DESIGN.md §8).
 	hsStart := time.Now()
 	setDeadline(deadlineFor(mb.tmo.Handshake), client, server)
-	hello, flowCtx, ownRoot, err := mb.interposeHello(client, server)
+	hello, flowCtx, ownRoot, head, err := mb.interposeHello(client, server)
 	setDeadline(time.Time{}, client, server)
 	if err != nil {
 		return mb.stepTimeout(id, "handshake", err)
 	}
-	if mb.trace != nil && ownRoot {
+	fr := mb.recorder.BeginFlowSampled(id, obs.PartyMB, flowCtx, head)
+	sink := mb.trace
+	if fr != nil {
+		sink = fr
+	}
+	if fr != nil {
+		// Registered before the conn-span defer so it runs after it
+		// (LIFO): the connection span and any harvested injected faults
+		// land in the ring before End flushes or drops it.
+		defer func() {
+			mb.harvestFaults(fr, client, server)
+			fr.End(errString(retErr))
+		}()
+	}
+	if sink != nil && ownRoot {
 		// The middlebox owns the trace root: emit the conn span covering
 		// the whole interposition when it ends.
 		defer func() {
 			sp := obs.Span{
 				Flow: id, Party: obs.PartyMB, Name: obs.SpanConn,
 				Start: hsStart.UnixNano(), Dur: int64(time.Since(hsStart)),
+				Err: errString(retErr),
 			}
 			flowCtx.Stamp(&sp)
-			mb.trace.Emit(sp)
+			sink.Emit(sp)
 		}()
 	}
 	hsSp := obs.Span{Flow: id, Party: obs.PartyMB, Name: obs.SpanHandshake}
 	flowCtx.Child().Stamp(&hsSp)
-	mb.observeSpan(hsSp, hsStart, mb.met.handshake)
+	mb.observeSpan(sink, hsSp, hsStart, mb.met.handshake)
 
 	cfg := core.Config{
 		Protocol: hello.Protocol,
@@ -407,8 +434,8 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	if err != nil {
 		return err
 	}
-	prep.SetTrace(mb.trace, prepCtx, id)
-	if mb.trace != nil {
+	prep.SetTrace(sink, prepCtx, id)
+	if sink != nil {
 		// Building the rule-encryption circuit F dominates NewMiddlebox and
 		// is part of the §3.3 rule-encryption step; without this span the
 		// head of the preparation window would be unattributed.
@@ -418,7 +445,7 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 			Gates: prep.CircuitANDs(), Rows: len(req.Fragments),
 		}
 		prepCtx.Child().Stamp(&sp)
-		mb.trace.Emit(sp)
+		sink.Emit(sp)
 	}
 	var (
 		jobsC, jobsS     []*ruleprep.FragmentJob
@@ -429,11 +456,11 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		jobsC, labelsC, prepErr[0] = mb.runPrepRetry(id, client, prep, prepCtx, "client")
+		jobsC, labelsC, prepErr[0] = mb.runPrepRetry(id, client, prep, prepCtx, "client", sink, fr)
 	}()
 	go func() {
 		defer wg.Done()
-		jobsS, labelsS, prepErr[1] = mb.runPrepRetry(id, server, prep, prepCtx, "server")
+		jobsS, labelsS, prepErr[1] = mb.runPrepRetry(id, server, prep, prepCtx, "server", sink, fr)
 	}()
 	wg.Wait()
 	for _, e := range prepErr {
@@ -461,7 +488,7 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	}
 	prepSp := obs.Span{Flow: id, Party: obs.PartyMB, Name: obs.SpanPrep}
 	prepCtx.Stamp(&prepSp)
-	mb.observeSpan(prepSp, prepStart, mb.met.prep)
+	mb.observeSpan(sink, prepSp, prepStart, mb.met.prep)
 
 	// Setup is done: from here on Close drains instead of severing.
 	mb.endSetup(id)
@@ -489,6 +516,8 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 	// span, so per-batch detection shows up under the right direction.
 	flC.tctx = flowCtx.Child()
 	flS.tctx = flowCtx.Child()
+	flC.sink, flC.fr = sink, fr
+	flS.sink, flS.fr = sink, fr
 	go func() {
 		defer fwdWG.Done()
 		mb.forward(client, server, flC)
@@ -509,14 +538,18 @@ func (mb *Middlebox) interpose(id uint64, client, server net.Conn) error {
 // the client's connection root when the client sent trace context, or a
 // fresh root owned by the middlebox (ownRoot true) when only the
 // middlebox traces — in which case the context is injected into the
-// forwarded hello so the server joins the same trace.
-func (mb *Middlebox) interposeHello(client, server net.Conn) (transport.Hello, obs.SpanCtx, bool, error) {
+// forwarded hello so the server joins the same trace. head is the flow's
+// head-sampling decision: adopted from the client's hello when present,
+// otherwise taken by the middlebox's recorder and injected into the
+// forwarded hello so the server agrees.
+func (mb *Middlebox) interposeHello(client, server net.Conn) (transport.Hello, obs.SpanCtx, bool, bool, error) {
 	var (
 		flowCtx obs.SpanCtx
 		ownRoot bool
+		head    bool
 	)
-	fail := func(err error) (transport.Hello, obs.SpanCtx, bool, error) {
-		return transport.Hello{}, obs.SpanCtx{}, false, err
+	fail := func(err error) (transport.Hello, obs.SpanCtx, bool, bool, error) {
+		return transport.Hello{}, obs.SpanCtx{}, false, false, err
 	}
 	typ, body, err := transport.ReadRecord(client)
 	if err != nil {
@@ -529,14 +562,24 @@ func (mb *Middlebox) interposeHello(client, server net.Conn) (transport.Hello, o
 	if err != nil {
 		return fail(err)
 	}
-	if mb.trace != nil {
+	if mb.trace != nil || mb.recorder != nil {
 		if hello.HasTrace {
-			flowCtx = obs.SpanCtx{Trace: obs.TraceID(hello.TraceID), Span: hello.TraceSpan}
+			flowCtx = obs.JoinSpanCtx(obs.TraceID(hello.TraceID), hello.TraceSpan)
 		} else {
 			flowCtx = obs.NewSpanCtx()
 			ownRoot = true
 			if body, err = transport.AppendHelloTrace(body, flowCtx.Trace, flowCtx.Span); err != nil {
 				return fail(err)
+			}
+		}
+		if mb.recorder != nil {
+			if hello.HasSample {
+				head = hello.Sampled
+			} else {
+				head = mb.recorder.Decide(flowCtx.Trace)
+				if body, err = transport.AppendHelloSampled(body, head); err != nil {
+					return fail(err)
+				}
 			}
 		}
 	}
@@ -559,14 +602,14 @@ func (mb *Middlebox) interposeHello(client, server net.Conn) (transport.Hello, o
 	if err := transport.WriteRecord(client, transport.RecHelloReply, body); err != nil {
 		return fail(err)
 	}
-	return hello, flowCtx, ownRoot, nil
+	return hello, flowCtx, ownRoot, head, nil
 }
 
 // runPrepRetry runs the preparation protocol over one leg under
 // Config.PrepRetry: each attempt restarts from SubPrepStart (the
 // endpoint's preparation loop is restartable) with a fresh Timeouts.Prep
 // deadline. Retries are counted (obs.MBRetriesTotal, op=prep) and logged.
-func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middlebox, prepCtx obs.SpanCtx, legName string) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
+func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middlebox, prepCtx obs.SpanCtx, legName string, sink obs.Sink, fr *obs.FlowRecorder) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
 	var (
 		jobs   []*ruleprep.FragmentJob
 		labels [][]bbcrypto.Block
@@ -576,6 +619,7 @@ func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middle
 		pol.Notify = func(attempt int, err error, backoff time.Duration) {
 			if backoff > 0 {
 				mb.met.retried("prep")
+				fr.Event(obs.SpanEventRetry, legName, "prep")
 				mb.log.Warn("rule preparation failed, retrying",
 					"conn", id, "attempt", attempt, "backoff", backoff, "err", err)
 			}
@@ -585,7 +629,7 @@ func (mb *Middlebox) runPrepRetry(id uint64, leg net.Conn, prep *ruleprep.Middle
 		setDeadline(deadlineFor(mb.tmo.Prep), leg)
 		defer setDeadline(time.Time{}, leg)
 		var aerr error
-		jobs, labels, aerr = mb.runPrep(id, leg, prep, prepCtx, legName)
+		jobs, labels, aerr = mb.runPrep(id, leg, prep, prepCtx, legName, sink)
 		return aerr
 	})
 	return jobs, labels, err
@@ -604,9 +648,9 @@ func (mb *Middlebox) writeRecordT(c net.Conn, typ transport.RecordType, body []b
 // (garbled rows + endpoint-label transfer, which includes the wait for the
 // endpoint's garbling), ot_base (base-OT round) and ot_ext (IKNP extension
 // + unmask) — all children of the flow's prep span, Dir marking the leg.
-func (mb *Middlebox) runPrep(id uint64, leg net.Conn, prep *ruleprep.Middlebox, prepCtx obs.SpanCtx, legName string) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
+func (mb *Middlebox) runPrep(id uint64, leg net.Conn, prep *ruleprep.Middlebox, prepCtx obs.SpanCtx, legName string, sink obs.Sink) ([]*ruleprep.FragmentJob, [][]bbcrypto.Block, error) {
 	emit := func(name string, start time.Time, fill func(*obs.Span)) {
-		if mb.trace == nil {
+		if sink == nil {
 			return
 		}
 		sp := obs.Span{
@@ -617,7 +661,7 @@ func (mb *Middlebox) runPrep(id uint64, leg net.Conn, prep *ruleprep.Middlebox, 
 			fill(&sp)
 		}
 		prepCtx.Child().Stamp(&sp)
-		mb.trace.Emit(sp)
+		sink.Emit(sp)
 	}
 	n := prep.NumFragments()
 	start := make([]byte, 5)
@@ -755,6 +799,15 @@ type flow struct {
 	// spans stamp children of it. Written once before the forwarding
 	// goroutine starts, then read-only (shards read it concurrently).
 	tctx obs.SpanCtx
+	// sink receives this flow's spans: the connection's flight recorder
+	// when one exists, else the middlebox-wide trace sink, else nil.
+	// Written once with tctx, then read-only.
+	sink obs.Sink
+	// fr is the connection's flight recorder (nil without one); events —
+	// alerts, blocks, timeouts, degradation — are recorded through it so
+	// the flow's terminal state drives tail sampling. All FlowRecorder
+	// methods are nil-safe.
+	fr *obs.FlowRecorder
 	// shard is the detection shard this flow is pinned to (parallel mode).
 	shard int
 	// pending counts queued detection jobs; wait() is the barrier.
@@ -863,7 +916,7 @@ func (fl *flow) waitTimeout(d time.Duration) bool {
 func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 	fwdStart := time.Now()
 	fwdBytes := 0
-	if mb.trace != nil {
+	if fl.sink != nil {
 		defer func() {
 			sp := obs.Span{
 				Flow: fl.id, Dir: string(fl.dir), Party: obs.PartyMB, Name: obs.SpanForward,
@@ -871,7 +924,7 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 				Bytes: fwdBytes,
 			}
 			fl.tctx.Stamp(&sp)
-			mb.trace.Emit(sp)
+			fl.sink.Emit(sp)
 		}()
 	}
 	for {
@@ -881,6 +934,7 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 			if !errors.Is(err, io.EOF) {
 				if transport.IsTimeout(err) {
 					mb.met.timeout("idle")
+					fl.fr.Event(obs.SpanEventTimeout, string(fl.dir), "idle")
 					mb.log.Warn("idle deadline exceeded", "conn", fl.id, "dir", fl.dir)
 				}
 				mb.log.Debug("forward read ended", "conn", fl.id, "dir", fl.dir, "err", err)
@@ -956,6 +1010,7 @@ func (mb *Middlebox) forward(src, dst net.Conn, fl *flow) {
 		if err != nil {
 			if transport.IsTimeout(err) {
 				mb.met.timeout("write")
+				fl.fr.Event(obs.SpanEventTimeout, string(fl.dir), "write")
 				mb.log.Warn("write deadline exceeded", "conn", fl.id, "dir", fl.dir)
 			}
 			mb.log.Debug("forward write ended", "conn", fl.id, "dir", fl.dir, "err", err)
@@ -987,45 +1042,66 @@ func (mb *Middlebox) barrierWait(fl *flow) bool {
 		return true
 	}
 	mb.met.timeout("barrier")
+	fl.fr.Event(obs.SpanEventTimeout, string(fl.dir), "barrier")
 	if mb.cfg.Policy == FailOpen {
 		fl.degraded = true
 		mb.met.degraded.Inc()
+		fl.fr.Event(obs.SpanEventDegraded, string(fl.dir), "fail-open")
 		mb.log.Warn("detection unavailable, degrading to fail-open forwarding",
 			"conn", fl.id, "dir", fl.dir, "barrier", mb.tmo.Barrier)
 		return true
 	}
 	mb.met.fcDrops.Inc()
+	fl.fr.Event(obs.SpanEventDegraded, string(fl.dir), "fail-closed-drop")
 	mb.log.Warn("detection unavailable, severing connection (fail-closed)",
 		"conn", fl.id, "dir", fl.dir, "barrier", mb.tmo.Barrier)
 	fl.kill()
 	return false
 }
 
+// seqShardID is the interned Span.Shard value of inline (sequential-mode)
+// scans, so the per-batch span path never allocates a fresh *int.
+var seqShardID = obs.ShardID(-1)
+
+// shardID resolves a shard number to its interned Span.Shard pointer.
+//
+//bb:hotpath
+func (mb *Middlebox) shardID(shard int) *int {
+	if shard < 0 || mb.pool == nil {
+		return seqShardID
+	}
+	return mb.pool.shardIDs[shard]
+}
+
 // observeScan records one ScanBatch in the scan histogram and, when tracing,
-// as a scan span. shard is -1 for inline (sequential-mode) scans.
+// as a scan span. shard is -1 for inline (sequential-mode) scans. This runs
+// once per token batch on the detection shards — the hottest span-producing
+// path in the process — so it must not allocate.
+//
+//bb:hotpath
 func (mb *Middlebox) observeScan(fl *flow, start time.Time, shard, tokens int) {
 	dur := time.Since(start)
 	mb.met.scan.Observe(dur.Seconds())
-	if mb.trace != nil {
+	if fl.sink != nil {
 		sp := obs.Span{
 			Flow: fl.id, Dir: string(fl.dir), Party: obs.PartyMB,
-			Name: obs.SpanScan, Shard: obs.ShardID(shard),
+			Name: obs.SpanScan, Shard: mb.shardID(shard),
 			Start: start.UnixNano(), Dur: int64(dur), Tokens: tokens,
 		}
 		fl.tctx.Child().Stamp(&sp)
-		mb.trace.Emit(sp)
+		fl.sink.Emit(sp)
 	}
 }
 
-// observeSpan records dur-since-start in h and, when tracing is enabled,
+// observeSpan records dur-since-start in h and, when sink is non-nil,
 // emits sp with the timing filled in.
-func (mb *Middlebox) observeSpan(sp obs.Span, start time.Time, h *obs.Histogram) {
+func (mb *Middlebox) observeSpan(sink obs.Sink, sp obs.Span, start time.Time, h *obs.Histogram) {
 	dur := time.Since(start)
 	h.Observe(dur.Seconds())
-	if mb.trace != nil {
+	if sink != nil {
 		sp.Start = start.UnixNano()
 		sp.Dur = int64(dur)
-		mb.trace.Emit(sp)
+		sink.Emit(sp)
 	}
 }
 
@@ -1036,6 +1112,9 @@ func (mb *Middlebox) dispatchEvent(fl *flow, ev detect.Event) {
 	mb.met.alerts.Inc()
 	if ev.Kind == detect.RuleMatch {
 		mb.met.ruleAlert(ev.Rule.SID)
+		fl.fr.Event(obs.SpanEventAlert, string(fl.dir), "sid "+strconv.Itoa(ev.Rule.SID))
+	} else {
+		fl.fr.Event(obs.SpanEventAlert, string(fl.dir), "keyword")
 	}
 	if ev.HasSSLKey && !fl.recovered {
 		fl.recovered = true
@@ -1052,6 +1131,7 @@ func (mb *Middlebox) dispatchEvent(fl *flow, ev detect.Event) {
 	if ev.Kind == detect.RuleMatch && ev.Rule.Action == rules.Block {
 		if fl.blocked.CompareAndSwap(false, true) {
 			mb.met.blocked.Inc()
+			fl.fr.Event(obs.SpanEventBlocked, string(fl.dir), "sid "+strconv.Itoa(ev.Rule.SID))
 			mb.log.Info("block rule matched, severing connection",
 				"conn", fl.id, "dir", fl.dir, "sid", ev.Rule.SID)
 			fl.kill()
@@ -1107,6 +1187,7 @@ func (mb *Middlebox) secondaryInspect(fl *flow) {
 	mb.met.alerts.Add(uint64(len(res.RuleSIDs)))
 	for _, sid := range res.RuleSIDs {
 		mb.met.ruleAlert(sid)
+		fl.fr.Event(obs.SpanEventAlert, string(fl.dir), "secondary sid "+strconv.Itoa(sid))
 	}
 	mb.cfg.OnAlert(Alert{ConnID: fl.id, Direction: fl.dir, Secondary: true, SecondarySIDs: res.RuleSIDs})
 }

@@ -61,7 +61,10 @@ type detectPool struct {
 	// depth[i] gauges the queue occupancy of shard i (batches enqueued and
 	// not yet dequeued), resolved from the registry once at pool start.
 	depth []*obs.Gauge
-	wg    sync.WaitGroup
+	// shardIDs[i] is the interned Span.Shard pointer for shard i, so the
+	// per-batch scan-span path never allocates one.
+	shardIDs []*int
+	wg       sync.WaitGroup
 }
 
 // newDetectPool starts `shards` single-goroutine workers (0 means
@@ -74,13 +77,15 @@ func newDetectPool(mb *Middlebox, shards, depth int) *detectPool {
 		depth = defaultShardQueue
 	}
 	p := &detectPool{
-		shards: make([]chan detectJob, shards),
-		depth:  make([]*obs.Gauge, shards),
+		shards:   make([]chan detectJob, shards),
+		depth:    make([]*obs.Gauge, shards),
+		shardIDs: make([]*int, shards),
 	}
 	for i := range p.shards {
 		ch := make(chan detectJob, depth)
 		p.shards[i] = ch
 		p.depth[i] = mb.met.shardDepth.With(strconv.Itoa(i))
+		p.shardIDs[i] = obs.ShardID(i)
 		p.wg.Add(1)
 		go p.worker(mb, i, ch)
 	}

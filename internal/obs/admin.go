@@ -1,7 +1,8 @@
 // The admin HTTP endpoint: /metrics (Prometheus text), /metrics.json
-// (registry snapshot), /healthz, and net/http/pprof under /debug/pprof/.
-// cmd/bbmb and cmd/bbserver mount this behind their -admin flag; tests
-// mount it on httptest servers.
+// (registry snapshot), /healthz, net/http/pprof under /debug/pprof/, and —
+// when a Recorder is mounted — the flight-recorder views /debug/flows and
+// /debug/flightrecorder. cmd/bbmb and cmd/bbserver mount this behind their
+// -admin flag; tests mount it on httptest servers.
 
 package obs
 
@@ -11,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // AdminMux builds the admin endpoint for a registry. The pprof handlers
@@ -43,17 +45,66 @@ func AdminMux(r *Registry) *http.ServeMux {
 	return mux
 }
 
+// Mount adds the flight-recorder views to an admin mux:
+//
+//	/debug/flows               JSON {live, recent}: the flow tables
+//	/debug/flightrecorder?flow=N  on-demand ring dump of a live flow
+//
+// Both are read-only snapshots; dumping a flow does not flush or end it.
+func (r *Recorder) Mount(mux *http.ServeMux) {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore unchecked-err a failed debug-dump write means the client went away; nothing to do
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/debug/flows", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Live   []FlowSummary `json:"live"`
+			Recent []FlowSummary `json:"recent"`
+		}{r.Live(), r.Recent()})
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query().Get("flow")
+		if q == "" {
+			http.Error(w, "missing flow parameter (use /debug/flightrecorder?flow=<id>; see /debug/flows)", http.StatusBadRequest)
+			return
+		}
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad flow parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		f := r.lookup(id)
+		if f == nil {
+			http.Error(w, "no live flow "+q+" (ended flows appear in /debug/flows recent)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct {
+			Summary FlowSummary `json:"summary"`
+			Spans   []Span      `json:"spans"`
+		}{f.summary(DispositionLive, ""), f.Snapshot()})
+	})
+}
+
 // ServeAdmin listens on addr and serves the admin endpoint in a background
 // goroutine, returning the bound listener (so callers can report the
 // resolved port and close it on shutdown). Serve errors after a successful
 // bind are logged, not fatal: losing the admin port must not take down the
 // data path.
 func ServeAdmin(addr string, r *Registry, log *slog.Logger) (net.Listener, error) {
+	return ServeAdminMux(addr, AdminMux(r), log)
+}
+
+// ServeAdminMux is ServeAdmin for a caller-built mux (typically AdminMux
+// plus Recorder.Mount).
+func ServeAdminMux(addr string, mux *http.ServeMux, log *slog.Logger) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: AdminMux(r)}
+	srv := &http.Server{Handler: mux}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			OrNop(log).Error("admin endpoint stopped", "addr", ln.Addr().String(), "err", err)

@@ -58,6 +58,11 @@ type FlowTrace struct {
 	// links: missing parents, duplicate/extra roots, ID collisions, or
 	// parent cycles. A well-formed trace has none.
 	Orphans []Span
+	// Partial marks a sampled trace whose rooting party's spans never
+	// reached the sink (head decision false at that party, flow
+	// uninteresting there): Root is then a synthesized placeholder
+	// standing in for the sampled-out root span, not an emitted span.
+	Partial bool
 	// Offsets maps each party to the nanoseconds added to its clocks
 	// during alignment (root party: 0).
 	Offsets map[string]int64
@@ -183,6 +188,15 @@ func assembleOne(trace string, group []Span) *FlowTrace {
 			}
 		}
 	}
+	if root == nil {
+		// No parentless span. For a sampled trace (every span labeled
+		// head/tail by a flight recorder) that is expected, not an error:
+		// the rooting party's flow was sampled out, so its conn span never
+		// reached a sink. Synthesize the missing root instead of orphaning
+		// the whole flow.
+		root = synthesizeRoot(trace, group, nodes)
+		ft.Partial = root != nil
+	}
 	ft.Root = root
 	if root == nil {
 		for _, sp := range group {
@@ -195,12 +209,16 @@ func assembleOne(trace string, group []Span) *FlowTrace {
 	// Link children; reachability from the root (BFS over child links)
 	// is the acyclicity + completeness check: anything unreached —
 	// missing parent, second root, or a parent cycle — is an orphan.
+	// In a partial trace, spans whose parent was sampled out (any missing
+	// parent ID) adopt the synthesized root instead of orphaning.
 	for _, n := range nodes {
 		if n == root || n.Span.Parent == 0 {
 			continue
 		}
 		if p, ok := nodes[n.Span.Parent]; ok && p != n {
 			p.Children = append(p.Children, n)
+		} else if ft.Partial {
+			root.Children = append(root.Children, n)
 		}
 	}
 	reached := map[*SpanNode]bool{root: true}
@@ -236,6 +254,56 @@ func assembleOne(trace string, group []Span) *FlowTrace {
 	markCritical(root)
 	ft.CritNs = sumCrit(root)
 	return ft
+}
+
+// SpanPartialRoot names the placeholder root synthesized for a partial
+// sampled trace (see FlowTrace.Partial). It is never emitted by the
+// pipeline — only the assembler produces it.
+const SpanPartialRoot = "(sampled-out root)"
+
+// synthesizeRoot builds a stand-in root for a rootless sampled trace: the
+// most common missing parent ID is, in practice, the sampled-out root span
+// every flushed span hangs off (the trace-context root the hello carried),
+// so a placeholder under that ID re-adopts the children naturally. Returns
+// nil — keeping the legacy all-orphans behavior — unless every span in the
+// group carries a Sampled label.
+func synthesizeRoot(trace string, group []Span, nodes map[uint64]*SpanNode) *SpanNode {
+	missing := map[uint64]int{}
+	var earliest *Span
+	minStart, maxEnd := int64(0), int64(0)
+	for i := range group {
+		sp := &group[i]
+		if sp.Sampled == "" {
+			return nil
+		}
+		if _, ok := nodes[sp.Parent]; !ok {
+			missing[sp.Parent]++
+		}
+		if earliest == nil || sp.Start < minStart {
+			earliest = sp
+			minStart = sp.Start
+		}
+		if end := sp.Start + sp.Dur; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if earliest == nil || len(missing) == 0 {
+		return nil
+	}
+	rootID, best := uint64(0), 0
+	for id, n := range missing {
+		if n > best || (n == best && id < rootID) {
+			rootID, best = id, n
+		}
+	}
+	synth := &SpanNode{Span: Span{
+		TraceID: trace, SpanID: rootID, Name: SpanPartialRoot,
+		Party: earliest.Party, Flow: earliest.Flow,
+		Start: minStart, Dur: maxEnd - minStart,
+		Sampled: earliest.Sampled,
+	}}
+	nodes[rootID] = synth
+	return synth
 }
 
 func sortSpans(s []Span) {

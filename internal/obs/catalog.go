@@ -56,6 +56,15 @@ const (
 	BaselinePacketsTotal = "blindbox_baseline_packets_total"
 	BaselineHitsTotal    = "blindbox_baseline_pattern_hits_total"
 
+	// obs self-observability: the flight recorder / sampler watching itself
+	// (label owners: decision on sampler decisions, disposition on flows)
+	ObsSamplerDecisionsTotal = "blindbox_obs_sampler_decisions_total"
+	ObsFlowsTotal            = "blindbox_obs_flows_total"
+	ObsRingEvictionsTotal    = "blindbox_obs_ring_evictions_total"
+	ObsSpansFlushedTotal     = "blindbox_obs_spans_flushed_total"
+	ObsSpansDroppedTotal     = "blindbox_obs_spans_dropped_total"
+	ObsRecordSeconds         = "blindbox_obs_record_seconds"
+
 	// process identity (label owner: version)
 	BuildInfo = "blindbox_build_info"
 )
@@ -98,6 +107,13 @@ var Catalog = map[string]string{
 
 	BaselinePacketsTotal: "Packets processed by the plaintext baseline IDS pipeline.",
 	BaselineHitsTotal:    "Multi-pattern hits in the plaintext baseline IDS pipeline.",
+
+	ObsSamplerDecisionsTotal: "Head-sampling decisions taken when a flow's flight recorder begins; label: decision (sampled, unsampled).",
+	ObsFlowsTotal:            "Flows ended by the flight recorder by terminal disposition; label: disposition (head, tail, drop).",
+	ObsRingEvictionsTotal:    "Spans overwritten in full flight-recorder rings (oldest-first eviction).",
+	ObsSpansFlushedTotal:     "Spans delivered to the trace sink (head-sampled streaming plus tail flushes).",
+	ObsSpansDroppedTotal:     "Spans discarded by the flight recorder (unsampled clean flows and post-flush stragglers).",
+	ObsRecordSeconds:         "Flight-recorder record-path latency per span (ring append, lock included).",
 
 	BuildInfo: "Build identity gauge, always 1; label: version (Go version and VCS revision from debug.ReadBuildInfo).",
 }

@@ -49,6 +49,19 @@ const (
 	SpanPrepRuleEnc = "prep.rule_enc" // middlebox: verify + evaluate one rule circuit
 )
 
+// Event span names: zero-duration markers the flight recorder captures for
+// key flow-lifecycle incidents, so a tail-flushed trace explains *why* the
+// flow was interesting. They parent under the flow's connection context
+// like ordinary spans; Err carries the detail (leg, rule SID, fault).
+const (
+	SpanEventRetry    = "event.retry"    // a bounded retry fired (dial/prep)
+	SpanEventTimeout  = "event.timeout"  // a step deadline expired (barrier, idle, write)
+	SpanEventDegraded = "event.degraded" // fail-open degradation: flow forwards unscanned
+	SpanEventFault    = "event.fault"    // netem fault injected on a leg
+	SpanEventAlert    = "event.alert"    // detection event dispatched
+	SpanEventBlocked  = "event.blocked"  // block-action rule severed the flow
+)
+
 // Party values for Span.Party: which of the three BlindBox parties
 // emitted the span.
 const (
@@ -91,6 +104,11 @@ type Span struct {
 	Rows  int `json:"rows,omitempty"`
 	// Err carries the error that ended the span, if any.
 	Err string `json:"err,omitempty"`
+	// Sampled labels how the span reached the sink when a flight recorder
+	// mediated emission: "head" (deterministic head-sampling decision) or
+	// "tail" (flushed because the flow ended in an interesting terminal
+	// state). Empty for spans emitted directly to a sink.
+	Sampled string `json:"sampled,omitempty"`
 }
 
 // ShardID returns a pointer to n for Span.Shard, so scan spans can record
@@ -157,16 +175,42 @@ type SpanCtx struct {
 	Trace  TraceID
 	Span   uint64
 	Parent uint64
+	// str caches Trace's hex rendering so Stamp on a hot path costs a
+	// string-header copy instead of a per-span allocation. Contexts built
+	// by NewSpanCtx/JoinSpanCtx carry it; Child propagates it; contexts
+	// assembled field-by-field leave it empty and Stamp falls back to
+	// rendering per span.
+	str string
 }
 
 // NewSpanCtx starts a fresh trace and returns its root context
 // (Parent 0). The Trace/Span pair is what the hello extension carries.
 func NewSpanCtx() SpanCtx {
-	return SpanCtx{Trace: NewTraceID(), Span: NewSpanID()}
+	t := NewTraceID()
+	return SpanCtx{Trace: t, Span: NewSpanID(), str: t.String()}
+}
+
+// JoinSpanCtx adopts trace context received from a peer (the hello
+// extension's trace ID + root span ID), pre-rendering the trace string so
+// spans stamped under it stay allocation-free.
+func JoinSpanCtx(t TraceID, span uint64) SpanCtx {
+	return SpanCtx{Trace: t, Span: span, str: t.String()}
 }
 
 // Valid reports whether c carries trace context.
 func (c SpanCtx) Valid() bool { return !c.Trace.IsZero() }
+
+// TraceString returns the cached 32-hex rendering of c's trace ID,
+// computing it when c was assembled without one. Zero context: "".
+func (c SpanCtx) TraceString() string {
+	if !c.Valid() {
+		return ""
+	}
+	if c.str != "" {
+		return c.str
+	}
+	return c.Trace.String()
+}
 
 // Child allocates a context for a new child span of c: same trace, fresh
 // span ID, parent = c's span. Child of the zero context is the zero
@@ -175,7 +219,7 @@ func (c SpanCtx) Child() SpanCtx {
 	if !c.Valid() {
 		return SpanCtx{}
 	}
-	return SpanCtx{Trace: c.Trace, Span: NewSpanID(), Parent: c.Span}
+	return SpanCtx{Trace: c.Trace, Span: NewSpanID(), Parent: c.Span, str: c.str}
 }
 
 // Stamp writes c's identity onto sp (trace, span and parent IDs). A zero
@@ -184,7 +228,7 @@ func (c SpanCtx) Stamp(sp *Span) {
 	if !c.Valid() {
 		return
 	}
-	sp.TraceID = c.Trace.String()
+	sp.TraceID = c.TraceString()
 	sp.SpanID = c.Span
 	sp.Parent = c.Parent
 }

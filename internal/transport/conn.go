@@ -65,6 +65,13 @@ type ConnConfig struct {
 	// Endpoints never see middlebox connection IDs, so spans carry a
 	// transport-local flow sequence number instead.
 	Trace obs.Sink
+	// Recorder, when set, interposes a per-flow flight recorder between
+	// the span producers and Trace: head-sampled flows stream, flows that
+	// end in an interesting state flush their ring, the rest are dropped.
+	// A tracing client puts its head-sampling decision on the hello so
+	// middlebox and server keep the same flows. Nil preserves the legacy
+	// stream-everything behavior of Trace.
+	Recorder *obs.Recorder
 }
 
 // connSeq numbers instrumented endpoint connections process-wide, giving
@@ -85,13 +92,16 @@ type Conn struct {
 	// tmo is cfg.Timeouts resolved once at handshake time.
 	tmo Timeouts
 
-	aead           cipher.AEAD
-	seqOut, seqIn  uint64
-	writeMu        sync.Mutex
-	pipe           *core.SenderPipeline
-	validator      *core.Validator
-	readBuf        []byte
-	readErr        error
+	aead          cipher.AEAD
+	seqOut, seqIn uint64
+	writeMu       sync.Mutex
+	pipe          *core.SenderPipeline
+	validator     *core.Validator
+	readBuf       []byte
+	readErr       error
+	// termErr republishes readErr for Close, which may run on a
+	// different goroutine than the reader (e.g. under a stream Mux).
+	termErr        atomic.Pointer[error]
 	wroteClose     bool
 	validationSkip bool
 
@@ -102,6 +112,9 @@ type Conn struct {
 	records     *obs.Counter
 	recordBytes *obs.Histogram
 	trace       obs.Sink
+	// fr is this flow's flight recorder (nil without ConnConfig.Recorder);
+	// when set it is the span sink and owns the flush/drop decision.
+	fr *obs.FlowRecorder
 	// ctx is the connection span's trace context: the root of a fresh
 	// trace on a tracing client, or a child of the peer-negotiated root
 	// elsewhere. hsCtx is the handshake span's context (parent of the
@@ -119,6 +132,25 @@ func (c *Conn) party() string {
 		return obs.PartyClient
 	}
 	return obs.PartyServer
+}
+
+// traced reports whether this endpoint produces spans at all (directly to
+// Trace, or through a flight recorder).
+func (c *Conn) traced() bool {
+	return c.cfg.Trace != nil || c.cfg.Recorder != nil
+}
+
+// traceSink is where this connection's spans go: the flow's flight
+// recorder when one exists, else the configured sink (legacy streaming),
+// else nil.
+func (c *Conn) traceSink() obs.Sink {
+	if c.fr != nil {
+		return c.fr
+	}
+	if c.cfg.Trace != nil {
+		return c.cfg.Trace
+	}
+	return nil
 }
 
 // Dial opens a BlindBox HTTPS connection to addr (typically the middlebox
@@ -188,14 +220,21 @@ func (c *Conn) handshake() error {
 			defer func() { _ = c.raw.SetDeadline(time.Time{}) }()
 		}
 	}
-	return stepErr("handshake", c.runHandshake())
+	err := stepErr("handshake", c.runHandshake())
+	if err != nil {
+		// A failed handshake is this flow's terminal state: emit the
+		// connection span with the error and let the flight recorder
+		// flush (handshake failures are always interesting).
+		c.finishTrace(err.Error())
+	}
+	return err
 }
 
 // runHandshake is the deadline-free handshake body.
 func (c *Conn) runHandshake() error {
 	hsStart := time.Now()
 	c.connStart = hsStart
-	if c.cfg.Metrics != nil || c.cfg.Trace != nil {
+	if c.cfg.Metrics != nil || c.traced() {
 		c.flowID = connSeq.Add(1)
 	}
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
@@ -209,15 +248,23 @@ func (c *Conn) runHandshake() error {
 		Salt0:     c.cfg.Core.Salt0,
 	}
 	var peer Hello
+	var head bool
 	if c.isClient {
 		// A tracing client roots the flow's distributed trace and
 		// carries the context in its hello, so the middlebox and server
-		// parent their spans under this connection span.
-		if c.cfg.Trace != nil {
+		// parent their spans under this connection span. With a flight
+		// recorder the head-sampling decision rides along too, keeping
+		// all parties streaming (or buffering) the same flows.
+		if c.traced() {
 			c.ctx = obs.NewSpanCtx()
 			my.HasTrace = true
 			my.TraceID = c.ctx.Trace
 			my.TraceSpan = c.ctx.Span
+			if c.cfg.Recorder != nil {
+				head = c.cfg.Recorder.Decide(c.ctx.Trace)
+				my.HasSample = true
+				my.Sampled = head
+			}
 		}
 		if err := WriteRecord(c.raw, RecHello, MarshalHello(my)); err != nil {
 			return err
@@ -250,12 +297,22 @@ func (c *Conn) runHandshake() error {
 		my.Protocol, my.Mode, my.Salt0 = peer.Protocol, peer.Mode, peer.Salt0
 		// A tracing server joins the trace negotiated in the hello
 		// (rooted at the client, or injected by a tracing middlebox);
-		// without one it roots its own single-party trace.
-		if c.cfg.Trace != nil {
+		// without one it roots its own single-party trace. The sampling
+		// decision on the hello wins over a local one, so all parties
+		// agree; absent a wire decision the server's sampler decides
+		// (deterministic on the trace ID, so equal rates still agree).
+		if c.traced() {
 			if peer.HasTrace {
-				c.ctx = obs.SpanCtx{Trace: obs.TraceID(peer.TraceID), Span: peer.TraceSpan}.Child()
+				c.ctx = obs.JoinSpanCtx(obs.TraceID(peer.TraceID), peer.TraceSpan).Child()
 			} else {
 				c.ctx = obs.NewSpanCtx()
+			}
+			if c.cfg.Recorder != nil {
+				if peer.HasSample {
+					head = peer.Sampled
+				} else {
+					head = c.cfg.Recorder.Decide(c.ctx.Trace)
+				}
 			}
 		}
 		if err := WriteRecord(c.raw, RecHelloReply, MarshalHello(my)); err != nil {
@@ -264,6 +321,13 @@ func (c *Conn) runHandshake() error {
 	}
 	c.mbPresent = peer.MBPresent
 	c.hsCtx = c.ctx.Child()
+	if c.cfg.Recorder != nil {
+		// Begin the flight recorder before rule preparation so the
+		// prep.garble sub-spans land in the ring too.
+		if fr := c.cfg.Recorder.BeginFlowSampled(c.flowID, c.party(), c.ctx, head); fr != nil {
+			c.fr = fr
+		}
+	}
 
 	peerKey, err := ecdh.X25519().NewPublicKey(peer.PublicKey)
 	if err != nil {
@@ -295,10 +359,10 @@ func (c *Conn) runHandshake() error {
 // outgoing record metrics, and stage timing on the sender pipeline. With
 // neither Metrics nor Trace configured it leaves every handle nil.
 func (c *Conn) instrument(hsStart time.Time) {
-	if c.cfg.Metrics == nil && c.cfg.Trace == nil {
+	if c.cfg.Metrics == nil && !c.traced() {
 		return
 	}
-	c.trace = c.cfg.Trace
+	c.trace = c.traceSink()
 	dir := "s2c"
 	if c.isClient {
 		dir = "c2s"
@@ -344,10 +408,10 @@ func (c *Conn) MBPresent() bool { return c.mbPresent }
 // it garbles the generic function F and plays the OT sender.
 func (c *Conn) servePreparation() error {
 	ep := ruleprep.NewEndpoint(c.keys.K, c.cfg.RG.TagKey, c.keys.KRand)
-	if c.cfg.Trace != nil {
+	if sink := c.traceSink(); sink != nil {
 		// Per-circuit prep.garble spans parent under this endpoint's
 		// handshake span.
-		ep.SetTrace(c.cfg.Trace, c.hsCtx, c.flowID, c.party())
+		ep.SetTrace(sink, c.hsCtx, c.flowID, c.party())
 	}
 	var (
 		jobs   []*ruleprep.FragmentJob
@@ -544,18 +608,33 @@ func (c *Conn) CloseWrite() error {
 func (c *Conn) Close() error {
 	_ = c.CloseWrite()
 	err := c.raw.Close()
-	c.closeOnce.Do(func() {
-		if c.cfg.Trace == nil || !c.ctx.Valid() {
-			return
-		}
-		sp := obs.Span{
-			Flow: c.flowID, Party: c.party(), Name: obs.SpanConn,
-			Start: c.connStart.UnixNano(), Dur: int64(time.Since(c.connStart)),
-		}
-		c.ctx.Stamp(&sp)
-		c.cfg.Trace.Emit(sp)
-	})
+	errMsg := ""
+	if ep := c.termErr.Load(); ep != nil && *ep != io.EOF {
+		errMsg = (*ep).Error()
+	}
+	c.finishTrace(errMsg)
 	return err
+}
+
+// finishTrace emits the connection-level span exactly once and ends the
+// flow's flight recorder, which flushes or drops the ring depending on
+// head sampling and terminal state. errMsg is the flow's terminal error
+// ("" for a clean close); a non-empty error marks the flow interesting.
+func (c *Conn) finishTrace(errMsg string) {
+	c.closeOnce.Do(func() {
+		if sink := c.traceSink(); sink != nil && c.ctx.Valid() {
+			sp := obs.Span{
+				Flow: c.flowID, Party: c.party(), Name: obs.SpanConn,
+				Start: c.connStart.UnixNano(), Dur: int64(time.Since(c.connStart)),
+				Err: errMsg,
+			}
+			c.ctx.Stamp(&sp)
+			sink.Emit(sp)
+		}
+		if c.fr != nil {
+			c.fr.End(errMsg)
+		}
+	})
 }
 
 // SetValidationDisabled turns off receiver-side token validation — used
@@ -572,6 +651,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		}
 		if err := c.readRecord(); err != nil {
 			c.readErr = err
+			c.termErr.Store(&err)
 			return 0, err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 func FuzzUnmarshalHello(f *testing.F) {
 	f.Add(MarshalHello(Hello{PublicKey: make([]byte, 32), Protocol: 2, Mode: 1, Salt0: 7}))
 	f.Add(MarshalHello(Hello{PublicKey: make([]byte, 32), HasTrace: true, TraceID: [16]byte{1, 2}, TraceSpan: 99}))
+	f.Add(MarshalHello(Hello{PublicKey: make([]byte, 32), HasTrace: true, TraceID: [16]byte{3}, HasSample: true, Sampled: true}))
 	f.Add([]byte{})
 	f.Add([]byte{32, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -26,7 +27,8 @@ func FuzzUnmarshalHello(f *testing.F) {
 		}
 		if !bytes.Equal(h2.PublicKey, h.PublicKey) || h2.Salt0 != h.Salt0 ||
 			h2.Protocol != h.Protocol || h2.Mode != h.Mode || h2.MBPresent != h.MBPresent ||
-			h2.HasTrace != h.HasTrace || h2.TraceID != h.TraceID || h2.TraceSpan != h.TraceSpan {
+			h2.HasTrace != h.HasTrace || h2.TraceID != h.TraceID || h2.TraceSpan != h.TraceSpan ||
+			h2.HasSample != h.HasSample || h2.Sampled != h.Sampled {
 			t.Fatal("hello round trip diverged")
 		}
 	})

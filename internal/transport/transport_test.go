@@ -130,6 +130,98 @@ func TestAppendHelloTrace(t *testing.T) {
 	}
 }
 
+func TestHelloSampledExtension(t *testing.T) {
+	h := Hello{
+		PublicKey: bytes.Repeat([]byte{9}, 32),
+		Salt0:     42,
+		HasTrace:  true,
+		TraceID:   [16]byte{0xAA, 15: 0xBB},
+		TraceSpan: 7,
+		HasSample: true,
+		Sampled:   true,
+	}
+	enc := MarshalHello(h)
+	got, err := UnmarshalHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasSample || !got.Sampled {
+		t.Fatalf("sampling extension round trip: %+v", got)
+	}
+	h.Sampled = false
+	got, err = UnmarshalHello(MarshalHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasSample || got.Sampled {
+		t.Fatalf("negative decision round trip: %+v", got)
+	}
+	// The decision only rides along with a trace extension.
+	got, err = UnmarshalHello(MarshalHello(Hello{PublicKey: h.PublicKey, HasSample: true, Sampled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasSample {
+		t.Fatalf("sampling extension without trace context: %+v", got)
+	}
+	// MBPresent flips in place without disturbing either extension.
+	if err := SetMBPresent(enc); err != nil {
+		t.Fatal(err)
+	}
+	got, err = UnmarshalHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MBPresent || !got.HasTrace || !got.HasSample || !got.Sampled {
+		t.Fatalf("extensions lost across SetMBPresent: %+v", got)
+	}
+}
+
+func TestAppendHelloSampled(t *testing.T) {
+	plain := MarshalHello(Hello{PublicKey: bytes.Repeat([]byte{7}, 32), Salt0: 5})
+	// Without a trace extension there is nowhere to hang the decision.
+	out, err := AppendHelloSampled(plain, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, plain) {
+		t.Fatal("AppendHelloSampled modified an untraced hello")
+	}
+	traced, err := AppendHelloTrace(plain, [16]byte{1, 2, 3}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := AppendHelloSampled(traced, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalHello(sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasTrace || got.TraceSpan != 77 || !got.HasSample || !got.Sampled {
+		t.Fatalf("appended decision: %+v", got)
+	}
+	// A present decision is never rewritten — first writer wins, so every
+	// party downstream of the decider sees the same verdict.
+	again, err := AppendHelloSampled(sampled, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, sampled) {
+		t.Fatal("AppendHelloSampled rewrote an existing decision")
+	}
+	// Unknown trailing bytes are left alone, like AppendHelloTrace.
+	weird := append(append([]byte(nil), traced...), 0x7F, 0x7F)
+	out, err = AppendHelloSampled(weird, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, weird) {
+		t.Fatal("AppendHelloSampled touched an unknown extension")
+	}
+}
+
 func TestHelloRejectsShort(t *testing.T) {
 	for _, data := range [][]byte{nil, {32}, {4, 1, 2}} {
 		if _, err := UnmarshalHello(data); err == nil {

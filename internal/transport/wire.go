@@ -83,7 +83,9 @@ func ReadRecord(r io.Reader) (RecordType, []byte, error) {
 // exchange will follow the handshake. HasTrace marks an optional trailing
 // trace-context extension: the 128-bit distributed trace ID plus the root
 // span ID, so client, middlebox and server spans of one flow join into
-// one trace (DESIGN.md §8). Peers without tracing ignore the extension.
+// one trace (DESIGN.md §8). HasSample marks a second optional extension
+// carrying the head-sampling decision for the trace, so all three parties
+// stream or buffer the same flows. Peers without tracing ignore both.
 type Hello struct {
 	PublicKey []byte // X25519, 32 bytes
 	Protocol  dpienc.Protocol
@@ -93,18 +95,26 @@ type Hello struct {
 	HasTrace  bool
 	TraceID   [16]byte
 	TraceSpan uint64
+	HasSample bool // a head-sampling decision rides on the hello
+	Sampled   bool // the decision itself (bit0 of the extension flags)
 }
 
 // helloTraceExt tags the trace-context extension after the MBPresent
 // byte: 1 tag byte + 16 trace-ID bytes + 8 root-span-ID bytes.
+// helloSampledExt tags the sampling-decision extension after the trace
+// extension: 1 tag byte + 1 flags byte (bit0 = head-sampled). It is only
+// valid following a trace extension — a decision is meaningless without
+// the trace ID it applies to.
 const (
-	helloTraceExt    byte = 0x01
-	helloTraceExtLen      = 1 + 16 + 8
+	helloTraceExt      byte = 0x01
+	helloTraceExtLen        = 1 + 16 + 8
+	helloSampledExt    byte = 0x02
+	helloSampledExtLen      = 1 + 1
 )
 
 // MarshalHello encodes a Hello.
 func MarshalHello(h Hello) []byte {
-	out := make([]byte, 0, 32+11+helloTraceExtLen)
+	out := make([]byte, 0, 32+11+helloTraceExtLen+helloSampledExtLen)
 	out = append(out, byte(len(h.PublicKey)))
 	out = append(out, h.PublicKey...)
 	out = append(out, byte(h.Protocol), h.Mode)
@@ -121,6 +131,13 @@ func MarshalHello(h Hello) []byte {
 		out = append(out, h.TraceID[:]...)
 		binary.BigEndian.PutUint64(s[:], h.TraceSpan)
 		out = append(out, s[:]...)
+		if h.HasSample {
+			var flags byte
+			if h.Sampled {
+				flags = 1
+			}
+			out = append(out, helloSampledExt, flags)
+		}
 	}
 	return out
 }
@@ -146,6 +163,10 @@ func UnmarshalHello(data []byte) (Hello, error) {
 		h.HasTrace = true
 		copy(h.TraceID[:], ext[1:17])
 		h.TraceSpan = binary.BigEndian.Uint64(ext[17:25])
+		if ext = ext[helloTraceExtLen:]; len(ext) >= helloSampledExtLen && ext[0] == helloSampledExt {
+			h.HasSample = true
+			h.Sampled = ext[1]&1 == 1
+		}
 	}
 	return h, nil
 }
@@ -171,6 +192,32 @@ func AppendHelloTrace(encoded []byte, traceID [16]byte, rootSpan uint64) ([]byte
 	var s [8]byte
 	binary.BigEndian.PutUint64(s[:], rootSpan)
 	return append(out, s[:]...), nil
+}
+
+// AppendHelloSampled appends a sampling-decision extension to an encoded
+// hello that carries a trace extension but no decision — what the
+// middlebox does after deciding head sampling for a flow whose client
+// sent trace context without a decision. A hello without a trace
+// extension, with a decision already present, or with unknown trailing
+// bytes is returned unchanged (peers then decide locally).
+func AppendHelloSampled(encoded []byte, sampled bool) ([]byte, error) {
+	h, err := UnmarshalHello(encoded)
+	if err != nil {
+		return nil, err
+	}
+	if !h.HasTrace || h.HasSample {
+		return encoded, nil
+	}
+	if base := 1 + int(encoded[0]) + 11 + helloTraceExtLen; len(encoded) != base {
+		// Unknown trailing extension after the trace context: leave the
+		// hello alone rather than append where no parser would look.
+		return encoded, nil
+	}
+	var flags byte
+	if sampled {
+		flags = 1
+	}
+	return append(append([]byte(nil), encoded...), helloSampledExt, flags), nil
 }
 
 // SetMBPresent flips the MBPresent flag inside an encoded hello in place —

@@ -40,11 +40,16 @@ func main() {
 	current := flag.String("current", "BENCH_pipeline.json", "freshly generated pipeline result")
 	baseline := flag.String("baseline", "scripts/bench_baseline.json", "checked-in baseline result")
 	scenarios := flag.String("scenarios", "", "gate a BENCH_scenarios.json instead of the pipeline result")
+	obsPath := flag.String("obs", "", "gate a BENCH_obs.json (flight-recorder overhead) instead of the pipeline result")
 	design := flag.String("design", "DESIGN.md", "design doc that must enumerate every documented miss class")
 	flag.Parse()
 
 	if *scenarios != "" {
 		gateScenarios(*scenarios, *design)
+		return
+	}
+	if *obsPath != "" {
+		gateObs(*obsPath)
 		return
 	}
 
@@ -139,6 +144,45 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
+}
+
+// obsOverheadFloor is the tracing budget from DESIGN.md §8: a
+// traced-but-unsampled flow (what 99% of flows are at 1% sampling) must
+// keep at least 95% of the tracing-off token rate.
+const obsOverheadFloor = 0.95
+
+// gateObs enforces the flight-recorder cost contract on a BENCH_obs.json:
+// the unsampled pass within the overhead budget, zero steady-state
+// allocations on the record path, and proof that both dispositions were
+// actually exercised (the head pass flushed, the unsampled pass dropped).
+func gateObs(path string) {
+	res, err := experiments.ReadObsOverheadJSON(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	check := func(name string, ok bool, detail string) {
+		if ok {
+			fmt.Printf("ok   %-44s %s\n", name, detail)
+		} else {
+			failed = true
+			fmt.Printf("FAIL %-44s %s\n", name, detail)
+		}
+	}
+	check("unsampled/off overhead ratio", res.UnsampledOverheadRatio >= obsOverheadFloor,
+		fmt.Sprintf("%.3f (floor %.2f)", res.UnsampledOverheadRatio, obsOverheadFloor))
+	check("record path allocs/span", res.AllocsMeasured && res.RecordAllocsPerSpan <= allocCeiling,
+		fmt.Sprintf("%.4f (ceiling %.2g)", res.RecordAllocsPerSpan, allocCeiling))
+	check("head pass streamed spans", res.FlowsHead > 0 && res.SpansFlushed > 0,
+		fmt.Sprintf("%d flows, %d spans", res.FlowsHead, res.SpansFlushed))
+	check("unsampled pass dropped rings", res.FlowsDrop > 0 && res.SpansDropped > 0,
+		fmt.Sprintf("%d flows, %d spans", res.FlowsDrop, res.SpansDropped))
+	if failed {
+		fmt.Println("benchgate: OBSERVABILITY OVERHEAD FAILURE (rerun on an idle machine before concluding a regression)")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: obs ok")
 }
 
 // gateScenarios enforces the adversarial-conformance contract on a

@@ -69,6 +69,16 @@ go test -race -run 'TestEvasionE2E' -timeout 10m .
 go run ./cmd/blindbench -experiment scenarios -scenarios-out BENCH_scenarios.json
 go run ./scripts/benchgate -scenarios BENCH_scenarios.json -design DESIGN.md
 
+# Observability overhead: the flight recorder's cost contract (DESIGN.md
+# §8). The experiment times the batched detection path with tracing off,
+# recorded-but-unsampled, and head-sampled; benchgate enforces the budget —
+# unsampled flows keep >= 95% of the tracing-off rate and the record path
+# allocates nothing per span at steady state. BENCH_obs.json is uploaded as
+# a workflow artifact.
+step "observability overhead (obsoverhead + benchgate -obs)"
+go run ./cmd/blindbench -experiment obsoverhead -fast -obs-out BENCH_obs.json
+go run ./scripts/benchgate -obs BENCH_obs.json
+
 # Fuzz smoke: each corpus gets a short budget. `go test -fuzz` accepts a
 # single fuzz target per invocation, so loop over every target explicitly.
 step "fuzz smoke (${FUZZTIME} per target)"
@@ -89,6 +99,7 @@ done <<'EOF'
 ./internal/dpienc FuzzEncryptRecoverRoundTrip
 ./internal/dpienc FuzzCounterResetSync
 ./internal/detect FuzzIndexConsistency
+./internal/obs FuzzSamplerDecision
 EOF
 
 echo
