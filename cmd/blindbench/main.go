@@ -5,7 +5,7 @@
 //
 //	blindbench -experiment all
 //	blindbench -experiment table1|table2|fig3|fig4|fig5|fig6|accuracy|throughput|pipeline|setup|setupbreakdown|ablation|faults
-//	blindbench -experiment pipeline -parallel 4 -out BENCH_pipeline.json [-metrics-out metrics.json]
+//	blindbench -experiment pipeline -matrix 1,2,4,8 -out BENCH_pipeline.json [-matrix-md matrix.md] [-metrics-out metrics.json]
 //	blindbench -experiment faults -policy fail-closed -faults-out BENCH_faults.json
 //	blindbench -experiment setupbreakdown -setup-out BENCH_setup_breakdown.json [-trace-dir traces/]
 //	blindbench -experiment obsoverhead -obs-out BENCH_obs.json
@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -32,7 +34,9 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4, fig5, fig6, accuracy, throughput, pipeline, setup, setupbreakdown, ablation, faults, scenarios, obsoverhead")
 	fast := flag.Bool("fast", false, "reduce sample sizes for a quicker run")
-	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker count for the pipeline experiment's parallel stages (0 = self-tuned)")
+	matrix := flag.String("matrix", "", "pipeline: comma-separated GOMAXPROCS values for the scaling matrix (e.g. 1,2,4,8; empty disables)")
+	matrixMD := flag.String("matrix-md", "", "pipeline: also render the scaling matrix as a markdown table to this file")
 	out := flag.String("out", "BENCH_pipeline.json", "path for the pipeline experiment's machine-readable result (empty disables)")
 	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's obs registry snapshot to this JSON file")
 	policy := flag.String("policy", "fail-closed", "degradation policy for the faults experiment: fail-closed or fail-open")
@@ -52,7 +56,9 @@ func main() {
 		"fig6":       runFig6,
 		"accuracy":   runAccuracy,
 		"throughput": runThroughput,
-		"pipeline":   func(fast bool) error { return runPipeline(fast, *parallel, *out, *metricsOut) },
+		"pipeline": func(fast bool) error {
+			return runPipeline(fast, *parallel, *matrix, *matrixMD, *out, *metricsOut)
+		},
 		"setup":      runSetup,
 		"setupbreakdown": func(fast bool) error {
 			return runSetupBreakdown(fast, *setupOut, *traceDir)
@@ -172,9 +178,16 @@ func runThroughput(fast bool) error {
 	return nil
 }
 
-func runPipeline(fast bool, workers int, out, metricsOut string) error {
+func runPipeline(fast bool, workers int, matrix, matrixMD, out, metricsOut string) error {
 	opt := experiments.DefaultPipelineOptions()
 	opt.Workers = workers
+	if matrix != "" {
+		gmps, err := parseMatrix(matrix)
+		if err != nil {
+			return err
+		}
+		opt.Matrix = gmps
+	}
 	if fast {
 		opt.Rules = 500
 		opt.TrafficBytes = 1 << 20
@@ -194,6 +207,12 @@ func runPipeline(fast bool, workers int, out, metricsOut string) error {
 		}
 		fmt.Printf("wrote %s\n", out)
 	}
+	if matrixMD != "" {
+		if err := experiments.WriteMatrixMarkdown(matrixMD, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", matrixMD)
+	}
 	if metricsOut != "" {
 		data, err := json.MarshalIndent(opt.Metrics.Snapshot(), "", "  ")
 		if err != nil {
@@ -205,6 +224,27 @@ func runPipeline(fast bool, workers int, out, metricsOut string) error {
 		fmt.Printf("wrote %s\n", metricsOut)
 	}
 	return nil
+}
+
+// parseMatrix parses the -matrix flag: a comma-separated list of
+// GOMAXPROCS values, e.g. "1,2,4,8".
+func parseMatrix(s string) ([]int, error) {
+	var gmps []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-matrix: %q is not a positive GOMAXPROCS value", part)
+		}
+		gmps = append(gmps, n)
+	}
+	if len(gmps) == 0 {
+		return nil, fmt.Errorf("-matrix: no GOMAXPROCS values in %q", s)
+	}
+	return gmps, nil
 }
 
 func runSetup(fast bool) error {

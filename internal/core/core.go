@@ -19,6 +19,7 @@ import (
 	"repro/internal/ruleprep"
 	"repro/internal/rules"
 	"repro/internal/tokenize"
+	"repro/internal/tuning"
 )
 
 // Config fixes the per-connection protocol parameters both endpoints and
@@ -90,12 +91,27 @@ func NewSenderPipeline(keys bbcrypto.SessionKeys, cfg Config) *SenderPipeline {
 // calling goroutine, n > 1 fans each batch out over up to n goroutines, and
 // n <= 0 means GOMAXPROCS. The §3.2 counter-table assignment is always
 // sequential, so parallelism never changes the produced token stream —
-// only how fast it is computed.
+// only how fast it is computed. Prefer AutoTune, which also learns the
+// batch size below which fan-out cannot pay.
 func (p *SenderPipeline) SetParallelism(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	p.workers = n
+	p.enc.SetFanOut(n, 0)
+}
+
+// AutoTune applies the measured fan-out decision of internal/tuning to
+// this pipeline: batches past the calibrated break-even size fan their
+// AES step across the calibrated worker count, everything else — and
+// everything on hosts where handoffs cost more than they save — runs
+// sequentially, so the tuned pipeline is never slower than the sequential
+// one. The calibration is cached process-wide; per-connection callers pay
+// only a map lookup.
+func (p *SenderPipeline) AutoTune() {
+	t := tuning.Auto()
+	p.workers = t.EncryptWorkers
+	p.enc.SetFanOut(t.EncryptWorkers, t.EncryptMinBatch)
 }
 
 // Parallelism reports the configured AES fan-out.
@@ -158,12 +174,11 @@ func (p *SenderPipeline) timedEncrypt(dst []dpienc.EncryptedToken, toks []tokeni
 	return out
 }
 
-// encryptInto routes a token batch through the sequential or parallel
-// encryptor, reusing dst's backing array when large enough.
+// encryptInto encrypts a token batch, reusing dst's backing array when
+// large enough. The sequential-vs-parallel decision lives on the sender
+// (SetFanOut via SetParallelism/AutoTune), so every caller gets the same
+// routing.
 func (p *SenderPipeline) encryptInto(dst []dpienc.EncryptedToken, toks []tokenize.Token) []dpienc.EncryptedToken {
-	if p.workers > 1 {
-		return p.enc.EncryptTokensParallelInto(dst, toks, p.workers)
-	}
 	return p.enc.EncryptTokensInto(dst, toks)
 }
 

@@ -32,24 +32,24 @@ type TokenAssignment struct {
 // returned assignments may then be encrypted in any order, or concurrently
 // on disjoint ranges, via EncryptAssigned.
 //
+// Allocation contract: 0 allocs/op steady-state. Per call it allocates
+// only when dst must grow (amortized to the largest batch seen) or when a
+// token is seen for the first time ever (one state per distinct token,
+// amortized across all its occurrences).
+//
 //bb:hotpath
 func (s *Sender) AssignTokens(toks []tokenize.Token, dst []TokenAssignment) []TokenAssignment {
 	s.tokensC.Add(uint64(len(toks)))
 	stride := s.saltStride()
 	for _, t := range toks {
-		blk, ok := s.keys[t.Text]
-		if !ok {
-			tk := ComputeTokenKey(s.k, t.Text)
-			blk = bbcrypto.NewAES(tk)
-			s.keys[t.Text] = blk
-		}
-		ct := s.counts[t.Text]
-		s.counts[t.Text] = ct + stride
+		st := s.state(t.Text)
+		ct := st.ct
+		st.ct = ct + stride
 		if ct+stride > s.maxCt {
 			s.maxCt = ct + stride
 		}
 		//lint:ignore hotpath-alloc dst is the Sender's reusable scratch buffer; growth amortizes to steady-state batch capacity
-		dst = append(dst, TokenAssignment{blk: blk, salt: s.salt0 + ct, offset: t.Offset})
+		dst = append(dst, TokenAssignment{blk: st.blk, salt: s.salt0 + ct, offset: t.Offset})
 	}
 	return dst
 }
@@ -58,6 +58,12 @@ func (s *Sender) AssignTokens(toks []tokenize.Token, dst []TokenAssignment) []To
 // (out must be at least as long as assigned). It reads only immutable
 // Sender state (protocol, kSSL) and the stateless AES ciphers, so disjoint
 // (assigned, out) ranges of one batch may be encrypted concurrently.
+// Output order is exactly assignment order regardless of how ranges are
+// split.
+//
+// Allocation contract: 2 allocs/op (the hoisted pt/ct blocks escape
+// through the cipher.Block interface once per call), amortizing to well
+// under 0.01 allocs per token at any realistic batch size.
 //
 //bb:hotpath
 func (s *Sender) EncryptAssigned(assigned []TokenAssignment, out []EncryptedToken) {
@@ -84,14 +90,60 @@ func (s *Sender) EncryptAssigned(assigned []TokenAssignment, out []EncryptedToke
 	}
 }
 
-// minParallelBatch is the batch size below which fanning encryption out to
-// worker goroutines costs more than it saves.
+// minParallelBatch is the default batch size below which fanning
+// encryption out to worker goroutines costs more than it saves. SetFanOut
+// replaces it with a per-host measured break-even (internal/tuning).
 const minParallelBatch = 128
+
+// SetFanOut installs the fan-out decision EncryptTokensInto and
+// EncryptAssignedAuto apply: batches of at least minBatch tokens split
+// their stateless AES step across `workers` goroutines, smaller batches
+// (and everything when workers <= 1) run sequentially. workers <= 0 is
+// normalized to 1 and minBatch <= 0 to the built-in default; callers
+// normally pass a tuning.Tuning's EncryptWorkers/EncryptMinBatch rather
+// than inventing values.
+func (s *Sender) SetFanOut(workers, minBatch int) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if minBatch <= 0 {
+		minBatch = minParallelBatch
+	}
+	s.workers = workers
+	s.minParBatch = minBatch
+}
+
+// FanOut reports the sender's current fan-out decision (workers and the
+// minimum batch size that engages them).
+func (s *Sender) FanOut() (workers, minBatch int) {
+	return s.workers, s.minParBatch
+}
+
+// EncryptAssignedAuto is EncryptAssigned routed through the SetFanOut
+// decision: the AES step fans out only when the configured workers and
+// batch size say the goroutine handoffs will pay for themselves. Output
+// order and contents are byte-identical to EncryptAssigned either way.
+//
+// Allocation contract: 0 allocs/op steady-state on the sequential path
+// (2 per call, as EncryptAssigned); the parallel path adds one goroutine
+// spawn per worker per batch, already priced into the minBatch
+// break-even.
+func (s *Sender) EncryptAssignedAuto(assigned []TokenAssignment, out []EncryptedToken) {
+	if s.workers > 1 && len(assigned) >= s.minParBatch {
+		s.EncryptAssignedParallel(assigned, out, s.workers)
+		return
+	}
+	s.EncryptAssigned(assigned, out)
+}
 
 // EncryptAssignedParallel is EncryptAssigned with the AES work split across
 // up to `workers` goroutines. Each worker owns a contiguous range of the
-// batch, so out keeps exact stream order; small batches fall back to the
-// sequential path.
+// batch, so out keeps exact stream order and is byte-identical to the
+// sequential path; small batches fall back to it outright.
+//
+// Allocation contract: one goroutine spawn + closure per worker per call;
+// no per-token allocations. Prefer EncryptAssignedAuto, which engages this
+// path only past the measured break-even batch size.
 func (s *Sender) EncryptAssignedParallel(assigned []TokenAssignment, out []EncryptedToken, workers int) {
 	if workers > len(assigned)/minParallelBatch {
 		workers = len(assigned) / minParallelBatch
@@ -117,19 +169,29 @@ func (s *Sender) EncryptAssignedParallel(assigned []TokenAssignment, out []Encry
 }
 
 // EncryptTokensInto encrypts a batch of tokens in order, reusing dst's
-// backing array when it is large enough. The assignment scratch buffer
-// lives on the Sender, so steady-state batch encryption allocates nothing.
+// backing array when it is large enough, and applying the SetFanOut
+// decision to the stateless AES step (the default decision is fully
+// sequential). The counter-table assignment is always sequential, so the
+// produced stream is byte-identical whichever way the AES step runs.
+//
+// Allocation contract: 0 allocs/op steady-state — the assignment scratch
+// lives on the Sender and dst reallocates only on growth; first-seen
+// tokens and engaged fan-out cost as documented on AssignTokens and
+// EncryptAssignedAuto.
 func (s *Sender) EncryptTokensInto(dst []EncryptedToken, toks []tokenize.Token) []EncryptedToken {
 	s.scratch = s.AssignTokens(toks, s.scratch[:0])
 	dst = GrowTokenBuf(dst, len(toks))
-	s.EncryptAssigned(s.scratch, dst)
+	s.EncryptAssignedAuto(s.scratch, dst)
 	return dst
 }
 
 // EncryptTokensParallelInto is EncryptTokensInto with the stateless AES
-// step fanned out across up to `workers` goroutines. The counter-table
-// assignment stays sequential, so the produced stream is byte-identical to
-// the sequential path.
+// step fanned out across up to `workers` goroutines, ignoring the SetFanOut
+// decision. The counter-table assignment stays sequential, so the produced
+// stream is byte-identical to the sequential path.
+//
+// Allocation contract: as EncryptAssignedParallel — one goroutine spawn
+// per worker per batch, no per-token allocations.
 func (s *Sender) EncryptTokensParallelInto(dst []EncryptedToken, toks []tokenize.Token, workers int) []EncryptedToken {
 	s.scratch = s.AssignTokens(toks, s.scratch[:0])
 	dst = GrowTokenBuf(dst, len(toks))

@@ -68,7 +68,7 @@ func TestEncryptTokensMatchesEncryptToken(t *testing.T) {
 			}
 		}
 		// Counter tables must have advanced identically.
-		if seq.maxCt != batch.maxCt || len(seq.counts) != len(batch.counts) {
+		if seq.maxCt != batch.maxCt || len(seq.states) != len(batch.states) {
 			t.Fatalf("iter %d: counter tables diverged", iter)
 		}
 	}

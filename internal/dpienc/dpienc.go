@@ -143,17 +143,28 @@ type Sender struct {
 	kSSL     bbcrypto.Block
 	protocol Protocol
 
-	salt0  uint64
-	counts map[[tokenize.TokenSize]byte]uint64
-	maxCt  uint64
+	salt0 uint64
+	maxCt uint64
 
-	// keys caches AES_k(t) per distinct token; token key computation is one
-	// AES call but caching also saves the AES key schedule for repeats.
-	keys map[[tokenize.TokenSize]byte]cipher.Block
+	// states holds the per-distinct-token hot state — the cached AES_k(t)
+	// cipher and the §3.2 occurrence counter — in one map, so the
+	// per-token assignment step pays a single lookup instead of the two
+	// (counts + keys) it used to. Counter resets zero the ct fields in
+	// place; the key-schedule cache survives resets.
+	states map[[tokenize.TokenSize]byte]*tokenState
 
 	// scratch is the reusable assignment buffer of the batch path
 	// (EncryptTokensInto): batches allocate nothing in steady state.
 	scratch []TokenAssignment
+
+	// workers/minParBatch are the fan-out decision applied by
+	// EncryptTokensInto and EncryptAssignedAuto: batches of at least
+	// minParBatch tokens split their stateless AES step across `workers`
+	// goroutines; everything else runs sequentially. Defaults (1,
+	// minParallelBatch) mean sequential; SetFanOut installs a measured
+	// decision (see internal/tuning).
+	workers     int
+	minParBatch int
 
 	bytesSinceReset int
 	resetInterval   int
@@ -172,10 +183,33 @@ func NewSender(k, kSSL bbcrypto.Block, protocol Protocol, salt0 uint64) *Sender 
 		kSSL:          kSSL,
 		protocol:      protocol,
 		salt0:         salt0,
-		counts:        make(map[[tokenize.TokenSize]byte]uint64),
-		keys:          make(map[[tokenize.TokenSize]byte]cipher.Block),
+		states:        make(map[[tokenize.TokenSize]byte]*tokenState),
 		resetInterval: ResetInterval,
+		workers:       1,
+		minParBatch:   minParallelBatch,
 	}
+}
+
+// tokenState is the per-distinct-token state: the cached AES_k(t) cipher
+// (immutable once computed) and the §3.2 occurrence counter (reset every
+// P bytes).
+type tokenState struct {
+	blk cipher.Block
+	ct  uint64
+}
+
+// state returns the token's hot state, creating and caching it (one
+// AES_k(t) computation plus one key schedule) on first sight.
+//
+//bb:hotpath
+func (s *Sender) state(text [tokenize.TokenSize]byte) *tokenState {
+	st, ok := s.states[text]
+	if !ok {
+		tk := ComputeTokenKey(s.k, text)
+		st = &tokenState{blk: bbcrypto.NewAES(tk)}
+		s.states[text] = st
+	}
+	return st
 }
 
 // SetResetInterval overrides the counter-table reset interval P (mainly for
@@ -208,26 +242,21 @@ func (s *Sender) saltStride() uint64 {
 // order for the counter tables at sender and middlebox to stay in sync.
 func (s *Sender) EncryptToken(t tokenize.Token) EncryptedToken {
 	s.tokensC.Inc()
-	blk, ok := s.keys[t.Text]
-	if !ok {
-		tk := ComputeTokenKey(s.k, t.Text)
-		blk = bbcrypto.NewAES(tk)
-		s.keys[t.Text] = blk
-	}
-	ct := s.counts[t.Text]
+	st := s.state(t.Text)
+	ct := st.ct
 	stride := s.saltStride()
-	s.counts[t.Text] = ct + stride
+	st.ct = ct + stride
 	if ct+stride > s.maxCt {
 		s.maxCt = ct + stride
 	}
 
 	out := EncryptedToken{Offset: t.Offset}
-	out.C1 = encryptWith(blk, s.salt0+ct)
+	out.C1 = encryptWith(st.blk, s.salt0+ct)
 	if s.protocol == ProtocolIII {
 		var pt bbcrypto.Block
 		binary.BigEndian.PutUint64(pt[8:], s.salt0+ct+1)
 		var full bbcrypto.Block
-		blk.Encrypt(full[:], pt[:])
+		st.blk.Encrypt(full[:], pt[:])
 		out.C2 = full.XOR(s.kSSL)
 	}
 	return out
@@ -254,7 +283,7 @@ func (s *Sender) AccountBytes(n int) (uint64, bool) {
 	s.bytesSinceReset = 0
 	s.salt0 += s.maxCt + 1
 	s.maxCt = 0
-	clear(s.counts)
+	s.resetCounts()
 	s.resetsC.Inc()
 	return s.salt0, true
 }
@@ -264,8 +293,26 @@ func (s *Sender) Reset(newSalt0 uint64) {
 	s.salt0 = newSalt0
 	s.maxCt = 0
 	s.bytesSinceReset = 0
-	clear(s.counts)
+	s.resetCounts()
 	s.resetsC.Inc()
+}
+
+// countOf reads a token's current occurrence counter (0 if unseen);
+// tests use it to pin the salt schedule.
+func (s *Sender) countOf(text [tokenize.TokenSize]byte) uint64 {
+	if st, ok := s.states[text]; ok {
+		return st.ct
+	}
+	return 0
+}
+
+// resetCounts zeroes every occurrence counter in place. The cached key
+// schedules survive the reset — re-deriving AES_k(t) for the whole
+// working set after every P bytes was pure waste.
+func (s *Sender) resetCounts() {
+	for _, st := range s.states {
+		st.ct = 0
+	}
 }
 
 // RecoverSSLKey inverts the Protocol III embedding for a matched keyword:

@@ -72,7 +72,7 @@ func TestSaltsNeverRepeatPerToken(t *testing.T) {
 	words := []string{"AAAAAAAA", "BBBBBBBB", "CCCCCCCC"}
 	for i := 0; i < 1000; i++ {
 		w := words[i%len(words)]
-		before := s.counts[tok(w, 0).Text] + s.salt0
+		before := s.countOf(tok(w, 0).Text) + s.salt0
 		s.EncryptToken(tok(w, i))
 		m := seen[w]
 		if m == nil {
@@ -167,7 +167,7 @@ func TestResetNeverReusesSalts(t *testing.T) {
 	s.SetResetInterval(1)
 	used := make(map[uint64]bool)
 	for i := 0; i < 200; i++ {
-		base := s.salt0 + s.counts[tok("AAAAAAAA", 0).Text]
+		base := s.salt0 + s.countOf(tok("AAAAAAAA", 0).Text)
 		if used[base] || used[base+1] {
 			t.Fatalf("salt reuse at iteration %d", i)
 		}

@@ -1,0 +1,269 @@
+// GOMAXPROCS scaling matrix for the pipeline experiment: one row per
+// requested GOMAXPROCS value, each self-tuned by internal/tuning and
+// timed best-of-N. The matrix is what makes BENCH_pipeline.json honest
+// about parallelism — a single flat result at whatever GOMAXPROCS the
+// bench happened to run under (historically "cores": 1 and nothing else)
+// cannot show whether fan-out pays, and the gate cannot hold speedup
+// floors per core count without per-core rows.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/dpienc"
+	"repro/internal/tuning"
+)
+
+// MatrixRow is one GOMAXPROCS point of the scaling matrix. Speedups
+// compare the self-tuned paths against their sequential counterparts
+// under the same GOMAXPROCS; allocs are steady-state per token.
+type MatrixRow struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Cores is runtime.NumCPU — rows with GoMaxProcs > Cores are
+	// oversubscribed, and the tuner is expected to fall back to
+	// sequential there (speedups ≈ 1.0).
+	Cores int `json:"cores"`
+
+	// EncryptWorkers/EncryptMinBatch/DetectShards are the tuned decision
+	// for this row (EncryptMinBatch 0 means "never parallel").
+	EncryptWorkers  int `json:"encrypt_workers"`
+	EncryptMinBatch int `json:"encrypt_min_batch"`
+	DetectShards    int `json:"detect_shards"`
+	// HandoffNs/EncryptNsPerToken echo the calibration the decision came
+	// from.
+	HandoffNs         float64 `json:"handoff_ns"`
+	EncryptNsPerToken float64 `json:"encrypt_ns_per_token"`
+
+	EncryptSeqTokensPerSec   float64 `json:"encrypt_seq_tokens_per_sec"`
+	EncryptTunedTokensPerSec float64 `json:"encrypt_tuned_tokens_per_sec"`
+	// EncryptSpeedup is tuned/sequential over the stateless AES stage.
+	EncryptSpeedup float64 `json:"encrypt_speedup"`
+
+	DetectSeqTokensPerSec float64 `json:"detect_seq_tokens_per_sec"`
+	// DetectParTokensPerSec is the aggregate rate of Conns engines
+	// drained by the tuned shard count.
+	DetectParTokensPerSec float64 `json:"detect_par_tokens_per_sec"`
+	// DetectParSpeedup is the aggregate parallel rate over the
+	// single-engine sequential rate.
+	DetectParSpeedup float64 `json:"detect_par_speedup"`
+
+	EncryptAllocsPerToken float64 `json:"encrypt_allocs_per_token"`
+	DetectAllocsPerToken  float64 `json:"detect_allocs_per_token"`
+}
+
+// matrixReps is how many times each matrix measurement repeats; the best
+// (minimum-time) rep is recorded, discarding scheduler and GC noise.
+const matrixReps = 3
+
+// bestOf runs f reps times and returns the minimum wall-clock nanoseconds.
+func bestOf(reps int, f func()) int64 {
+	best := int64(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// measureAllocsPerToken reports the heap allocations of one call to f,
+// normalized per token.
+func measureAllocsPerToken(tokens int, f func()) float64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	if tokens == 0 {
+		return 0
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(tokens)
+}
+
+// runMatrix measures one MatrixRow per requested GOMAXPROCS value.
+// assigned/seqOut are the main run's counter-table assignments and their
+// sequential ciphertexts (the conformance reference); engines are reused
+// across rows via Reset, which replays identical matches.
+func runMatrix(opt PipelineOptions, sender *dpienc.Sender, assigned []dpienc.TokenAssignment,
+	seqOut []dpienc.EncryptedToken, mkEngine func() *detect.Engine) ([]MatrixRow, error) {
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	engines := make([]*detect.Engine, opt.Conns)
+	for i := range engines {
+		engines[i] = mkEngine()
+	}
+	scanAll := func(eng *detect.Engine, dst []detect.Event) []detect.Event {
+		for off := 0; off < len(seqOut); off += opt.Batch {
+			end := off + opt.Batch
+			if end > len(seqOut) {
+				end = len(seqOut)
+			}
+			dst = eng.ScanBatch(seqOut[off:end], dst[:0])
+		}
+		return dst
+	}
+
+	tokens := len(assigned)
+	tunedOut := make([]dpienc.EncryptedToken, tokens)
+	rows := make([]MatrixRow, 0, len(opt.Matrix))
+	for _, gmp := range opt.Matrix {
+		if gmp < 1 {
+			continue
+		}
+		runtime.GOMAXPROCS(gmp)
+		tn := tuning.Auto()
+		row := MatrixRow{
+			GoMaxProcs:        gmp,
+			Cores:             runtime.NumCPU(),
+			EncryptWorkers:    tn.EncryptWorkers,
+			DetectShards:      tn.DetectShards,
+			HandoffNs:         tn.Cal.HandoffNs,
+			EncryptNsPerToken: tn.Cal.EncryptNsPerToken,
+		}
+		if tn.EncryptMinBatch != math.MaxInt {
+			row.EncryptMinBatch = tn.EncryptMinBatch
+		}
+
+		// Encrypt: the stateless AES stage, sequential vs tuned, over the
+		// same assignments. The tuned output must be byte-identical.
+		seqNs := bestOf(matrixReps, func() { sender.EncryptAssigned(assigned, tunedOut) })
+		sender.SetFanOut(tn.EncryptWorkers, tn.EncryptMinBatch)
+		tunedNs := bestOf(matrixReps, func() { sender.EncryptAssignedAuto(assigned, tunedOut) })
+		sender.SetFanOut(1, 0)
+		for i := range seqOut {
+			//lint:ignore ct-compare conformance check between two locally computed ciphertexts of the same benchmark corpus; neither side is an attacker-observable secret
+			if seqOut[i] != tunedOut[i] {
+				return rows, fmt.Errorf("matrix gomaxprocs=%d: tuned ciphertext differs from sequential at token %d", gmp, i)
+			}
+		}
+		row.EncryptSeqTokensPerSec = tokensPerSec(tokens, seqNs)
+		row.EncryptTunedTokensPerSec = tokensPerSec(tokens, tunedNs)
+		if row.EncryptSeqTokensPerSec > 0 {
+			row.EncryptSpeedup = row.EncryptTunedTokensPerSec / row.EncryptSeqTokensPerSec
+		}
+
+		// Detect: one engine sequentially vs Conns engines drained by the
+		// tuned shard count (1 when the tuner chose inline detection).
+		var scratch []detect.Event
+		detSeqNs := bestOf(matrixReps, func() {
+			engines[0].Reset(0)
+			scratch = scanAll(engines[0], scratch)
+		})
+		workers := tn.DetectShards
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > opt.Conns {
+			workers = opt.Conns
+		}
+		detParNs := bestOf(matrixReps, func() {
+			ch := make(chan *detect.Engine, opt.Conns)
+			for _, e := range engines {
+				e.Reset(0)
+				ch <- e
+			}
+			close(ch)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var dst []detect.Event
+					for e := range ch {
+						dst = scanAll(e, dst)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		row.DetectSeqTokensPerSec = tokensPerSec(tokens, detSeqNs)
+		row.DetectParTokensPerSec = tokensPerSec(tokens*opt.Conns, detParNs)
+		if row.DetectSeqTokensPerSec > 0 {
+			row.DetectParSpeedup = row.DetectParTokensPerSec / row.DetectSeqTokensPerSec
+		}
+
+		// Steady-state allocation audit under this row's tuning.
+		sender.SetFanOut(tn.EncryptWorkers, tn.EncryptMinBatch)
+		row.EncryptAllocsPerToken = measureAllocsPerToken(tokens, func() {
+			sender.EncryptAssignedAuto(assigned, tunedOut)
+		})
+		sender.SetFanOut(1, 0)
+		engines[0].Reset(0)
+		scratch = scanAll(engines[0], scratch)
+		engines[0].Reset(0)
+		row.DetectAllocsPerToken = measureAllocsPerToken(tokens, func() {
+			scratch = scanAll(engines[0], scratch)
+		})
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintMatrix renders the scaling matrix as an aligned text table.
+func PrintMatrix(w io.Writer, rows []MatrixRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "GOMAXPROCS scaling matrix (%d cores, self-tuned fan-out, best of %d):\n",
+		rows[0].Cores, matrixReps)
+	t := newTable(w)
+	t.row("gomaxprocs", "workers", "minbatch", "shards", "enc seq", "enc tuned", "enc x", "det seq", "det par", "det x")
+	for _, r := range rows {
+		minBatch := fmt.Sprintf("%d", r.EncryptMinBatch)
+		if r.EncryptMinBatch == 0 {
+			minBatch = "-"
+		}
+		t.row(
+			fmt.Sprintf("%d", r.GoMaxProcs),
+			fmt.Sprintf("%d", r.EncryptWorkers),
+			minBatch,
+			fmt.Sprintf("%d", r.DetectShards),
+			fmt.Sprintf("%.2fM", r.EncryptSeqTokensPerSec/1e6),
+			fmt.Sprintf("%.2fM", r.EncryptTunedTokensPerSec/1e6),
+			fmt.Sprintf("%.2fx", r.EncryptSpeedup),
+			fmt.Sprintf("%.2fM", r.DetectSeqTokensPerSec/1e6),
+			fmt.Sprintf("%.2fM", r.DetectParTokensPerSec/1e6),
+			fmt.Sprintf("%.2fx", r.DetectParSpeedup),
+		)
+	}
+	t.flush()
+}
+
+// MatrixMarkdown renders the scaling matrix as a GitHub-flavored markdown
+// table — the artifact CI uploads and PERFORMANCE.md embeds.
+func MatrixMarkdown(res PipelineResult) string {
+	out := fmt.Sprintf("GOMAXPROCS scaling matrix — %d rules, %d tokens, %d cores (tokens/sec; speedups are tuned vs sequential at the same GOMAXPROCS).\n\n",
+		res.Rules, res.Tokens, res.Cores)
+	out += "| GOMAXPROCS | tuned workers | min batch | shards | encrypt seq | encrypt tuned | encrypt speedup | detect seq | detect par (aggregate) | detect speedup | enc allocs/tok | det allocs/tok |\n"
+	out += "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n"
+	for _, r := range res.Matrix {
+		minBatch := fmt.Sprintf("%d", r.EncryptMinBatch)
+		if r.EncryptMinBatch == 0 {
+			minBatch = "— (seq)"
+		}
+		out += fmt.Sprintf("| %d | %d | %s | %d | %.2fM | %.2fM | %.2fx | %.2fM | %.2fM | %.2fx | %.4f | %.4f |\n",
+			r.GoMaxProcs, r.EncryptWorkers, minBatch, r.DetectShards,
+			r.EncryptSeqTokensPerSec/1e6, r.EncryptTunedTokensPerSec/1e6, r.EncryptSpeedup,
+			r.DetectSeqTokensPerSec/1e6, r.DetectParTokensPerSec/1e6, r.DetectParSpeedup,
+			r.EncryptAllocsPerToken, r.DetectAllocsPerToken)
+	}
+	return out
+}
+
+// WriteMatrixMarkdown writes MatrixMarkdown to path.
+func WriteMatrixMarkdown(path string, res PipelineResult) error {
+	return os.WriteFile(path, []byte(MatrixMarkdown(res)), 0o644)
+}

@@ -25,10 +25,17 @@ import (
 	"repro/internal/dpienc"
 	"repro/internal/obs"
 	"repro/internal/tokenize"
+	"repro/internal/tuning"
 )
 
-// PipelineSchema identifies the JSON layout of PipelineResult.
-const PipelineSchema = "blindbox-bench-pipeline/v1"
+// PipelineSchema identifies the JSON layout of PipelineResult. v2 added
+// the per-GOMAXPROCS scaling matrix; v1 files (no matrix) are still
+// readable.
+const PipelineSchema = "blindbox-bench-pipeline/v2"
+
+// pipelineSchemaV1 is the pre-matrix layout, accepted on read so old
+// baselines keep gating the flat fields.
+const pipelineSchemaV1 = "blindbox-bench-pipeline/v1"
 
 // PipelineOptions sizes the pipeline experiment.
 type PipelineOptions struct {
@@ -36,8 +43,13 @@ type PipelineOptions struct {
 	TrafficBytes int
 	Mode         tokenize.Mode
 	// Workers is the AES fan-out and the detection worker count; <= 0
-	// means GOMAXPROCS.
+	// means self-tuned (the internal/tuning calibration, which falls back
+	// to 1 when fan-out cannot pay on this host).
 	Workers int
+	// Matrix lists GOMAXPROCS values to additionally measure as
+	// self-tuned scaling-matrix rows (e.g. 1,2,4,8). Empty skips the
+	// matrix.
+	Matrix []int
 	// Conns is how many independent connections the parallel detection
 	// stage simulates (one engine each, pinned like middlebox shards).
 	Conns int
@@ -129,6 +141,11 @@ type PipelineResult struct {
 	// present only when PipelineOptions.Metrics was set (blindbench
 	// -metrics-out).
 	Metrics map[string]any `json:"metrics,omitempty"`
+
+	// Matrix is the per-GOMAXPROCS scaling matrix (schema v2); one row
+	// per PipelineOptions.Matrix value. Empty in v1 baselines and runs
+	// without -matrix.
+	Matrix []MatrixRow `json:"matrix,omitempty"`
 }
 
 func tokensPerSec(tokens int, ns int64) float64 {
@@ -144,7 +161,7 @@ func tokensPerSec(tokens int, ns int64) float64 {
 // not just a timing.
 func Pipeline(opt PipelineOptions) (PipelineResult, error) {
 	if opt.Workers <= 0 {
-		opt.Workers = runtime.GOMAXPROCS(0)
+		opt.Workers = tuning.Auto().EncryptWorkers
 	}
 	if opt.Conns <= 0 {
 		opt.Conns = 8
@@ -351,6 +368,13 @@ func Pipeline(opt PipelineOptions) (PipelineResult, error) {
 		res.DetectObsSpeedup = res.DetectObsTokensPerSec / res.DetectBatchTokensPerSec
 		res.DetectTraceSpeedup = res.DetectTraceTokensPerSec / res.DetectBatchTokensPerSec
 	}
+
+	if len(opt.Matrix) > 0 {
+		res.Matrix, err = runMatrix(opt, sender, assigned, seqOut, mkEngine)
+		if err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }
 
@@ -374,8 +398,9 @@ func ReadPipelineJSON(path string) (PipelineResult, error) {
 	if err := json.Unmarshal(blob, &res); err != nil {
 		return PipelineResult{}, err
 	}
-	if res.Schema != PipelineSchema {
-		return PipelineResult{}, fmt.Errorf("pipeline: %s has schema %q, want %q", path, res.Schema, PipelineSchema)
+	if res.Schema != PipelineSchema && res.Schema != pipelineSchemaV1 {
+		return PipelineResult{}, fmt.Errorf("pipeline: %s has schema %q, want %q (or legacy %q)",
+			path, res.Schema, PipelineSchema, pipelineSchemaV1)
 	}
 	return res, nil
 }
@@ -416,6 +441,9 @@ func PrintPipeline(w io.Writer, r PipelineResult) {
 	if r.AllocsMeasured {
 		fmt.Fprintf(w, "steady-state allocations: encrypt %.4f allocs/token, detect batched %.4f allocs/token\n",
 			r.EncryptAllocsPerToken, r.DetectAllocsPerToken)
+	}
+	if len(r.Matrix) > 0 {
+		PrintMatrix(w, r.Matrix)
 	}
 	fmt.Fprintln(w, "shape: assignment is the only sequential step; AES and per-connection detection scale with cores (§6)")
 }

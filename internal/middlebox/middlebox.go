@@ -32,6 +32,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/tokenize"
 	"repro/internal/transport"
+	"repro/internal/tuning"
 )
 
 // Direction labels one half of a proxied connection.
@@ -84,9 +85,15 @@ type Config struct {
 	// did. Used by the conformance suite to compare pipelines; production
 	// configurations should leave it false.
 	Sequential bool
-	// DetectShards overrides the number of detection worker shards
-	// (default GOMAXPROCS). Each shard is one goroutine owning the
-	// engines of the flows pinned to it.
+	// DetectShards sets the number of detection worker shards, each one
+	// goroutine owning the engines of the flows pinned to it. 0 (the
+	// default) self-tunes: the internal/tuning calibration sizes the pool
+	// to the effective parallelism, and on hosts where fan-out cannot pay
+	// (a single effective proc) detection runs inline on the forwarding
+	// goroutines — the sequential fallback, so parallel is never slower
+	// than sequential. > 0 forces that shard count; negative forces the
+	// legacy GOMAXPROCS sizing. The count is adjustable at runtime with
+	// SetDetectShards.
 	DetectShards int
 	// ShardQueue overrides the per-shard bounded queue depth in token
 	// batches (default 64). Smaller values tighten back-pressure.
@@ -219,9 +226,41 @@ func New(cfg Config) (*Middlebox, error) {
 		mb.secondary = baseline.New(cfg.Ruleset.Ruleset)
 	}
 	if !cfg.Sequential {
-		mb.pool = newDetectPool(mb, cfg.DetectShards, cfg.ShardQueue)
+		shards := cfg.DetectShards
+		if shards == 0 {
+			shards = tuning.Auto().DetectShards
+		}
+		// A tuned decision of <= 1 shard means fan-out cannot pay here:
+		// run detection inline (pool == nil), exactly like Sequential
+		// mode, rather than paying queue handoffs to a single worker.
+		if shards != 0 {
+			mb.pool = newDetectPool(mb, shards, cfg.ShardQueue)
+		}
 	}
 	return mb, nil
+}
+
+// SetDetectShards resizes the detection pool at runtime to n shards
+// (values below 1 are clamped to 1). Only new flows are re-balanced:
+// existing flows keep their pinned shard so the §3.2 per-flow ordering
+// invariant holds across the resize. It fails on middleboxes running
+// inline detection (Sequential mode or a self-tuned sequential fallback),
+// which have no pool to resize, and after Close.
+func (mb *Middlebox) SetDetectShards(n int) error {
+	if mb.pool == nil {
+		return errors.New("middlebox: inline detection (no shard pool) cannot be resized")
+	}
+	return mb.pool.resize(n)
+}
+
+// DetectShards reports how many detection shards new flows are currently
+// pinned across; 0 means detection runs inline on the forwarding
+// goroutines.
+func (mb *Middlebox) DetectShards() int {
+	if mb.pool == nil {
+		return 0
+	}
+	return int(mb.pool.active.Load())
 }
 
 // beginConn registers one active connection, failing after Close. The
@@ -1070,7 +1109,7 @@ func (mb *Middlebox) shardID(shard int) *int {
 	if shard < 0 || mb.pool == nil {
 		return seqShardID
 	}
-	return mb.pool.shardIDs[shard]
+	return mb.pool.shardLabel(shard)
 }
 
 // observeScan records one ScanBatch in the scan histogram and, when tracing,

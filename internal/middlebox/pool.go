@@ -4,8 +4,10 @@
 // The paper's middlebox runs one "detection thread" per connection
 // direction (§6); at scale that means thousands of CPU-heavy goroutines
 // thrashing schedulers and caches. Instead, forwarding goroutines stay
-// I/O-bound and hand token *batches* to a fixed set of detection shards
-// (default GOMAXPROCS). Correctness hinges on two invariants:
+// I/O-bound and hand token *batches* to a small set of detection shards
+// (sized by the internal/tuning calibration by default, resizable at
+// runtime via Middlebox.SetDetectShards). Correctness hinges on two
+// invariants:
 //
 //  1. Per-flow pinning. Every flow (connection direction) is pinned to one
 //     shard for its lifetime, so its engine — whose §3.2 fragment counters
@@ -30,9 +32,11 @@
 package middlebox
 
 import (
+	"errors"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
@@ -55,20 +59,44 @@ type detectJob struct {
 	reset bool
 }
 
-// detectPool fans detection jobs across shard workers.
-type detectPool struct {
-	shards []chan detectJob
+// shardSet is one immutable snapshot of the pool's shards. Resizes
+// publish a fresh snapshot via detectPool.set instead of mutating slices
+// under live submitters; the channels themselves are shared between
+// snapshots, never re-created.
+type shardSet struct {
+	chans []chan detectJob
 	// depth[i] gauges the queue occupancy of shard i (batches enqueued and
-	// not yet dequeued), resolved from the registry once at pool start.
+	// not yet dequeued), resolved from the registry once at shard start.
 	depth []*obs.Gauge
-	// shardIDs[i] is the interned Span.Shard pointer for shard i, so the
+	// ids[i] is the interned Span.Shard pointer for shard i, so the
 	// per-batch scan-span path never allocates one.
-	shardIDs []*int
-	wg       sync.WaitGroup
+	ids []*int
 }
 
-// newDetectPool starts `shards` single-goroutine workers (0 means
-// GOMAXPROCS) with queue depth `depth` (0 means defaultShardQueue).
+// detectPool fans detection jobs across shard workers. The shard count is
+// resizable at runtime (SetDetectShards): growing starts new workers,
+// shrinking only lowers `active` — flows already pinned to a higher shard
+// keep it for their lifetime (the §3.2 pinning invariant), so drained
+// high shards idle until a grow reuses or close stops them.
+type detectPool struct {
+	mb         *Middlebox
+	queueDepth int
+
+	// set is the current shard snapshot; submit and shardLabel load it
+	// lock-free. It only ever grows.
+	set atomic.Pointer[shardSet]
+	// active is how many shards new flows are pinned across
+	// (active <= len(set.chans) always).
+	active atomic.Int64
+
+	// mu serializes resize and close (never taken on the hot path).
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newDetectPool starts `shards` single-goroutine workers (<= 0 means
+// GOMAXPROCS) with queue depth `depth` (<= 0 means defaultShardQueue).
 func newDetectPool(mb *Middlebox, shards, depth int) *detectPool {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -76,49 +104,92 @@ func newDetectPool(mb *Middlebox, shards, depth int) *detectPool {
 	if depth <= 0 {
 		depth = defaultShardQueue
 	}
-	p := &detectPool{
-		shards:   make([]chan detectJob, shards),
-		depth:    make([]*obs.Gauge, shards),
-		shardIDs: make([]*int, shards),
-	}
-	for i := range p.shards {
-		ch := make(chan detectJob, depth)
-		p.shards[i] = ch
-		p.depth[i] = mb.met.shardDepth.With(strconv.Itoa(i))
-		p.shardIDs[i] = obs.ShardID(i)
-		p.wg.Add(1)
-		go p.worker(mb, i, ch)
-	}
+	p := &detectPool{mb: mb, queueDepth: depth}
+	p.set.Store(&shardSet{})
+	p.grow(shards)
+	p.active.Store(int64(shards))
 	return p
 }
 
-// shardIndex pins a flow to a shard. Both directions of one connection land
-// on different shards when possible, so a single busy connection can use
-// two cores.
+// grow publishes a snapshot with at least n shards, starting workers for
+// the new ones. Callers hold p.mu (or are the constructor).
+func (p *detectPool) grow(n int) {
+	old := p.set.Load()
+	if n <= len(old.chans) {
+		return
+	}
+	ns := &shardSet{
+		chans: append([]chan detectJob(nil), old.chans...),
+		depth: append([]*obs.Gauge(nil), old.depth...),
+		ids:   append([]*int(nil), old.ids...),
+	}
+	for i := len(old.chans); i < n; i++ {
+		ch := make(chan detectJob, p.queueDepth)
+		ns.chans = append(ns.chans, ch)
+		ns.depth = append(ns.depth, p.mb.met.shardDepth.With(strconv.Itoa(i)))
+		ns.ids = append(ns.ids, obs.ShardID(i))
+		p.wg.Add(1)
+		go p.worker(p.mb, i, ns.depth[i], ch)
+	}
+	p.set.Store(ns)
+}
+
+// errPoolClosed reports a resize attempted after Close began.
+var errPoolClosed = errors.New("middlebox: detection pool closed")
+
+// resize changes the number of shards new flows are pinned across.
+// Existing flows keep their shard — moving a flow would let two workers
+// touch its engine and break the §3.2 counter-ordering invariant — so a
+// shrink takes effect as pinned flows finish.
+func (p *detectPool) resize(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errPoolClosed
+	}
+	p.grow(n)
+	p.active.Store(int64(n))
+	return nil
+}
+
+// shardIndex pins a flow to a shard among the currently active ones. Both
+// directions of one connection land on different shards when possible, so
+// a single busy connection can use two cores.
 func (p *detectPool) shardIndex(connID uint64, dir Direction) int {
 	i := connID * 2
 	if dir == ServerToClient {
 		i++
 	}
-	return int(i % uint64(len(p.shards)))
+	return int(i % uint64(p.active.Load()))
+}
+
+// shardLabel resolves a shard to its interned Span.Shard pointer.
+func (p *detectPool) shardLabel(shard int) *int {
+	return p.set.Load().ids[shard]
 }
 
 // submit enqueues a job on the flow's shard. It blocks when the shard queue
 // is full — that is the back-pressure policy. The flow's pending count must
-// already be incremented (flow.enqueue does both).
+// already be incremented (flow.enqueue does both). The loaded snapshot
+// always covers fl.shard: snapshots only grow, and the flow was pinned
+// against a snapshot at least as old.
 func (p *detectPool) submit(job detectJob) {
-	p.depth[job.fl.shard].Add(1)
-	p.shards[job.fl.shard] <- job
+	set := p.set.Load()
+	set.depth[job.fl.shard].Add(1)
+	set.chans[job.fl.shard] <- job
 }
 
 // worker drains one shard. The events scratch buffer is reused across
 // batches, so steady-state detection allocates only on matches that grow
 // it.
-func (p *detectPool) worker(mb *Middlebox, shard int, ch chan detectJob) {
+func (p *detectPool) worker(mb *Middlebox, shard int, depth *obs.Gauge, ch chan detectJob) {
 	defer p.wg.Done()
 	var scratch []detect.Event
 	for job := range ch {
-		p.depth[shard].Add(-1)
+		depth.Add(-1)
 		fl := job.fl
 		if job.reset {
 			fl.engine.Reset(job.salt)
@@ -141,7 +212,11 @@ func (p *detectPool) worker(mb *Middlebox, shard int, ch chan detectJob) {
 // close shuts the shard queues and waits for the workers to drain every
 // queued job — the graceful-drain half of Middlebox.Close.
 func (p *detectPool) close() {
-	for _, ch := range p.shards {
+	p.mu.Lock()
+	p.closed = true
+	set := p.set.Load()
+	p.mu.Unlock()
+	for _, ch := range set.chans {
 		close(ch)
 	}
 	p.wg.Wait()

@@ -185,7 +185,9 @@ func TestSequentialConfigDisablesPool(t *testing.T) {
 // flow, spread across shards, directions of one connection separated when
 // more than one shard exists.
 func TestShardIndexPinsFlows(t *testing.T) {
-	p := &detectPool{shards: make([]chan detectJob, 4)}
+	p := &detectPool{}
+	p.set.Store(&shardSet{chans: make([]chan detectJob, 4)})
+	p.active.Store(4)
 	for id := uint64(1); id < 100; id++ {
 		a := p.shardIndex(id, ClientToServer)
 		if a != p.shardIndex(id, ClientToServer) {

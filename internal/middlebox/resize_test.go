@@ -1,0 +1,150 @@
+package middlebox
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/transport"
+)
+
+// TestResizeShardsUnderLiveFlows aims the race detector at the resizable
+// shard pool: one goroutine cycles SetDetectShards across the whole range
+// while sessions (clean and attack) run concurrently. Every session must
+// still echo its payload exactly, every attack must still raise its alert
+// exactly once (per-flow pinning survives resizes), and the final shard
+// count must be what the last resize asked for.
+func TestResizeShardsUnderLiveFlows(t *testing.T) {
+	h := newHarnessConfigured(t,
+		`alert tcp any any -> any any (msg:"kw"; content:"attackkw"; sid:7;)`,
+		func(cfg *Config) { cfg.DetectShards = 2; cfg.ShardQueue = 8 })
+	if h.mb.DetectShards() != 2 {
+		t.Fatalf("DetectShards() = %d before resizing, want 2", h.mb.DetectShards())
+	}
+
+	clean := []byte("GET /home.html HTTP/1.1\r\nHost: innocent.example\r\n\r\n")
+	attack := []byte("POST /x HTTP/1.1\r\n\r\npayload with attackkw inside it")
+	runSession := func(msg []byte) error {
+		conn, err := transport.Dial(h.mbAddr, transport.ConnConfig{
+			Core: core.DefaultConfig(), RG: transport.RGMaterial{TagKey: h.tagKey},
+		})
+		if err != nil {
+			return fmt.Errorf("dial: %w", err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(msg); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		if err := conn.CloseWrite(); err != nil {
+			return fmt.Errorf("close write: %w", err)
+		}
+		echoed, err := io.ReadAll(conn)
+		if err != nil {
+			return fmt.Errorf("read: %w", err)
+		}
+		if !bytes.Equal(echoed, msg) {
+			return fmt.Errorf("echo mismatch: got %d bytes, want %d", len(echoed), len(msg))
+		}
+		return nil
+	}
+
+	workers, sessionsPerGoro := 4, 2
+	if testing.Short() {
+		workers, sessionsPerGoro = 2, 1
+	}
+
+	// Resizer: cycle 1..5 shards as fast as the pool lets us, for the
+	// whole lifetime of the session workload.
+	stop := make(chan struct{})
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := h.mb.SetDetectShards(1 + n%5); err != nil {
+					t.Error(err)
+					return
+				}
+				n++
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var attacks atomic.Int64
+	errs := make(chan error, workers*sessionsPerGoro)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < sessionsPerGoro; s++ {
+				msg := clean
+				if (w+s)%2 == 0 {
+					msg = attack
+					attacks.Add(1)
+				}
+				if err := runSession(msg); err != nil {
+					errs <- fmt.Errorf("worker %d session %d: %w", w, s, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	resizer.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Each attack session matches twice: once on the client→server flow
+	// and once on the echoed server→client flow (separate engines).
+	want := 2 * int(attacks.Load())
+	waitFor(t, func() bool { return countRuleAlerts(h, 7) >= want })
+	if got := countRuleAlerts(h, 7); got != want {
+		t.Fatalf("got %d rule alerts, want exactly %d (duplicates or losses across resizes)", got, want)
+	}
+
+	if err := h.mb.SetDetectShards(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.mb.DetectShards(); got != 3 {
+		t.Fatalf("DetectShards() = %d after final resize, want 3", got)
+	}
+}
+
+// countRuleAlerts counts RuleMatch alerts for one SID in the harness log.
+func countRuleAlerts(h *harness, sid int) int {
+	n := 0
+	for _, a := range h.snapshot() {
+		if a.Event.Kind == detect.RuleMatch && a.Event.Rule.SID == sid {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSetDetectShardsInlineErrors pins the error contract: middleboxes
+// running inline detection have no pool to resize.
+func TestSetDetectShardsInlineErrors(t *testing.T) {
+	h := newHarnessSequential(t, `alert tcp any any -> any any (msg:"kw"; content:"attackkw"; sid:7;)`)
+	if h.mb.DetectShards() != 0 {
+		t.Fatalf("sequential middlebox reports %d shards, want 0", h.mb.DetectShards())
+	}
+	if err := h.mb.SetDetectShards(4); err == nil {
+		t.Fatal("SetDetectShards on an inline middlebox did not fail")
+	}
+}

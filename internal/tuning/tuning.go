@@ -1,0 +1,317 @@
+// Package tuning replaces the pipeline's fixed fan-out knobs with a
+// measured cost model. BENCH_pipeline.json showed why fixed knobs fail:
+// on a single-core host the "parallel" encrypt path was a 0.77x slowdown
+// because goroutine/channel handoffs cost more than the AES work they
+// distribute. Fan-out only pays when the work moved across a handoff
+// exceeds the handoff itself (~1µs); that threshold depends on the host,
+// so it has to be measured, not hardcoded.
+//
+// The package runs a short calibration pass (two micro-probes, a few
+// milliseconds total) and derives a Tuning: how many workers the
+// stateless AES step of token encryption should fan out across, the
+// batch size below which fan-out must fall back to the sequential path,
+// and how many detection shards the middlebox pool should run. The
+// derivation is conservative by construction — whenever the measured
+// per-batch work is within 2x of the fan-out overhead, the decision is
+// sequential, so the tuned pipeline is never slower than the sequential
+// one by more than measurement noise.
+//
+// Calibration timestamps come from an injectable Clock, so tests pin the
+// derivation deterministically with a scripted fake clock; production
+// callers use Auto, which caches one calibration per effective
+// parallelism level.
+package tuning
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bbcrypto"
+	"repro/internal/dpienc"
+	"repro/internal/tokenize"
+)
+
+// Clock supplies the timestamps of calibration measurements. The
+// production clock is SystemClock; tests inject a scripted fake to make
+// the derived Tuning deterministic.
+type Clock interface {
+	// Now returns the current time. Calibrate calls it exactly twice per
+	// probe rep (start and end), in the documented probe order.
+	Now() time.Time
+}
+
+// SystemClock is the production Clock backed by time.Now.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Options sizes a calibration pass. The zero value selects the
+// production defaults.
+type Options struct {
+	// Clock supplies timestamps; nil means SystemClock.
+	Clock Clock
+	// Procs is the parallelism level to tune for; 0 means the effective
+	// level, min(GOMAXPROCS, NumCPU) — oversubscribing GOMAXPROCS past
+	// the physical cores cannot make CPU-bound fan-out pay.
+	Procs int
+	// HandoffRounds is how many channel round-trips the handoff probe
+	// times; 0 means 512.
+	HandoffRounds int
+	// SampleTokens is how many synthetic tokens the encrypt probe times;
+	// 0 means 4096.
+	SampleTokens int
+	// Reps is how many times each probe repeats (the minimum interval
+	// wins, discarding scheduler noise); 0 means 3.
+	Reps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = SystemClock{}
+	}
+	if o.Procs == 0 {
+		o.Procs = EffectiveProcs()
+	}
+	if o.HandoffRounds == 0 {
+		o.HandoffRounds = 512
+	}
+	if o.SampleTokens == 0 {
+		o.SampleTokens = 4096
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	return o
+}
+
+// EffectiveProcs is the parallelism level fan-out decisions should
+// assume: min(GOMAXPROCS, NumCPU). GOMAXPROCS above the physical core
+// count only adds scheduler churn to CPU-bound stages.
+func EffectiveProcs() int {
+	p := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < p {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Calibration is the measured cost model of one host at one parallelism
+// level. All costs are nanoseconds.
+type Calibration struct {
+	// HandoffNs is the cost of moving one unit of work across a
+	// goroutine boundary: half a bounded-channel round-trip, including
+	// the receiving goroutine's wake-up. This is the overhead every
+	// fanned-out batch pays per worker.
+	HandoffNs float64 `json:"handoff_ns"`
+	// EncryptNsPerToken is the sequential cost of the stateless AES step
+	// for one assigned token (dpienc.Sender.EncryptAssigned).
+	EncryptNsPerToken float64 `json:"encrypt_ns_per_token"`
+	// Procs is the parallelism level the calibration was taken at.
+	Procs int `json:"procs"`
+}
+
+// Tuning is the fan-out decision derived from a Calibration.
+type Tuning struct {
+	// EncryptWorkers is the goroutine count for the stateless AES step of
+	// token encryption. 1 means the sequential fallback: fan-out cannot
+	// pay on this host at this parallelism level.
+	EncryptWorkers int `json:"encrypt_workers"`
+	// EncryptMinBatch is the token-batch size below which encryption must
+	// stay sequential even when EncryptWorkers > 1: smaller batches carry
+	// less AES work than the handoffs needed to distribute it.
+	// math.MaxInt when EncryptWorkers is 1.
+	EncryptMinBatch int `json:"encrypt_min_batch"`
+	// DetectShards is the detection worker-pool size for the middlebox.
+	// 0 means the sequential fallback — run detection inline on the
+	// forwarding goroutine, because a pool cannot pay (single-proc host).
+	DetectShards int `json:"detect_shards"`
+	// Cal is the calibration the decision was derived from.
+	Cal Calibration `json:"cal"`
+}
+
+// Sequential reports whether the tuning selected the fully sequential
+// pipeline (no encrypt fan-out, no detection pool).
+func (t Tuning) Sequential() bool {
+	return t.EncryptWorkers <= 1 && t.DetectShards == 0
+}
+
+// maxEncryptWorkers bounds the AES fan-out: beyond 8 workers the split
+// chunks shrink toward the handoff floor and memory bandwidth dominates.
+const maxEncryptWorkers = 8
+
+// safetyFactor is how much the projected fan-out saving must exceed the
+// projected fan-out overhead before parallel is chosen. 2x keeps the
+// decision robust against calibration noise — the cost of wrongly
+// choosing sequential is bounded (stay at 1x), the cost of wrongly
+// choosing parallel is not.
+const safetyFactor = 2
+
+// Derive turns a measured cost model into a fan-out decision. It is a
+// pure function of cal, separated from Calibrate so tests can pin the
+// decision rule without a clock.
+//
+// The rule: fanning a batch of n tokens across w workers saves
+// n·perToken·(1−1/w) of wall-clock AES time and costs about w handoffs
+// (spawn, wake, join each worker). Parallel is chosen only for batches
+// whose projected saving is at least safetyFactor times the projected
+// overhead; EncryptMinBatch is the break-even n. On a single effective
+// proc no saving exists at any n, so everything falls back to
+// sequential.
+func Derive(cal Calibration) Tuning {
+	t := Tuning{
+		EncryptWorkers:  1,
+		EncryptMinBatch: math.MaxInt,
+		DetectShards:    0,
+		Cal:             cal,
+	}
+	if cal.Procs <= 1 {
+		return t
+	}
+	w := cal.Procs
+	if w > maxEncryptWorkers {
+		w = maxEncryptWorkers
+	}
+	if cal.EncryptNsPerToken > 0 {
+		saving := cal.EncryptNsPerToken * (1 - 1/float64(w))
+		overhead := safetyFactor * float64(w) * cal.HandoffNs
+		minBatch := int(math.Ceil(overhead / saving))
+		if minBatch < 64 {
+			minBatch = 64
+		}
+		t.EncryptWorkers = w
+		t.EncryptMinBatch = minBatch
+	}
+	// Detection batches are whole token records (hundreds of tokens ×
+	// tens of ns ≫ one handoff), so with real parallelism available a
+	// shard per proc always pays; the pool's win is per-flow engine
+	// confinement, which scales with procs, not with the batch size.
+	t.DetectShards = cal.Procs
+	return t
+}
+
+// Calibrate runs the measurement pass and returns the cost model. Probe
+// order (each probe runs opts.Reps times, two Clock.Now calls per rep,
+// minimum interval wins):
+//
+//  1. handoff: opts.HandoffRounds bounded-channel round-trips against a
+//     live echo goroutine — 2 handoffs per round.
+//  2. encrypt: one sequential EncryptAssigned pass over
+//     opts.SampleTokens pre-assigned synthetic tokens (after one
+//     unmeasured warm-up pass).
+//
+// A fake Clock therefore sees exactly 2·Reps calls for the handoff probe
+// followed by 2·Reps calls for the encrypt probe.
+func Calibrate(opts Options) Calibration {
+	opts = opts.withDefaults()
+	return Calibration{
+		HandoffNs:         measureHandoff(opts.Clock, opts.HandoffRounds, opts.Reps),
+		EncryptNsPerToken: measureEncrypt(opts.Clock, opts.SampleTokens, opts.Reps),
+		Procs:             opts.Procs,
+	}
+}
+
+// measureHandoff times bounded-channel round-trips against an echo
+// goroutine: each round is two handoffs (request and acknowledgement),
+// each including the peer goroutine's wake-up — the same costs a shard
+// queue or a fan-out worker pays per unit of work.
+func measureHandoff(clock Clock, rounds, reps int) float64 {
+	req := make(chan struct{}, 1)
+	ack := make(chan struct{}, 1)
+	go func() {
+		for range req {
+			ack <- struct{}{}
+		}
+		close(ack)
+	}()
+	best := math.MaxFloat64
+	for r := 0; r < reps; r++ {
+		start := clock.Now()
+		for i := 0; i < rounds; i++ {
+			req <- struct{}{}
+			<-ack
+		}
+		ns := float64(clock.Now().Sub(start).Nanoseconds()) / float64(2*rounds)
+		if ns < best {
+			best = ns
+		}
+	}
+	close(req)
+	for range ack {
+	}
+	if best <= 0 || best == math.MaxFloat64 {
+		// A clock too coarse to see the probe (or a scripted fake that
+		// returned a non-positive interval): assume the canonical ~1µs.
+		best = 1000
+	}
+	return best
+}
+
+// measureEncrypt times the sequential stateless AES step over a
+// pre-assigned synthetic token batch, the exact work EncryptAssigned
+// fan-out would distribute.
+func measureEncrypt(clock Clock, tokens, reps int) float64 {
+	k := bbcrypto.DeriveBlock([]byte("tuning-calibration"), "k")
+	s := dpienc.NewSender(k, k, dpienc.ProtocolII, 0)
+	toks := make([]tokenize.Token, tokens)
+	for i := range toks {
+		binary.BigEndian.PutUint64(toks[i].Text[:], uint64(i))
+		toks[i].Offset = i * tokenize.TokenSize
+	}
+	assigned := s.AssignTokens(toks, nil)
+	out := make([]dpienc.EncryptedToken, len(assigned))
+	s.EncryptAssigned(assigned, out) // warm-up: key schedules, page faults
+	best := math.MaxFloat64
+	for r := 0; r < reps; r++ {
+		start := clock.Now()
+		s.EncryptAssigned(assigned, out)
+		ns := float64(clock.Now().Sub(start).Nanoseconds()) / float64(tokens)
+		if ns < best {
+			best = ns
+		}
+	}
+	if best <= 0 || best == math.MaxFloat64 {
+		// Fallback matching AES-NI-class hardware; only reachable with a
+		// degenerate clock.
+		best = 50
+	}
+	return best
+}
+
+// autoCache holds one derived Tuning per effective parallelism level.
+// The pipeline bench flips GOMAXPROCS per matrix row, so the cache is
+// keyed rather than a singleton.
+var (
+	autoMu    sync.Mutex
+	autoCache = map[int]Tuning{}
+)
+
+// Auto returns the tuning for the current effective parallelism level,
+// calibrating on first use and caching the result (one calibration costs
+// a few milliseconds; per-connection callers must not re-pay it).
+func Auto() Tuning {
+	procs := EffectiveProcs()
+	autoMu.Lock()
+	defer autoMu.Unlock()
+	if t, ok := autoCache[procs]; ok {
+		return t
+	}
+	t := Derive(Calibrate(Options{Procs: procs}))
+	autoCache[procs] = t
+	return t
+}
+
+// ResetAutoCache discards cached calibrations, forcing the next Auto to
+// re-measure. Benchmarks call it around environment changes a cached
+// tuning would mask (tests and the bench matrix).
+func ResetAutoCache() {
+	autoMu.Lock()
+	defer autoMu.Unlock()
+	autoCache = map[int]Tuning{}
+}

@@ -1,0 +1,167 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock replays a script of instants; Calibrate's documented call
+// pattern (2 Now calls per probe rep, handoff probe first) makes the
+// derived Calibration a pure function of the script.
+type fakeClock struct {
+	t     *testing.T
+	times []time.Time
+	i     int
+}
+
+func (c *fakeClock) Now() time.Time {
+	if c.i >= len(c.times) {
+		c.t.Fatalf("fake clock exhausted after %d calls", len(c.times))
+	}
+	t := c.times[c.i]
+	c.i++
+	return t
+}
+
+// script builds the instant sequence from consecutive intervals: each
+// interval d contributes the pair (cursor, cursor+d).
+func script(t *testing.T, intervals ...time.Duration) *fakeClock {
+	base := time.Unix(0, 0)
+	c := &fakeClock{t: t}
+	for _, d := range intervals {
+		c.times = append(c.times, base, base.Add(d))
+		base = base.Add(d + time.Second)
+	}
+	return c
+}
+
+func TestCalibrateDeterministicUnderFakeClock(t *testing.T) {
+	// Handoff probe: 512 rounds = 1024 handoffs per rep. Rep intervals
+	// 2.048ms and 1.024ms → best 1000ns/handoff. Encrypt probe: 4096
+	// tokens per rep. Rep intervals 819.2µs and 409.6µs → best
+	// 100ns/token.
+	clock := script(t,
+		2048*time.Microsecond, 1024*time.Microsecond,
+		8192*100*time.Nanosecond, 4096*100*time.Nanosecond,
+	)
+	cal := Calibrate(Options{
+		Clock:         clock,
+		Procs:         4,
+		HandoffRounds: 512,
+		SampleTokens:  4096,
+		Reps:          2,
+	})
+	if cal.HandoffNs != 1000 {
+		t.Fatalf("HandoffNs = %v, want 1000", cal.HandoffNs)
+	}
+	if cal.EncryptNsPerToken != 100 {
+		t.Fatalf("EncryptNsPerToken = %v, want 100", cal.EncryptNsPerToken)
+	}
+	if cal.Procs != 4 {
+		t.Fatalf("Procs = %d, want 4", cal.Procs)
+	}
+	if clock.i != len(clock.times) {
+		t.Fatalf("clock saw %d calls, want %d", clock.i, len(clock.times))
+	}
+
+	// Same script → same calibration → same tuning, every time.
+	for rep := 0; rep < 3; rep++ {
+		clock2 := script(t,
+			2048*time.Microsecond, 1024*time.Microsecond,
+			8192*100*time.Nanosecond, 4096*100*time.Nanosecond,
+		)
+		cal2 := Calibrate(Options{Clock: clock2, Procs: 4, HandoffRounds: 512, SampleTokens: 4096, Reps: 2})
+		if cal2 != cal {
+			t.Fatalf("rep %d: calibration not deterministic: %+v vs %+v", rep, cal2, cal)
+		}
+	}
+}
+
+func TestDeriveBreakEven(t *testing.T) {
+	// w=4: saving 100·(1−1/4)=75 ns/token, overhead 2·4·1000=8000 ns
+	// → break-even batch ceil(8000/75) = 107.
+	tn := Derive(Calibration{HandoffNs: 1000, EncryptNsPerToken: 100, Procs: 4})
+	if tn.EncryptWorkers != 4 {
+		t.Fatalf("EncryptWorkers = %d, want 4", tn.EncryptWorkers)
+	}
+	if tn.EncryptMinBatch != 107 {
+		t.Fatalf("EncryptMinBatch = %d, want 107", tn.EncryptMinBatch)
+	}
+	if tn.DetectShards != 4 {
+		t.Fatalf("DetectShards = %d, want 4", tn.DetectShards)
+	}
+	if tn.Sequential() {
+		t.Fatal("4-proc tuning must not be sequential")
+	}
+}
+
+func TestDeriveSequentialOnSingleProc(t *testing.T) {
+	tn := Derive(Calibration{HandoffNs: 1000, EncryptNsPerToken: 100, Procs: 1})
+	if !tn.Sequential() {
+		t.Fatalf("single-proc tuning must be sequential, got %+v", tn)
+	}
+	if tn.EncryptWorkers != 1 || tn.EncryptMinBatch != math.MaxInt || tn.DetectShards != 0 {
+		t.Fatalf("unexpected sequential tuning: %+v", tn)
+	}
+}
+
+func TestDeriveMinBatchFloor(t *testing.T) {
+	// Expensive per-token work and cheap handoffs: break-even would be
+	// tiny, but tiny batches still shouldn't spawn goroutines.
+	tn := Derive(Calibration{HandoffNs: 10, EncryptNsPerToken: 10000, Procs: 2})
+	if tn.EncryptMinBatch != 64 {
+		t.Fatalf("EncryptMinBatch = %d, want floor 64", tn.EncryptMinBatch)
+	}
+}
+
+func TestDeriveCapsEncryptWorkers(t *testing.T) {
+	tn := Derive(Calibration{HandoffNs: 1000, EncryptNsPerToken: 100, Procs: 32})
+	if tn.EncryptWorkers != maxEncryptWorkers {
+		t.Fatalf("EncryptWorkers = %d, want cap %d", tn.EncryptWorkers, maxEncryptWorkers)
+	}
+	if tn.DetectShards != 32 {
+		t.Fatalf("DetectShards = %d, want 32 (uncapped)", tn.DetectShards)
+	}
+}
+
+func TestCalibrateSystemClockSane(t *testing.T) {
+	// Small real probe: only sanity bounds, never exact values.
+	cal := Calibrate(Options{Procs: 2, HandoffRounds: 64, SampleTokens: 256, Reps: 2})
+	if cal.HandoffNs <= 0 || cal.HandoffNs > 1e7 {
+		t.Fatalf("implausible HandoffNs %v", cal.HandoffNs)
+	}
+	if cal.EncryptNsPerToken <= 0 || cal.EncryptNsPerToken > 1e7 {
+		t.Fatalf("implausible EncryptNsPerToken %v", cal.EncryptNsPerToken)
+	}
+	tn := Derive(cal)
+	if tn.EncryptWorkers < 1 || tn.EncryptMinBatch < 64 {
+		t.Fatalf("implausible tuning %+v", tn)
+	}
+}
+
+func TestAutoCachesPerProcs(t *testing.T) {
+	ResetAutoCache()
+	defer ResetAutoCache()
+	a := Auto()
+	b := Auto()
+	if a != b {
+		t.Fatalf("Auto not cached: %+v vs %+v", a, b)
+	}
+	if a.Cal.Procs != EffectiveProcs() {
+		t.Fatalf("Auto tuned for %d procs, effective is %d", a.Cal.Procs, EffectiveProcs())
+	}
+}
+
+func TestDegenerateClockFallsBackToDefaults(t *testing.T) {
+	// A frozen clock yields zero-length intervals; calibration must fall
+	// back to its canonical defaults instead of dividing to zero.
+	frozen := &fakeClock{t: t}
+	for i := 0; i < 8; i++ {
+		frozen.times = append(frozen.times, time.Unix(0, 0))
+	}
+	cal := Calibrate(Options{Clock: frozen, Procs: 2, HandoffRounds: 8, SampleTokens: 64, Reps: 2})
+	if cal.HandoffNs != 1000 || cal.EncryptNsPerToken != 50 {
+		t.Fatalf("degenerate-clock fallback = %+v, want HandoffNs 1000 / EncryptNsPerToken 50", cal)
+	}
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — pipeline benchmarks + the tokens/sec regression gate.
 #
-#   scripts/bench.sh          # run benchmarks, write BENCH_pipeline.json,
-#                             # gate against scripts/bench_baseline.json
-#   scripts/bench.sh ci       # same on the reduced corpus (CI job)
+#   scripts/bench.sh          # run benchmarks, write BENCH_pipeline.json
+#                             # (+ the GOMAXPROCS scaling matrix, rendered
+#                             # to BENCH_pipeline_matrix.md), gate against
+#                             # scripts/bench_baseline.json
+#   scripts/bench.sh ci       # same on the reduced corpus (CI job),
+#                             # matrix trimmed to 1,4
 #   scripts/bench.sh update   # refresh the checked-in baseline
 #
 # The gate fails when tokens/sec regresses more than 15% below the baseline
@@ -33,7 +36,15 @@ go test -run '^$' \
     -benchmem -benchtime "${BENCH_TIME:-0.3s}" .
 
 printf '\n=== pipeline stage timings ===\n'
-go run ./cmd/blindbench -experiment pipeline $FAST -parallel "${BENCH_WORKERS:-0}" -out "$OUT"
+# The GOMAXPROCS scaling matrix defaults to 1,2,4,8 (clipped by what the
+# benchgate enforces per row: strict speedup floors only where the host
+# has the cores, noise floors elsewhere). Override with BENCH_MATRIX.
+MATRIX="${BENCH_MATRIX:-1,2,4,8}"
+if [ "$MODE" = ci ]; then
+    MATRIX="${BENCH_MATRIX:-1,4}"
+fi
+go run ./cmd/blindbench -experiment pipeline $FAST -parallel "${BENCH_WORKERS:-0}" \
+    -matrix "$MATRIX" -matrix-md "${OUT%.json}_matrix.md" -out "$OUT"
 
 if [ "$MODE" = update ]; then
     cp "$OUT" "$BASELINE"

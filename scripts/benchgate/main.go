@@ -13,6 +13,12 @@
 //  2. Cross-run comparison against the baseline, applied only when the
 //     baseline was recorded on a matching host (same core count) —
 //     absolute tokens/sec on different hardware is not comparable.
+//  3. Per-core-count floors over the GOMAXPROCS scaling matrix: rows the
+//     host can genuinely parallelize must keep encrypt_speedup >= 1.0 and
+//     detect_par_speedup >= 1.0 (>= 1.2 from four procs up) — the
+//     self-tuning fan-out promises parallel is never slower than
+//     sequential. Matrix rows also diff against baseline rows with the
+//     same GOMAXPROCS value.
 //
 // BENCH_TOLERANCE overrides the default 0.15 (15%) cross-run tolerance.
 package main
@@ -114,6 +120,35 @@ func main() {
 		checkMax("encrypt steady-state allocs/token", cur.EncryptAllocsPerToken, allocCeiling)
 		checkMax("detect steady-state allocs/token", cur.DetectAllocsPerToken, allocCeiling)
 	}
+	// Per-core-count speedup floors over the scaling matrix: "parallel is
+	// never slower than sequential" is a hard promise of the self-tuning
+	// fan-out, so rows the host can genuinely parallelize (enough cores,
+	// more than one proc) must clear strict floors, and detection must
+	// actually scale once four procs are available. Oversubscribed or
+	// single-proc rows tune to the sequential fallback, where tuned and
+	// sequential run the same code and only scheduler noise separates them.
+	for _, row := range cur.Matrix {
+		name := func(metric string) string {
+			return fmt.Sprintf("matrix gmp=%d %s", row.GoMaxProcs, metric)
+		}
+		// Single-proc and oversubscribed rows tune to the sequential
+		// fallback: tuned and sequential run the same code, the parallel
+		// detect number additionally pays the cache pressure of draining
+		// many engines on one core, and GOMAXPROCS above the core count
+		// adds scheduler jitter on top. Only a catastrophe floor is
+		// meaningful there.
+		encFloor, detFloor := 0.5, 0.5
+		if row.Cores >= row.GoMaxProcs && row.GoMaxProcs > 1 {
+			encFloor, detFloor = 1.0, 1.0
+			if row.GoMaxProcs >= 4 {
+				detFloor = 1.2
+			}
+		}
+		check(name("encrypt tuned/seq speedup"), row.EncryptSpeedup, encFloor)
+		check(name("detect par/seq speedup"), row.DetectParSpeedup, detFloor)
+		checkMax(name("encrypt allocs/token"), row.EncryptAllocsPerToken, allocCeiling)
+		checkMax(name("detect allocs/token"), row.DetectAllocsPerToken, allocCeiling)
+	}
 
 	base, err := experiments.ReadPipelineJSON(*baseline)
 	switch {
@@ -136,6 +171,28 @@ func main() {
 		if base.AllocsMeasured && cur.AllocsMeasured {
 			checkMax("encrypt allocs/token vs baseline", cur.EncryptAllocsPerToken, base.EncryptAllocsPerToken*(1+tol)+allocSlack)
 			checkMax("detect allocs/token vs baseline", cur.DetectAllocsPerToken, base.DetectAllocsPerToken*(1+tol)+allocSlack)
+		}
+		// Matrix rows diff against the baseline row with the same
+		// GOMAXPROCS value (the host already matched above); rows present
+		// on only one side are skipped rather than failed, so widening or
+		// narrowing the matrix does not spuriously trip the gate.
+		baseRows := make(map[int]experiments.MatrixRow, len(base.Matrix))
+		for _, r := range base.Matrix {
+			baseRows[r.GoMaxProcs] = r
+		}
+		for _, r := range cur.Matrix {
+			b, ok := baseRows[r.GoMaxProcs]
+			if !ok {
+				fmt.Printf("benchgate: baseline has no matrix row for GOMAXPROCS %d; row skipped\n", r.GoMaxProcs)
+				continue
+			}
+			name := func(metric string) string {
+				return fmt.Sprintf("matrix gmp=%d %s vs baseline", r.GoMaxProcs, metric)
+			}
+			check(name("encrypt tuned tokens/sec"), r.EncryptTunedTokensPerSec, floor*b.EncryptTunedTokensPerSec)
+			check(name("detect par tokens/sec"), r.DetectParTokensPerSec, floor*b.DetectParTokensPerSec)
+			checkMax(name("encrypt allocs/token"), r.EncryptAllocsPerToken, b.EncryptAllocsPerToken*(1+tol)+allocSlack)
+			checkMax(name("detect allocs/token"), r.DetectAllocsPerToken, b.DetectAllocsPerToken*(1+tol)+allocSlack)
 		}
 	}
 
