@@ -1,0 +1,270 @@
+// Command bbfleet is the fleet observability plane: it scrapes N bbmb
+// worker admin endpoints, aggregates their metrics into one merged
+// exposition with per-worker labels and worker="fleet" rollups, evaluates
+// declared SLOs, and assembles cross-worker traces on demand.
+//
+// Continuous aggregator (the fleet's single pane of glass):
+//
+//	bbfleet -workers mb-a=http://127.0.0.1:9001,mb-b=http://127.0.0.1:9002 -admin :9100
+//
+// serves /cluster/metrics (merged exposition), /cluster/workers (health
+// JSON) and /cluster/trace?id=<traceid> (cross-worker trace tree), plus
+// the aggregator's own blindbox_fleet_* self-metrics on /metrics.
+//
+// One-shot health check (CI and cron):
+//
+//	bbfleet -workers http://127.0.0.1:9001 -check [-json]
+//
+// scrapes one round, evaluates the SLOs and exits 1 when any objective is
+// breached or any worker is down.
+//
+// Live terminal view:
+//
+//	bbfleet -workers ... -top
+//
+// redraws a worker/SLO table every scrape interval until interrupted.
+//
+// SLO thresholds are knobs (-slo-scan-p99, -slo-unscanned-bytes,
+// -slo-conn-error-ratio, -slo-failclosed-drops); a negative value disables
+// that objective. Worker names default to their URL; name them explicitly
+// (name=url) to match the bbmb -worker label.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/agg"
+	"repro/internal/retry"
+)
+
+func main() {
+	workers := flag.String("workers", "", "comma-separated worker admin endpoints, each url or name=url (required)")
+	interval := flag.Duration("interval", agg.DefaultInterval, "scrape period")
+	timeout := flag.Duration("timeout", agg.DefaultTimeout, "per-worker HTTP timeout for one scrape attempt")
+	keep := flag.Int("keep", agg.DefaultKeep, "parsed snapshots retained per worker (the rate window)")
+	retries := flag.Int("retries", 0, "scrape attempts per worker per round (0 = default 3, with jittered backoff)")
+	staleAfter := flag.Duration("stale-after", 0, "mark a worker stale after this much scrape silence (0 = 3x interval)")
+	downAfter := flag.Duration("down-after", 0, "mark a worker down after this much scrape silence (0 = 10x interval)")
+	admin := flag.String("admin", "", "serve /cluster/metrics, /cluster/workers, /cluster/trace and /metrics on this address")
+	check := flag.Bool("check", false, "one-shot: scrape once, print the fleet report, exit 1 on any SLO breach or down worker")
+	jsonOut := flag.Bool("json", false, "with -check: print the report as JSON instead of text")
+	top := flag.Bool("top", false, "live terminal view, redrawn every scrape interval")
+	sloScanP99 := flag.Float64("slo-scan-p99", 0.1, "SLO: p99 scan latency bound in seconds (negative disables)")
+	sloUnscanned := flag.Float64("slo-unscanned-bytes", 0, "SLO: fleet unscanned-bytes budget (negative disables)")
+	sloConnErr := flag.Float64("slo-conn-error-ratio", 0.05, "SLO: connection error ratio bound (negative disables)")
+	sloFailClosed := flag.Float64("slo-failclosed-drops", 0, "SLO: fleet fail-closed drop budget (negative disables)")
+	flag.Parse()
+
+	if *workers == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	targets, err := parseTargets(*workers)
+	if err != nil {
+		log.Fatalf("bad -workers: %v", err)
+	}
+	slos := buildSLOs(map[string]float64{
+		"scan_p99":         *sloScanP99,
+		"unscanned_bytes":  *sloUnscanned,
+		"conn_error_ratio": *sloConnErr,
+		"failclosed_drops": *sloFailClosed,
+	})
+
+	reg := obs.NewRegistry()
+	s, err := agg.New(agg.Config{
+		Targets:    targets,
+		Interval:   *interval,
+		Timeout:    *timeout,
+		Keep:       *keep,
+		Retry:      retry.Policy{Attempts: *retries},
+		StaleAfter: *staleAfter,
+		DownAfter:  *downAfter,
+		Metrics:    reg,
+		SLOs:       slos,
+	})
+	if err != nil {
+		log.Fatalf("bbfleet: %v", err)
+	}
+
+	if *check {
+		if err := s.ScrapeOnce(nil); err != nil {
+			fmt.Fprintf(os.Stderr, "bbfleet: scrape: %v\n", err)
+		}
+		rep := s.Check()
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatalf("bbfleet: encoding report: %v", err)
+			}
+		} else {
+			printReport(os.Stdout, rep)
+		}
+		if !rep.OK {
+			os.Exit(1)
+		}
+		return
+	}
+	if *admin == "" && !*top {
+		fmt.Fprintln(os.Stderr, "bbfleet: need -check, -top or -admin (nothing to do)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+	stop := make(chan struct{})
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigC
+		close(stop)
+	}()
+	go s.Run(stop)
+
+	if *admin != "" {
+		ln, err := obs.ServeAdminMux(*admin, s.Mux(), logger)
+		if err != nil {
+			log.Fatalf("bbfleet: admin endpoint: %v", err)
+		}
+		defer ln.Close()
+		fmt.Printf("bbfleet: aggregating %d worker(s) on http://%s/cluster/metrics (health on /cluster/workers, traces on /cluster/trace?id=)\n",
+			len(targets), ln.Addr())
+	}
+	if *top {
+		runTop(s, *interval, stop)
+		return
+	}
+	<-stop
+}
+
+// parseTargets parses the -workers list: comma-separated entries, each a
+// bare URL (worker name derived from it) or name=url. A missing scheme
+// defaults to http.
+func parseTargets(list string) ([]agg.Target, error) {
+	var out []agg.Target
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var t agg.Target
+		if name, url, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
+			t = agg.Target{Name: name, URL: url}
+		} else {
+			t = agg.Target{URL: part}
+		}
+		if !strings.Contains(t.URL, "://") {
+			t.URL = "http://" + t.URL
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker endpoints in %q", list)
+	}
+	return out, nil
+}
+
+// buildSLOs applies the threshold knobs to the stock objectives, dropping
+// any with a negative (disabled) threshold.
+func buildSLOs(thresholds map[string]float64) []agg.SLO {
+	var out []agg.SLO
+	for _, slo := range agg.DefaultSLOs() {
+		th, ok := thresholds[slo.Name]
+		if !ok {
+			out = append(out, slo)
+			continue
+		}
+		if th < 0 {
+			continue
+		}
+		slo.Threshold = th
+		out = append(out, slo)
+	}
+	return out
+}
+
+// printReport renders the fleet verdict as text: a fleet summary line,
+// the worker table, the SLO table and the final verdict.
+func printReport(w io.Writer, rep agg.CheckReport) {
+	states := map[agg.WorkerState]int{}
+	for _, wh := range rep.Workers {
+		states[wh.State]++
+	}
+	fmt.Fprintf(w, "fleet: %d worker(s) — %d up, %d degraded, %d stale, %d down\n",
+		len(rep.Workers), states[agg.StateUp], states[agg.StateDegraded], states[agg.StateStale], states[agg.StateDown])
+	fmt.Fprintf(w, "fleet rates: %.0f tokens/s, %.1f alerts/s, %.1f conns/s, queue %d; totals: %.0f conns, %.0f tokens, %.0f alerts, %.0f unscanned bytes\n",
+		rep.Fleet.TokensPerSec, rep.Fleet.AlertsPerSec, rep.Fleet.ConnsPerSec, rep.Fleet.QueueDepth,
+		rep.Fleet.Connections, rep.Fleet.TokensScanned, rep.Fleet.Alerts, rep.Fleet.UnscannedBytes)
+	fmt.Fprintf(w, "%-12s %-9s %12s %10s %8s %10s  %s\n",
+		"WORKER", "STATE", "TOKENS/S", "ALERTS/S", "QUEUE", "STALE(S)", "LAST ERROR")
+	for _, wh := range rep.Workers {
+		stale := "-"
+		if wh.StalenessSeconds >= 0 {
+			stale = fmt.Sprintf("%.1f", wh.StalenessSeconds)
+		}
+		errStr := wh.LastError
+		if len(errStr) > 48 {
+			errStr = errStr[:48] + "…"
+		}
+		fmt.Fprintf(w, "%-12s %-9s %12.0f %10.1f %8d %10s  %s\n",
+			wh.Name, wh.State, wh.Rates.TokensPerSec, wh.Rates.AlertsPerSec,
+			wh.Rates.QueueDepth, stale, errStr)
+	}
+	fmt.Fprintln(w, "SLOs:")
+	for _, r := range rep.SLOs {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	verdict := "OK"
+	if !rep.OK {
+		verdict = "FAILING"
+	}
+	fmt.Fprintf(w, "verdict: %s\n", verdict)
+}
+
+// runTop redraws the fleet report every interval until stop closes — a
+// minimal ANSI live view (clear screen + cursor home per frame).
+func runTop(s *agg.Scraper, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		rep := s.Check()
+		var b strings.Builder
+		fmt.Fprintf(&b, "\x1b[H\x1b[2Jbbfleet -top  %s  (every %s, ^C to quit)\n\n",
+			time.Now().Format("15:04:05"), interval)
+		printReport(&b, rep)
+		printWorkerTotals(&b, rep.Workers)
+		//lint:ignore unchecked-err a failed terminal write means the terminal went away
+		io.WriteString(os.Stdout, b.String())
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// printWorkerTotals appends the cumulative-totals table -top shows below
+// the rate table (sorted by tokens scanned, busiest first).
+func printWorkerTotals(w io.Writer, workers []agg.WorkerHealth) {
+	rows := append([]agg.WorkerHealth(nil), workers...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].Rates.TokensScanned > rows[j].Rates.TokensScanned
+	})
+	fmt.Fprintf(w, "\n%-12s %12s %12s %10s %16s\n", "WORKER", "CONNS", "TOKENS", "ALERTS", "UNSCANNED(B)")
+	for _, wh := range rows {
+		fmt.Fprintf(w, "%-12s %12.0f %12.0f %10.0f %16.0f\n",
+			wh.Name, wh.Rates.Connections, wh.Rates.TokensScanned, wh.Rates.Alerts, wh.Rates.UnscannedBytes)
+	}
+}

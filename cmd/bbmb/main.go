@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bbmb -listen :8443 -forward server:9443 -rules rules.txt -rgconfig rg.json [-secondary]
-//	     [-admin :8081] [-trace spans.jsonl] [-trace-sample 0.01] [-recorder-events 256]
+//	     [-admin :8081] [-worker mb-a] [-trace spans.jsonl] [-trace-sample 0.01] [-recorder-events 256]
 //	     [-log-level info] [-policy fail-closed] [-dial-retries 3] [-prep-retries 3]
 //	     [-timeout-handshake 10s] [-timeout-prep 60s] [-timeout-idle -1s]
 //	     [-timeout-write 1m] [-timeout-barrier 30s]
@@ -15,6 +15,9 @@
 // the middlebox serves Prometheus metrics on /metrics, a JSON snapshot on
 // /metrics.json, net/http/pprof under /debug/pprof/, and the flight
 // recorder's flow tables on /debug/flows and /debug/flightrecorder?flow=N.
+// -worker names this middlebox for fleet aggregation: the name is exported
+// as blindbox_worker_info{worker=...} so `bbfleet` can confirm it scraped
+// the worker it thinks it scraped (RUNBOOK.md, Fleet observability).
 // With -trace, spans are appended to the given JSONL file, summarizable
 // with `bbtrace -spans`: head-sampled flows (-trace-sample of flows,
 // decided at the client when it traces, here otherwise) stream every span,
@@ -57,6 +60,7 @@ func main() {
 	rgPath := flag.String("rgconfig", "", "rule-generator public configuration from bbrulegen (required)")
 	secondary := flag.Bool("secondary", false, "enable the Protocol III decryption element and secondary inspection")
 	admin := flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
+	worker := flag.String("worker", "", "fleet-wide worker name, exported as blindbox_worker_info for bbfleet")
 	tracePath := flag.String("trace", "", "append per-flow JSONL spans to this file")
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate: fraction of flows that stream every span (interesting flows always flush)")
 	recorderEvents := flag.Int("recorder-events", obs.DefaultRecorderEvents, "per-flow flight-recorder ring capacity in spans")
@@ -95,6 +99,7 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	obs.RegisterWorkerInfo(reg, *worker)
 	var trace obs.Sink
 	flushTrace := func() {}
 	if *tracePath != "" {

@@ -64,15 +64,22 @@ func assembleFiles(paths []string, jsonPath string, strict bool, w io.Writer) er
 		}
 		all = append(all, spans...)
 	}
+	return assembleSpanSet(paths, all, jsonPath, strict, w)
+}
+
+// assembleSpanSet assembles an already-collected span set — the shared
+// back half of -assemble (files) and -from-url -assemble (live pulls).
+// sources label the report's provenance (file paths or worker URLs).
+func assembleSpanSet(sources []string, all []obs.Span, jsonPath string, strict bool, w io.Writer) error {
 	flows, untraced, err := obs.AssembleSpans(all)
 	if err != nil {
 		return err
 	}
 	if len(flows) == 0 {
-		return fmt.Errorf("no traced spans in %d file(s) (%d untraced)", len(paths), len(untraced))
+		return fmt.Errorf("no traced spans in %d source(s) (%d untraced)", len(sources), len(untraced))
 	}
 
-	rep := assembleReport{Files: paths, Untraced: len(untraced)}
+	rep := assembleReport{Files: sources, Untraced: len(untraced)}
 	var strictErr error
 	for _, ft := range flows {
 		printFlow(w, ft)

@@ -20,6 +20,13 @@
 // span tree and critical path (DESIGN.md §8):
 //
 //	bbtrace -assemble client.jsonl mb.jsonl server.jsonl [-json out.json] [-strict]
+//
+// Pull live flight-recorder spans straight from running workers' admin
+// endpoints (the same /debug/spans and /debug/trace endpoints bbfleet's
+// /cluster/trace uses, via the same pull client) and summarize or assemble
+// them without touching disk:
+//
+//	bbtrace -from-url http://127.0.0.1:9001,http://127.0.0.1:9002 [-id <traceid>] [-assemble]
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 	gen := flag.String("gen", "", "write a synthetic attack trace to this pcap file")
 	inspect := flag.String("inspect", "", "inspect this pcap file")
 	spans := flag.String("spans", "", "summarize this JSONL span file (from bbmb -trace)")
+	fromURL := flag.String("from-url", "", "comma-separated worker admin base URLs: pull live flight-recorder spans instead of reading files")
+	traceID := flag.String("id", "", "with -from-url: pull only this 32-hex trace ID (/debug/trace) instead of every live flow (/debug/spans)")
 	assemble := flag.Bool("assemble", false, "assemble the JSONL span files given as arguments into per-flow trace trees")
 	jsonOut := flag.String("json", "", "with -assemble: also write the machine-readable report to this file (- for stdout)")
 	strict := flag.Bool("strict", false, "with -assemble: exit non-zero on orphan spans, rootless traces, or critical path > wall-clock")
@@ -61,6 +70,12 @@ func main() {
 	tokens := flag.String("tokens", "delimiter", "tokenization for -inspect: window or delimiter")
 	flag.Parse()
 
+	if *fromURL != "" {
+		if err := pullFromWorkers(*fromURL, *traceID, *assemble, *jsonOut, *strict, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *assemble {
 		if flag.NArg() == 0 {
 			log.Fatal("bbtrace -assemble: need at least one JSONL span file argument")
@@ -115,8 +130,14 @@ func summarizeSpans(path string) error {
 	if err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
+	return summarizeSpanSet(path, spans)
+}
+
+// summarizeSpanSet prints the span summary table for an already-collected
+// span set, labeled by its source (a file path or worker URL list).
+func summarizeSpanSet(label string, spans []obs.Span) error {
 	if len(spans) == 0 {
-		fmt.Printf("%s: no spans\n", path)
+		fmt.Printf("%s: no spans\n", label)
 		return nil
 	}
 
@@ -160,7 +181,7 @@ func summarizeSpans(path string) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("%s: %d spans over %d flows\n", path, len(spans), len(flows))
+	fmt.Printf("%s: %d spans over %d flows\n", label, len(spans), len(flows))
 	if len(disposition) > 0 {
 		head, tail := 0, 0
 		for _, d := range disposition {

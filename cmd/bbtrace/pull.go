@@ -1,0 +1,47 @@
+// Live span pulls: -from-url fetches flight-recorder spans from running
+// workers' admin endpoints through agg.PullSpans — the same client and
+// wire form bbfleet's /cluster/trace uses — then hands them to the
+// existing summarize/assemble paths.
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/agg"
+)
+
+// pullFromWorkers pulls live spans from every base URL in the
+// comma-separated list (scheme optional; trace narrows the pull to one
+// trace ID) and summarizes them, or assembles them when doAssemble is
+// set. A worker that serves no matching spans contributes nothing but is
+// not an error; an unreachable worker is.
+func pullFromWorkers(urls, trace string, doAssemble bool, jsonPath string, strict bool, w io.Writer) error {
+	var all []obs.Span
+	var sources []string
+	for _, base := range strings.Split(urls, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		spans, err := agg.PullSpans(nil, base, trace)
+		if err != nil {
+			return fmt.Errorf("pulling spans from %s: %w", base, err)
+		}
+		sources = append(sources, base)
+		all = append(all, spans...)
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("bbtrace -from-url: no worker URLs given")
+	}
+	label := strings.Join(sources, ",")
+	if doAssemble {
+		return assembleSpanSet(sources, all, jsonPath, strict, w)
+	}
+	return summarizeSpanSet(label, all)
+}

@@ -1,5 +1,5 @@
 // Observability overhead experiment: the cost of the always-on flight
-// recorder (DESIGN.md §8). Three passes run the batched detection path over
+// recorder (DESIGN.md §8). Four passes run the batched detection path over
 // the same encrypted token stream, split into simulated flows:
 //
 //   - off: no recorder, no span construction — the tracing-off baseline.
@@ -9,6 +9,12 @@
 //     overhead budget covers: at 1% sampling, 99% of flows pay exactly this.
 //   - head: every flow is head-sampled and streams its spans through a
 //     JSONL sink to io.Discard — the fully-traced ceiling.
+//   - scraped: the unsampled configuration again, but with the pass
+//     registry served on a loopback admin endpoint and a fleet scraper
+//     (internal/obs/agg, what bbfleet runs) polling it at 10 Hz. Serving
+//     /metrics walks every registry cell, so this prices the contention
+//     between scrape reads and the hot path's atomic writes — being
+//     monitored must cost at most 5% of the unscraped rate.
 //
 // A separate tight loop over the record path measures allocations and
 // nanoseconds per recorded span; the bench gate pins the former to zero at
@@ -21,6 +27,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -31,6 +39,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/dpienc"
 	"repro/internal/obs"
+	"repro/internal/obs/agg"
 	"repro/internal/tokenize"
 )
 
@@ -79,10 +88,14 @@ type ObsOverheadResult struct {
 	OffNs       int64 `json:"off_ns"`
 	UnsampledNs int64 `json:"unsampled_ns"`
 	HeadNs      int64 `json:"head_ns"`
+	// ScrapedNs is the unsampled pass re-run while a fleet scraper polls
+	// the registry at 10 Hz (0 in results predating the fleet plane).
+	ScrapedNs int64 `json:"scraped_ns,omitempty"`
 
 	OffTokensPerSec       float64 `json:"off_tokens_per_sec"`
 	UnsampledTokensPerSec float64 `json:"unsampled_tokens_per_sec"`
 	HeadTokensPerSec      float64 `json:"head_tokens_per_sec"`
+	ScrapedTokensPerSec   float64 `json:"scraped_tokens_per_sec,omitempty"`
 
 	// UnsampledOverheadRatio is unsampled/off tokens-per-sec — the gated
 	// quantity: a traced-but-unsampled flow must keep >= 95% of the
@@ -90,6 +103,12 @@ type ObsOverheadResult struct {
 	// (informational; head flows are the sampled few).
 	UnsampledOverheadRatio float64 `json:"unsampled_overhead_ratio"`
 	HeadOverheadRatio      float64 `json:"head_overhead_ratio"`
+	// ScrapedOverheadRatio is scraped/unsampled tokens-per-sec — the
+	// second gated quantity: a worker being scraped at 10 Hz must keep
+	// >= 95% of its unscraped rate. Scrapes counts the successful polls
+	// during the measured pass (proof the scraper actually ran).
+	ScrapedOverheadRatio float64 `json:"scraped_overhead_ratio,omitempty"`
+	Scrapes              uint64  `json:"scrapes,omitempty"`
 
 	// RecordAllocsPerSpan and RecordNsPerSpan measure the bare record path
 	// (ring append, no streaming) in isolation; the gate pins allocations
@@ -225,14 +244,56 @@ func ObsOverhead(opt ObsOverheadOptions) (ObsOverheadResult, error) {
 	res.OffNs = minOver(nil)
 	res.UnsampledNs = minOver(recUnsampled)
 	res.HeadNs = minOver(recHead)
+
+	// Scraped pass: same recording config as unsampled, but the pass
+	// registry is live on a loopback admin endpoint with a fleet scraper
+	// polling it every 100ms while the detection loop runs. A listener
+	// failure skips the pass (fields stay zero; benchgate then skips its
+	// scrape check) rather than failing the whole experiment.
+	regScraped := obs.NewRegistry()
+	recScraped := obs.NewRecorder(obs.RecorderConfig{
+		Events: opt.Events, Sample: 0,
+		Sink: obs.NewJSONLSink(io.Discard), Metrics: regScraped,
+	})
+	if ln, lerr := net.Listen("tcp", "127.0.0.1:0"); lerr == nil {
+		srv := &http.Server{Handler: obs.AdminMux(regScraped)}
+		go func() {
+			//lint:ignore unchecked-err Serve returns ErrServerClosed on the Close below
+			srv.Serve(ln)
+		}()
+		scraper, serr := agg.New(agg.Config{
+			Targets:  []agg.Target{{Name: "bench", URL: "http://" + ln.Addr().String()}},
+			Interval: 100 * time.Millisecond,
+			Metrics:  obs.NewRegistry(),
+		})
+		if serr == nil {
+			stopScrape := make(chan struct{})
+			scrapeDone := make(chan struct{})
+			go func() {
+				scraper.Run(stopScrape)
+				close(scrapeDone)
+			}()
+			res.ScrapedNs = minOver(recScraped)
+			close(stopScrape)
+			<-scrapeDone
+			if ws := scraper.Workers(); len(ws) == 1 {
+				res.Scrapes = ws[0].Scrapes
+			}
+		}
+		_ = srv.Close()
+	}
 	_ = scratch
 
 	res.OffTokensPerSec = tokensPerSec(res.Tokens, res.OffNs)
 	res.UnsampledTokensPerSec = tokensPerSec(res.Tokens, res.UnsampledNs)
 	res.HeadTokensPerSec = tokensPerSec(res.Tokens, res.HeadNs)
+	res.ScrapedTokensPerSec = tokensPerSec(res.Tokens, res.ScrapedNs)
 	if res.OffTokensPerSec > 0 {
 		res.UnsampledOverheadRatio = res.UnsampledTokensPerSec / res.OffTokensPerSec
 		res.HeadOverheadRatio = res.HeadTokensPerSec / res.OffTokensPerSec
+	}
+	if res.UnsampledTokensPerSec > 0 && res.ScrapedTokensPerSec > 0 {
+		res.ScrapedOverheadRatio = res.ScrapedTokensPerSec / res.UnsampledTokensPerSec
 	}
 
 	counter := func(reg *obs.Registry, name string) uint64 {
@@ -314,10 +375,22 @@ func PrintObsOverhead(w io.Writer, r ObsOverheadResult) {
 		fmt.Sprintf("%.2fM", r.UnsampledTokensPerSec/1e6), fmt.Sprintf("%.2fx", r.UnsampledOverheadRatio))
 	t.row("head-sampled (streamed)", fmt.Sprintf("%.1f ms", float64(r.HeadNs)/1e6),
 		fmt.Sprintf("%.2fM", r.HeadTokensPerSec/1e6), fmt.Sprintf("%.2fx", r.HeadOverheadRatio))
+	if r.ScrapedNs > 0 {
+		vsOff := 0.0
+		if r.OffTokensPerSec > 0 {
+			vsOff = r.ScrapedTokensPerSec / r.OffTokensPerSec
+		}
+		t.row("scraped at 10 Hz", fmt.Sprintf("%.1f ms", float64(r.ScrapedNs)/1e6),
+			fmt.Sprintf("%.2fM", r.ScrapedTokensPerSec/1e6), fmt.Sprintf("%.2fx", vsOff))
+	}
 	t.flush()
 	fmt.Fprintf(w, "record path: %.4f allocs/span, %.0f ns/span (ring append, no streaming)\n",
 		r.RecordAllocsPerSpan, r.RecordNsPerSpan)
 	fmt.Fprintf(w, "dispositions: %d head flows flushed %d spans; %d unsampled flows dropped %d spans (%d evictions)\n",
 		r.FlowsHead, r.SpansFlushed, r.FlowsDrop, r.SpansDropped, r.RingEvictions)
-	fmt.Fprintln(w, "budget: traced-but-unsampled flows must keep >= 95% of the tracing-off rate (benchgate -obs)")
+	if r.ScrapedNs > 0 {
+		fmt.Fprintf(w, "scrape cost: %d scrape(s) at 10 Hz kept %.1f%% of the unscraped rate\n",
+			r.Scrapes, 100*r.ScrapedOverheadRatio)
+	}
+	fmt.Fprintln(w, "budget: traced-but-unsampled flows must keep >= 95% of the tracing-off rate, and a scraped worker >= 95% of its unscraped rate (benchgate -obs)")
 }

@@ -34,6 +34,7 @@ func AdminMux(r *Registry) *http.ServeMux {
 		enc.Encode(r.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		//lint:ignore unchecked-err a failed health-check write means the client went away; nothing to do
 		w.Write([]byte("ok\n"))
 	})
@@ -47,11 +48,41 @@ func AdminMux(r *Registry) *http.ServeMux {
 
 // Mount adds the flight-recorder views to an admin mux:
 //
-//	/debug/flows               JSON {live, recent}: the flow tables
+//	/debug/flows                  JSON {live, recent}: the flow tables
 //	/debug/flightrecorder?flow=N  on-demand ring dump of a live flow
+//	/debug/spans                  JSONL rings of every live flow
+//	/debug/trace?id=<32-hex>      JSONL rings of live flows on one trace
 //
-// Both are read-only snapshots; dumping a flow does not flush or end it.
+// All are read-only snapshots; dumping a flow does not flush or end it.
+// The JSONL endpoints are the pull feed of agg.PullSpans (bbfleet's
+// /cluster/trace and bbtrace -from-url): application/x-ndjson bodies in
+// the JSONLSink schema, 200 with an empty body when nothing matches, 400
+// on a malformed trace ID.
 func (r *Recorder) Mount(mux *http.ServeMux) {
+	writeSpans := func(w http.ResponseWriter, spans []Span) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink := NewJSONLSink(w)
+		for _, sp := range spans {
+			sink.Emit(sp)
+		}
+		//lint:ignore unchecked-err a failed debug-dump write means the client went away; nothing to do
+		sink.Close()
+	}
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		writeSpans(w, r.LiveSpans())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query().Get("id")
+		if q == "" {
+			http.Error(w, "missing id parameter (use /debug/trace?id=<32-hex trace ID>; see /debug/flows)", http.StatusBadRequest)
+			return
+		}
+		if _, err := ParseTraceID(q); err != nil {
+			http.Error(w, "bad id parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeSpans(w, r.SpansForTrace(q))
+	})
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

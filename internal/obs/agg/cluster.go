@@ -1,0 +1,386 @@
+// The aggregated admin mux: the fleet's single pane of glass.
+//
+//	/cluster/metrics   merged exposition — every worker family re-emitted
+//	                   with a worker label, plus a worker="fleet" rollup
+//	                   series per family (pointwise sum), plus the
+//	                   aggregator's own blindbox_fleet_* registry
+//	/cluster/workers   health JSON: per-worker rows + SLO verdicts
+//	/cluster/trace?id= cross-worker trace assembly: pulls the matching
+//	                   flight-recorder spans from every worker's /debug/
+//	                   endpoints and feeds them through obs.AssembleSpans
+//
+// The rollup contract the fleet e2e pins: for every counter/gauge
+// family the worker="fleet" series equals the exact sum of the
+// per-worker series (integer totals well inside float64's exact range),
+// so /cluster/metrics totals match the sum of per-worker
+// middlebox.Stats() to the digit.
+
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Mount adds the /cluster/* views to mux (typically obs.AdminMux of the
+// scraper's own registry, so /metrics serves the aggregator's
+// self-metrics alongside).
+func (s *Scraper) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore unchecked-err a failed scrape write means the client went away; nothing to do
+		s.WriteClusterMetrics(w)
+	})
+	mux.HandleFunc("/cluster/workers", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore unchecked-err a failed health-dump write means the client went away; nothing to do
+		enc.Encode(s.Check())
+	})
+	mux.HandleFunc("/cluster/trace", func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter (use /cluster/trace?id=<32-hex trace ID>)", http.StatusBadRequest)
+			return
+		}
+		if _, err := obs.ParseTraceID(id); err != nil {
+			http.Error(w, "bad id parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		tr, err := s.Trace(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if tr == nil {
+			http.Error(w, "no live flow records trace "+id+" on any worker", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore unchecked-err a failed trace-dump write means the client went away; nothing to do
+		enc.Encode(tr)
+	})
+}
+
+// Mux returns a fresh admin mux for the aggregator: obs.AdminMux over
+// the scraper's metrics registry (when configured) plus the /cluster/*
+// views — what cmd/bbfleet serves behind -admin.
+func (s *Scraper) Mux() *http.ServeMux {
+	mux := obs.AdminMux(s.cfg.Metrics)
+	s.Mount(mux)
+	return mux
+}
+
+// mergedFamily accumulates one family across workers for rendering.
+type mergedFamily struct {
+	name string
+	fam  *Family // first worker's declaration (help/type source)
+	// series are the per-worker samples in (config order, body order).
+	series []workerSample
+}
+
+// workerSample is one re-labeled output series.
+type workerSample struct {
+	worker string
+	s      Sample
+}
+
+// WriteClusterMetrics renders the merged exposition. Rendering order:
+// worker families (union, first-seen order), each with its per-worker
+// series and a worker="fleet" rollup, then the aggregator's own
+// registry minus any family already emitted (blindbox_build_info is on
+// both sides; the worker-labeled series win).
+func (s *Scraper) WriteClusterMetrics(w io.Writer) error {
+	s.EvaluateSLOs() // refresh blindbox_fleet_slo_* before rendering
+
+	names, expos := s.latest()
+	var order []string
+	merged := map[string]*mergedFamily{}
+	for _, worker := range names {
+		for _, fam := range expos[worker].Families {
+			mf, ok := merged[fam.Name]
+			if !ok {
+				mf = &mergedFamily{name: fam.Name, fam: fam}
+				merged[fam.Name] = mf
+				order = append(order, fam.Name)
+			}
+			for _, sample := range fam.Samples {
+				mf.series = append(mf.series, workerSample{worker: worker, s: sample})
+			}
+		}
+	}
+	for _, name := range order {
+		if err := writeMergedFamily(w, merged[name]); err != nil {
+			return err
+		}
+	}
+	return s.writeOwnRegistry(w, merged)
+}
+
+// writeMergedFamily emits one family: HELP/TYPE once, per-worker series,
+// then the worker="fleet" pointwise-sum rollup.
+func writeMergedFamily(w io.Writer, mf *mergedFamily) error {
+	if mf.fam.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", mf.name, escapeHelp(mf.fam.Help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", mf.name, mf.fam.Type); err != nil {
+		return err
+	}
+	// Rollup accumulation keyed by (suffix, canonical labels), first-seen
+	// order — for histograms this preserves ascending le order.
+	type rollup struct {
+		suffix string
+		labels map[string]string
+		value  float64
+	}
+	var rollOrder []string
+	rolls := map[string]*rollup{}
+	for _, ws := range mf.series {
+		if err := writeSample(w, mf.name, ws.s, ws.worker); err != nil {
+			return err
+		}
+		key := ws.s.Suffix + "|" + canonicalLabels(ws.s.Labels)
+		r, ok := rolls[key]
+		if !ok {
+			r = &rollup{suffix: ws.s.Suffix, labels: ws.s.Labels}
+			rolls[key] = r
+			rollOrder = append(rollOrder, key)
+		}
+		r.value += ws.s.Value
+	}
+	for _, key := range rollOrder {
+		r := rolls[key]
+		if err := writeSample(w, mf.name, Sample{Suffix: r.suffix, Labels: r.labels, Value: r.value}, FleetLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample emits one series line with the worker label prepended. A
+// series that already carries its own worker label (blindbox_worker_info)
+// keeps it under the federation convention's exported_ prefix, so the
+// scrape-assigned name and the worker's self-reported name stay
+// side-by-side comparable instead of colliding.
+func writeSample(w io.Writer, name string, s Sample, worker string) error {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(s.Suffix)
+	b.WriteString(`{worker=`)
+	b.WriteString(strconv.Quote(worker))
+	for _, k := range sortedKeys(s.Labels) {
+		b.WriteString(",")
+		if k == "worker" {
+			b.WriteString("exported_worker")
+		} else {
+			b.WriteString(k)
+		}
+		b.WriteString("=")
+		b.WriteString(strconv.Quote(s.Labels[k]))
+	}
+	b.WriteString("} ")
+	b.WriteString(formatValue(s.Value))
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders a sample value the way Prometheus clients do.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// canonicalLabels renders a label set as a stable map key.
+func canonicalLabels(labels map[string]string) string {
+	var b strings.Builder
+	for _, k := range sortedKeys(labels) {
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(strconv.Quote(labels[k]))
+		b.WriteString(",")
+	}
+	return b.String()
+}
+
+// escapeHelp escapes newlines and backslashes per the exposition format
+// (the inverse of unescapeHelp).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeOwnRegistry appends the aggregator's own registry, skipping any
+// family the merged section already declared.
+func (s *Scraper) writeOwnRegistry(w io.Writer, merged map[string]*mergedFamily) error {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return nil
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return err
+	}
+	own, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		return err
+	}
+	for _, fam := range own.Families {
+		if _, dup := merged[fam.Name]; dup {
+			continue
+		}
+		if fam.Help != "" {
+			if _, werr := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); werr != nil {
+				return werr
+			}
+		}
+		if _, werr := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Type); werr != nil {
+			return werr
+		}
+		for _, sample := range fam.Samples {
+			if werr := writePlainSample(w, fam.Name, sample); werr != nil {
+				return werr
+			}
+		}
+	}
+	return nil
+}
+
+// writePlainSample emits one series line without a worker label.
+func writePlainSample(w io.Writer, name string, s Sample) error {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(s.Suffix)
+	if len(s.Labels) > 0 {
+		b.WriteString("{")
+		for i, k := range sortedKeys(s.Labels) {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(k)
+			b.WriteString("=")
+			b.WriteString(strconv.Quote(s.Labels[k]))
+		}
+		b.WriteString("}")
+	}
+	b.WriteString(" ")
+	b.WriteString(formatValue(s.Value))
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// TraceNode is one span of an assembled cross-worker trace, flattened
+// in preorder (Depth 0 is the root) — depth-encoding keeps the JSON
+// free of recursive types while preserving the tree shape, and a
+// preorder flattening of a tree is acyclic by construction.
+type TraceNode struct {
+	// Depth is the node's distance from the root.
+	Depth int `json:"depth"`
+	// Span is the raw record.
+	Span obs.Span `json:"span"`
+	// StartNs and EndNs are the clock-aligned interval bounds.
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+	// SelfCritNs is the critical-path time attributed to this span.
+	SelfCritNs int64 `json:"self_crit_ns"`
+}
+
+// TraceResponse is the /cluster/trace?id= body: one assembled flow.
+type TraceResponse struct {
+	// Trace is the 32-hex trace ID.
+	Trace string `json:"trace"`
+	// Workers lists the workers whose pull contributed spans.
+	Workers []string `json:"workers"`
+	// PullErrors lists workers whose pull failed (best-effort assembly
+	// continues over the rest).
+	PullErrors []string `json:"pull_errors,omitempty"`
+	// Spans counts the assembled spans; Orphans counts spans not
+	// reachable from the root (0 for a well-formed trace).
+	Spans   int `json:"spans"`
+	Orphans int `json:"orphans"`
+	// Partial marks a synthesized root (sampled-out rooting party).
+	Partial bool `json:"partial,omitempty"`
+	// WallNs and CritNs are the flow wall-clock and attributed
+	// critical-path total.
+	WallNs int64 `json:"wall_ns"`
+	CritNs int64 `json:"crit_ns"`
+	// Offsets maps each party to its estimated clock offset.
+	Offsets map[string]int64 `json:"offsets,omitempty"`
+	// Stages aggregates spans by name with critical-path attribution.
+	Stages []obs.StageStat `json:"stages"`
+	// Tree is the span tree in preorder.
+	Tree []TraceNode `json:"tree"`
+}
+
+// Trace pulls trace id's live flight-recorder spans from every worker
+// and assembles them into one cross-worker tree. (nil, nil) when no
+// worker holds spans for the trace; an error only when every pull
+// failed.
+func (s *Scraper) Trace(id string) (*TraceResponse, error) {
+	var spans []obs.Span
+	var contributed, failed []string
+	for _, w := range s.workers {
+		got, err := PullSpans(s.client, w.url, id)
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", w.name, err))
+			continue
+		}
+		if len(got) > 0 {
+			contributed = append(contributed, w.name)
+			spans = append(spans, got...)
+		}
+	}
+	if len(spans) == 0 {
+		if len(failed) == len(s.workers) && len(failed) > 0 {
+			return nil, fmt.Errorf("agg: every span pull failed: %s", strings.Join(failed, "; "))
+		}
+		return nil, nil
+	}
+	flows, _, err := obs.AssembleSpans(spans)
+	if err != nil {
+		return nil, fmt.Errorf("agg: assembling trace %s: %w", id, err)
+	}
+	if len(flows) == 0 {
+		return nil, nil
+	}
+	ft := flows[0]
+	resp := &TraceResponse{
+		Trace:      ft.Trace,
+		Workers:    contributed,
+		PullErrors: failed,
+		Spans:      len(spans),
+		Orphans:    len(ft.Orphans),
+		Partial:    ft.Partial,
+		WallNs:     ft.WallNs,
+		CritNs:     ft.CritNs,
+		Offsets:    ft.Offsets,
+		Stages:     ft.Stages(),
+	}
+	var walk func(n *obs.SpanNode, depth int)
+	walk = func(n *obs.SpanNode, depth int) {
+		resp.Tree = append(resp.Tree, TraceNode{
+			Depth: depth, Span: n.Span,
+			StartNs: n.Start, EndNs: n.End, SelfCritNs: n.SelfCritNs,
+		})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if ft.Root != nil {
+		walk(ft.Root, 0)
+	}
+	sort.Strings(resp.Workers)
+	return resp, nil
+}

@@ -1,0 +1,629 @@
+// Prometheus text-format (0.0.4) parsing: the inverse of
+// obs.Registry.WritePrometheus. The fleet scraper lives and dies by this
+// symmetry — TestRoundTrip pins that Registry → WritePrometheus →
+// Parse → JSONSnapshot reproduces Registry.Snapshot exactly for every
+// metric family in the catalog, so a format drift on either side fails
+// the build gate rather than silently corrupting fleet rollups.
+//
+// The parser is stdlib-only and deliberately small: HELP/TYPE comment
+// lines, samples with an optional label set and an optional timestamp,
+// and histogram reconstruction from the _bucket/_sum/_count series. It
+// accepts any well-formed exposition (multi-label samples included, as
+// /cluster/metrics itself emits a worker label on top of existing
+// labels); it errors on the first malformed line so a truncated or
+// garbage scrape body is rejected instead of half-ingested.
+
+package agg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ParseError reports the first malformed line of an exposition body.
+type ParseError struct {
+	// Line is the 1-based line number of the offending line.
+	Line int
+	// Text is the offending line (truncated for display).
+	Text string
+	// Reason says what failed to parse.
+	Reason string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	t := e.Text
+	if len(t) > 80 {
+		t = t[:80] + "…"
+	}
+	return fmt.Sprintf("agg: exposition line %d: %s (%q)", e.Line, e.Reason, t)
+}
+
+// Sample is one series line of a family.
+type Sample struct {
+	// Suffix distinguishes histogram sub-series: "" for a family's own
+	// samples, "_bucket", "_sum" or "_count".
+	Suffix string
+	// Labels holds the sample's label pairs (nil when unlabeled). For
+	// _bucket samples the set includes le.
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Family is one metric family: the HELP/TYPE declaration plus its
+// samples in body order.
+type Family struct {
+	// Name is the family name (without histogram suffixes).
+	Name string
+	// Help is the unescaped HELP text ("" when absent).
+	Help string
+	// Type is the declared TYPE: "counter", "gauge", "histogram",
+	// "summary" or "untyped" (the default when no TYPE line appeared).
+	Type string
+	// Samples are the family's series in body order.
+	Samples []Sample
+}
+
+// Exposition is one parsed scrape body: families in body order.
+type Exposition struct {
+	// Families lists the families in first-appearance order.
+	Families []*Family
+
+	byName map[string]*Family
+}
+
+// Family returns the named family, nil when absent.
+func (e *Exposition) Family(name string) *Family {
+	if e == nil {
+		return nil
+	}
+	return e.byName[name]
+}
+
+// Parse reads a Prometheus text-format (0.0.4) body. It returns a
+// *ParseError describing the first malformed line — a truncated body
+// that cuts mid-line fails here rather than yielding torn samples.
+func Parse(r io.Reader) (*Exposition, error) {
+	e := &Exposition{byName: map[string]*Family{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseComment(line, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.parseSample(line, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("agg: reading exposition: %w", err)
+	}
+	return e, nil
+}
+
+// family returns the named family, creating an untyped one on first use.
+func (e *Exposition) family(name string) *Family {
+	if f, ok := e.byName[name]; ok {
+		return f
+	}
+	f := &Family{Name: name, Type: "untyped"}
+	e.byName[name] = f
+	e.Families = append(e.Families, f)
+	return f
+}
+
+// parseComment handles "# HELP name text" and "# TYPE name kind";
+// any other comment is ignored per the format.
+func (e *Exposition) parseComment(line string, lineNo int) error {
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimLeft(rest, " ")
+	var keyword string
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		keyword, rest = "HELP", rest[len("HELP "):]
+	case strings.HasPrefix(rest, "TYPE "):
+		keyword, rest = "TYPE", rest[len("TYPE "):]
+	default:
+		return nil
+	}
+	name, tail, _ := strings.Cut(rest, " ")
+	if !validName(name) {
+		return &ParseError{Line: lineNo, Text: line, Reason: "bad metric name in " + keyword}
+	}
+	f := e.family(name)
+	if keyword == "HELP" {
+		f.Help = unescapeHelp(tail)
+		return nil
+	}
+	switch tail {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		f.Type = tail
+	default:
+		return &ParseError{Line: lineNo, Text: line, Reason: "unknown TYPE " + strconv.Quote(tail)}
+	}
+	return nil
+}
+
+// parseSample handles one sample line: name[{labels}] value [timestamp].
+func (e *Exposition) parseSample(line string, lineNo int) error {
+	fail := func(reason string) error {
+		return &ParseError{Line: lineNo, Text: line, Reason: reason}
+	}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return fail("expected metric name")
+	}
+	name, rest := line[:i], line[i:]
+
+	var labels map[string]string
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return fail(err.Error())
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" {
+		return fail("missing sample value")
+	}
+	valStr, _, _ := strings.Cut(rest, " ") // optional timestamp ignored
+	val, err := parseValue(valStr)
+	if err != nil {
+		return fail("bad sample value " + strconv.Quote(valStr))
+	}
+
+	fam, suffix := e.resolve(name)
+	fam.Samples = append(fam.Samples, Sample{Suffix: suffix, Labels: labels, Value: val})
+	return nil
+}
+
+// resolve maps a sample name to its family: an exact declared name, a
+// histogram/summary sub-series of a declared family, or a fresh untyped
+// family.
+func (e *Exposition) resolve(name string) (*Family, string) {
+	if f, ok := e.byName[name]; ok {
+		return f, ""
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f, have := e.byName[base]; have {
+			if f.Type == "histogram" || (f.Type == "summary" && suffix != "_bucket") {
+				return f, suffix
+			}
+		}
+	}
+	return e.family(name), ""
+}
+
+// parseLabels consumes `key="value",...}` (opening brace already eaten)
+// and returns the label map plus the unconsumed remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		i := 0
+		for i < len(s) && isNameChar(s[i], i == 0) {
+			i++
+		}
+		if i == 0 {
+			return nil, "", fmt.Errorf("expected label name")
+		}
+		key := s[:i]
+		s = s[i:]
+		if !strings.HasPrefix(s, "=") {
+			return nil, "", fmt.Errorf("expected = after label %s", key)
+		}
+		s = s[1:]
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", key, err)
+		}
+		labels[key] = val
+		s = rest
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		return nil, "", fmt.Errorf("expected , or } after label %s", key)
+	}
+}
+
+// parseQuoted consumes a double-quoted label value with the exposition
+// escapes (\\, \", \n — plus \t, which fmt %q emits) and returns the
+// unescaped value and the remainder.
+func parseQuoted(s string) (string, string, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("expected quoted value")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i == len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default: // \\ and \" and anything else verbatim
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// parseValue parses a sample value: any float, plus the exposition
+// spellings +Inf/-Inf/NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validName reports whether s matches the Prometheus metric/label name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// unescapeHelp undoes obs.escapeHelp: \n and \\ escapes.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			if s[i] == 'n' {
+				b.WriteByte('\n')
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Value returns the value of the family's single unlabeled sample —
+// scalar counters and gauges as WritePrometheus emits them.
+func (f *Family) Value() (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Suffix == "" && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// With returns the value of the sample whose label set matches exactly.
+func (f *Family) With(labels map[string]string) (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Suffix != "" || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Value is shorthand for Family(name).Value(): the unlabeled scalar.
+func (e *Exposition) Value(name string) (float64, bool) {
+	return e.Family(name).Value()
+}
+
+// Labeled returns a one-label family's values keyed by its label value
+// (the inverse of CounterVec/GaugeVec.Values). Nil when the family is
+// absent or has no labeled samples.
+func (e *Exposition) Labeled(name string) map[string]float64 {
+	f := e.Family(name)
+	if f == nil {
+		return nil
+	}
+	var out map[string]float64
+	for _, s := range f.Samples {
+		if s.Suffix != "" || len(s.Labels) != 1 {
+			continue
+		}
+		for _, v := range s.Labels {
+			if out == nil {
+				out = map[string]float64{}
+			}
+			out[v] = s.Value
+		}
+	}
+	return out
+}
+
+// Hist is a reconstructed fixed-bucket cumulative histogram.
+type Hist struct {
+	// Bounds are the finite upper bounds, ascending; an implicit +Inf
+	// bucket follows.
+	Bounds []float64
+	// Cum are the cumulative bucket counts, len(Bounds)+1, the last
+	// being the +Inf bucket (== Count for a well-formed histogram).
+	Cum []uint64
+	// Sum is the _sum series value; Count the _count series value.
+	Sum   float64
+	Count uint64
+
+	// les keeps the raw le strings aligned with Cum, so JSONSnapshot
+	// reproduces Registry.Snapshot's bucket keys byte-for-byte.
+	les []string
+}
+
+// Histogram reconstructs the family's unlabeled histogram (ignoring any
+// labels beyond le). False when the family declares no histogram TYPE
+// or carries no bucket samples.
+func (e *Exposition) Histogram(name string) (*Hist, bool) {
+	return e.Family(name).Histogram(nil)
+}
+
+// Histogram reconstructs the histogram whose non-le labels match extra
+// exactly (nil for the unlabeled histogram a worker exposes; a worker
+// label for /cluster/metrics re-parses).
+func (f *Family) Histogram(extra map[string]string) (*Hist, bool) {
+	if f == nil || f.Type != "histogram" {
+		return nil, false
+	}
+	match := func(labels map[string]string, wantLe bool) (string, bool) {
+		le, hasLe := labels["le"]
+		if hasLe != wantLe {
+			return "", false
+		}
+		if len(labels)-boolToInt(hasLe) != len(extra) {
+			return "", false
+		}
+		for k, v := range extra {
+			if labels[k] != v {
+				return "", false
+			}
+		}
+		return le, true
+	}
+	type bucket struct {
+		le  string
+		val float64
+		cum uint64
+	}
+	var buckets []bucket
+	h := &Hist{}
+	seen := false
+	for _, s := range f.Samples {
+		switch s.Suffix {
+		case "_bucket":
+			if le, ok := match(s.Labels, true); ok {
+				v, err := parseValue(le)
+				if err != nil {
+					return nil, false
+				}
+				buckets = append(buckets, bucket{le: le, val: v, cum: uint64(s.Value)})
+				seen = true
+			}
+		case "_sum":
+			if _, ok := match(s.Labels, false); ok {
+				h.Sum = s.Value
+				seen = true
+			}
+		case "_count":
+			if _, ok := match(s.Labels, false); ok {
+				h.Count = uint64(s.Value)
+				seen = true
+			}
+		}
+	}
+	if !seen || len(buckets) == 0 {
+		return nil, false
+	}
+	sort.SliceStable(buckets, func(i, j int) bool { return buckets[i].val < buckets[j].val })
+	for _, b := range buckets {
+		if !math.IsInf(b.val, 1) {
+			h.Bounds = append(h.Bounds, b.val)
+		}
+		h.les = append(h.les, b.le)
+		h.Cum = append(h.Cum, b.cum)
+	}
+	return h, true
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) the way Prometheus's
+// histogram_quantile does: linear interpolation inside the first bucket
+// whose cumulative count reaches q*Count, the highest finite bound when
+// that bucket is +Inf. NaN for an empty histogram.
+func (h *Hist) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Cum) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	for i, cum := range h.Cum {
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) { // +Inf bucket
+			if len(h.Bounds) == 0 {
+				return math.NaN()
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lower, lowerCum := 0.0, uint64(0)
+		if i > 0 {
+			lower, lowerCum = h.Bounds[i-1], h.Cum[i-1]
+		}
+		width := float64(cum - lowerCum)
+		if width == 0 {
+			return h.Bounds[i]
+		}
+		return lower + (h.Bounds[i]-lower)*(rank-float64(lowerCum))/width
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Merge adds o's buckets, sum and count into h. The bucket bounds must
+// match (all workers register catalog histograms with the same bounds);
+// a mismatch is an error rather than a silent skew.
+func (h *Hist) Merge(o *Hist) error {
+	if len(h.Cum) != len(o.Cum) {
+		return fmt.Errorf("agg: histogram bucket count mismatch: %d vs %d", len(h.Cum), len(o.Cum))
+	}
+	for i, b := range h.Bounds {
+		if b != o.Bounds[i] {
+			return fmt.Errorf("agg: histogram bound mismatch at %d: %g vs %g", i, b, o.Bounds[i])
+		}
+	}
+	for i := range h.Cum {
+		h.Cum[i] += o.Cum[i]
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+	return nil
+}
+
+// Clone returns a deep copy of h (Merge mutates its receiver).
+func (h *Hist) Clone() *Hist {
+	c := &Hist{Sum: h.Sum, Count: h.Count}
+	c.Bounds = append(c.Bounds, h.Bounds...)
+	c.Cum = append(c.Cum, h.Cum...)
+	c.les = append(c.les, h.les...)
+	return c
+}
+
+// JSONSnapshot renders the exposition in obs.Registry.Snapshot's shape:
+// scalars as numbers, labeled one-label families as label-value maps,
+// histograms as obs.HistogramSnapshot. For a body produced by
+// WritePrometheus the JSON encoding of the two snapshots is identical —
+// the round-trip contract TestRoundTrip pins. A declared counter/gauge
+// family with no samples renders as an empty map (WritePrometheus only
+// omits samples for childless vecs; plain counters and gauges always
+// emit one).
+func (e *Exposition) JSONSnapshot() map[string]any {
+	if e == nil {
+		return nil
+	}
+	out := make(map[string]any, len(e.Families))
+	for _, f := range e.Families {
+		if f.Type == "histogram" {
+			if h, ok := f.Histogram(nil); ok {
+				buckets := make(map[string]uint64, len(h.Cum))
+				for i, le := range h.les {
+					key := le
+					if math.IsInf(mustParseValue(le), 1) {
+						key = "+Inf"
+					}
+					buckets[key] = h.Cum[i]
+				}
+				out[f.Name] = obs.HistogramSnapshot{Buckets: buckets, Sum: h.Sum, Count: h.Count}
+			}
+			continue
+		}
+		if v, ok := f.Value(); ok {
+			out[f.Name] = v
+			continue
+		}
+		m := map[string]float64{}
+		for k, v := range e.Labeled(f.Name) {
+			m[k] = v
+		}
+		out[f.Name] = m
+	}
+	return out
+}
+
+// mustParseValue is parseValue for strings the parser already accepted.
+func mustParseValue(s string) float64 {
+	v, err := parseValue(s)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}

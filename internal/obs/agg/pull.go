@@ -1,0 +1,52 @@
+// The span pull client: fetches flight-recorder spans from a live
+// worker's debug endpoints (obs.Recorder.Mount). Shared by the
+// /cluster/trace assembler and bbtrace -from-url, so both tools speak
+// the same JSONL wire form (obs.ReadSpans) against the same endpoints.
+
+package agg
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// PullSpans fetches live flight-recorder spans from the worker admin
+// endpoint at base: /debug/trace?id=<trace> when trace is non-empty,
+// else the full /debug/spans feed. Only live flows' rings are served —
+// ended flows return their rings to the pool (their spans reach a Sink
+// via head/tail delivery instead). A 200 with an empty body yields an
+// empty slice, not an error.
+func PullSpans(c *http.Client, base, trace string) ([]obs.Span, error) {
+	if c == nil {
+		c = http.DefaultClient
+	}
+	u := strings.TrimRight(base, "/")
+	if trace == "" {
+		u += "/debug/spans"
+	} else {
+		u += "/debug/trace?id=" + url.QueryEscape(trace)
+	}
+	resp, err := c.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//lint:ignore unchecked-err drain-and-close of a pull body; the parse result is what matters
+		io.Copy(io.Discard, resp.Body)
+		//lint:ignore unchecked-err see above
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("agg: %s: status %s", u, resp.Status)
+	}
+	spans, err := obs.ReadSpans(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("agg: %s: %w", u, err)
+	}
+	return spans, nil
+}

@@ -20,6 +20,18 @@ func RegisterBuildInfo(r *Registry) {
 	v.With(buildVersion()).Set(1)
 }
 
+// RegisterWorkerInfo registers the blindbox_worker_info gauge on r and
+// sets the series for the operator-assigned worker name to 1 (cmd/bbmb
+// -worker). The fleet aggregator reads the label to confirm it scraped
+// the worker it thinks it scraped. Empty name or nil registry: no-op.
+func RegisterWorkerInfo(r *Registry, name string) {
+	if r == nil || name == "" {
+		return
+	}
+	v := r.GaugeVec(WorkerInfo, Help(WorkerInfo), "worker")
+	v.With(name).Set(1)
+}
+
 // buildVersion renders the embedded build metadata as one label value.
 func buildVersion() string {
 	bi, ok := debug.ReadBuildInfo()

@@ -65,8 +65,20 @@ const (
 	ObsSpansDroppedTotal     = "blindbox_obs_spans_dropped_total"
 	ObsRecordSeconds         = "blindbox_obs_record_seconds"
 
-	// process identity (label owner: version)
-	BuildInfo = "blindbox_build_info"
+	// process identity (label owners: version on build info, worker on
+	// worker info)
+	BuildInfo  = "blindbox_build_info"
+	WorkerInfo = "blindbox_worker_info"
+
+	// fleet aggregation plane (internal/obs/agg + cmd/bbfleet; label
+	// owners: worker on the scrape/health vecs, slo on the SLO vecs)
+	FleetScrapesTotal      = "blindbox_fleet_scrapes_total"
+	FleetScrapeErrorsTotal = "blindbox_fleet_scrape_errors_total"
+	FleetScrapeSeconds     = "blindbox_fleet_scrape_seconds"
+	FleetStalenessSeconds  = "blindbox_fleet_staleness_seconds"
+	FleetWorkerUp          = "blindbox_fleet_worker_up"
+	FleetSLOUp             = "blindbox_fleet_slo_up"
+	FleetSLOBreachesTotal  = "blindbox_fleet_slo_breaches_total"
 )
 
 // Catalog maps every canonical metric name to its help string.
@@ -115,7 +127,16 @@ var Catalog = map[string]string{
 	ObsSpansDroppedTotal:     "Spans discarded by the flight recorder (unsampled clean flows and post-flush stragglers).",
 	ObsRecordSeconds:         "Flight-recorder record-path latency per span (ring append, lock included).",
 
-	BuildInfo: "Build identity gauge, always 1; label: version (Go version and VCS revision from debug.ReadBuildInfo).",
+	BuildInfo:  "Build identity gauge, always 1; label: version (Go version and VCS revision from debug.ReadBuildInfo).",
+	WorkerInfo: "Worker identity gauge, always 1; label: worker (the operator-assigned worker name, e.g. bbmb -worker).",
+
+	FleetScrapesTotal:      "Successful scrapes of a worker admin endpoint by the fleet aggregator; label: worker.",
+	FleetScrapeErrorsTotal: "Failed scrape rounds per worker (after the retry budget was exhausted); label: worker.",
+	FleetScrapeSeconds:     "Wall-clock duration of one worker scrape (fetch plus parse, successful attempts only).",
+	FleetStalenessSeconds:  "Whole seconds since the last successful scrape of a worker; label: worker.",
+	FleetWorkerUp:          "Worker health as seen by the fleet aggregator: 1 up, 0 stale, degraded or down; label: worker.",
+	FleetSLOUp:             "Declared SLO status at last evaluation: 1 met, 0 breached; label: slo.",
+	FleetSLOBreachesTotal:  "SLO evaluations that found the objective breached; label: slo.",
 }
 
 // Help returns the catalog help string for name ("" when uncataloged —

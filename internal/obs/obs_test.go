@@ -212,9 +212,10 @@ func TestMetricNames(t *testing.T) {
 			strings.HasSuffix(name, "_seconds"),
 			strings.HasSuffix(name, "_bytes"),
 			strings.HasSuffix(name, "_depth"),
-			strings.HasSuffix(name, "_info"):
+			strings.HasSuffix(name, "_info"),
+			strings.HasSuffix(name, "_up"):
 		default:
-			t.Errorf("%s: name must end in _total, _seconds, _bytes, _depth or _info", name)
+			t.Errorf("%s: name must end in _total, _seconds, _bytes, _depth, _info or _up", name)
 		}
 	}
 	if Help(MBAlertsTotal) == "" || Help("nonexistent") != "" {
@@ -277,5 +278,73 @@ func TestAdminMuxEndpoints(t *testing.T) {
 	}
 	if code, _ := get("/debug/pprof/"); code != 200 {
 		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}
+
+// TestAdminEndpointContentTypes audits status codes and Content-Type
+// headers on every AdminMux and Recorder.Mount endpoint. The fleet
+// scraper and span pull client key off these; a regression here breaks
+// /cluster/* silently, so the whole surface is pinned.
+func TestAdminEndpointContentTypes(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(RecorderConfig{Metrics: reg})
+	ctx := NewSpanCtx()
+	f := rec.BeginFlowSampled(7, PartyMB, ctx, false)
+	f.Emit(Span{Flow: 7, Party: PartyMB, Name: SpanScan, Start: 1, Dur: 2})
+	defer f.End("")
+
+	mux := AdminMux(reg)
+	rec.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const errCT = "text/plain; charset=utf-8" // what http.Error sets
+	cases := []struct {
+		path string
+		code int
+		ct   string
+	}{
+		{"/metrics", 200, "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics.json", 200, "application/json"},
+		{"/healthz", 200, "text/plain; charset=utf-8"},
+		{"/debug/flows", 200, "application/json"},
+		{"/debug/flightrecorder", 400, errCT},
+		{"/debug/flightrecorder?flow=bogus", 400, errCT},
+		{"/debug/flightrecorder?flow=9999", 404, errCT},
+		{"/debug/flightrecorder?flow=7", 200, "application/json"},
+		{"/debug/spans", 200, "application/x-ndjson"},
+		{"/debug/trace", 400, errCT},
+		{"/debug/trace?id=nothex", 400, errCT},
+		{"/debug/trace?id=" + ctx.TraceString(), 200, "application/x-ndjson"},
+		{"/debug/trace?id=00000000000000000000000000000000", 200, "application/x-ndjson"},
+	}
+	for _, tc := range cases {
+		resp, err := srv.Client().Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: reading body: %v", tc.path, err)
+		}
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: code %d, want %d (body %q)", tc.path, resp.StatusCode, tc.code, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != tc.ct {
+			t.Errorf("%s: Content-Type %q, want %q", tc.path, ct, tc.ct)
+		}
+	}
+
+	// The matching /debug/trace pull returns the recorded span; the
+	// zero-trace pull returns an empty 200 body.
+	resp, err := srv.Client().Get(srv.URL + "/debug/trace?id=" + ctx.TraceString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(spans) != 1 || spans[0].Name != SpanScan || spans[0].TraceID != ctx.TraceString() {
+		t.Fatalf("trace pull: spans %+v err %v", spans, err)
 	}
 }

@@ -298,6 +298,52 @@ func (r *Recorder) Live() []FlowSummary {
 	return out
 }
 
+// liveFlows snapshots the live-flow table under the lock; per-flow ring
+// copies happen outside it so a slow dump never stalls BeginFlow/End.
+func (r *Recorder) liveFlows() []*FlowRecorder {
+	r.mu.Lock()
+	frs := make([]*FlowRecorder, 0, len(r.live))
+	for _, f := range r.live {
+		frs = append(frs, f)
+	}
+	r.mu.Unlock()
+	return frs
+}
+
+// LiveSpans copies the current ring contents of every live flow, trace IDs
+// stamped — the /debug/spans pull feed. Ended flows have returned their
+// rings to the pool and do not appear; pulling a trace therefore only
+// works while its flows are live (head/tail delivery to a Sink covers the
+// rest). Nil on a nil receiver.
+func (r *Recorder) LiveSpans() []Span {
+	if r == nil {
+		return nil
+	}
+	var out []Span
+	for _, f := range r.liveFlows() {
+		out = append(out, f.Snapshot()...)
+	}
+	return out
+}
+
+// SpansForTrace copies the ring contents of every live flow recording
+// under the 32-hex trace ID — the /debug/trace?id= pull feed, and what
+// the fleet aggregator assembles across workers. Nil when no live flow
+// matches (or on a nil receiver).
+func (r *Recorder) SpansForTrace(trace string) []Span {
+	if r == nil || trace == "" {
+		return nil
+	}
+	var out []Span
+	for _, f := range r.liveFlows() {
+		if f.traceStr != trace {
+			continue
+		}
+		out = append(out, f.Snapshot()...)
+	}
+	return out
+}
+
 // Recent snapshots the ended-flow table, newest first.
 func (r *Recorder) Recent() []FlowSummary {
 	if r == nil {

@@ -209,9 +209,11 @@ func main() {
 const obsOverheadFloor = 0.95
 
 // gateObs enforces the flight-recorder cost contract on a BENCH_obs.json:
-// the unsampled pass within the overhead budget, zero steady-state
-// allocations on the record path, and proof that both dispositions were
-// actually exercised (the head pass flushed, the unsampled pass dropped).
+// the unsampled pass within the overhead budget, the scraped-at-10Hz pass
+// keeping >= 95% of the unscraped rate (skipped for results predating the
+// fleet plane), zero steady-state allocations on the record path, and
+// proof that both dispositions were actually exercised (the head pass
+// flushed, the unsampled pass dropped).
 func gateObs(path string) {
 	res, err := experiments.ReadObsOverheadJSON(path)
 	if err != nil {
@@ -229,6 +231,16 @@ func gateObs(path string) {
 	}
 	check("unsampled/off overhead ratio", res.UnsampledOverheadRatio >= obsOverheadFloor,
 		fmt.Sprintf("%.3f (floor %.2f)", res.UnsampledOverheadRatio, obsOverheadFloor))
+	// A worker being scraped at 10 Hz must keep >= 95% of its unscraped
+	// rate, and the scraper must actually have polled during the pass.
+	// Results recorded before the fleet plane carry no scraped pass (zero
+	// fields) and skip the check rather than fail it.
+	if res.ScrapedNs > 0 {
+		check("scraped/unsampled overhead ratio", res.ScrapedOverheadRatio >= obsOverheadFloor && res.Scrapes > 0,
+			fmt.Sprintf("%.3f (floor %.2f, %d scrapes)", res.ScrapedOverheadRatio, obsOverheadFloor, res.Scrapes))
+	} else {
+		fmt.Println("benchgate: result has no scraped pass (pre-fleet JSON); scrape check skipped")
+	}
 	check("record path allocs/span", res.AllocsMeasured && res.RecordAllocsPerSpan <= allocCeiling,
 		fmt.Sprintf("%.4f (ceiling %.2g)", res.RecordAllocsPerSpan, allocCeiling))
 	check("head pass streamed spans", res.FlowsHead > 0 && res.SpansFlushed > 0,

@@ -44,7 +44,15 @@ fi
 # Note: bbtrace flags must precede the positional file arguments.
 step "three-party tracing (setupbreakdown + strict assemble)"
 TRACEDIR="$(mktemp -d)"
-trap 'rm -rf "$TRACEDIR"' EXIT
+FLEETDIR=""
+FLEET_PIDS=()
+cleanup() {
+    if [ "${#FLEET_PIDS[@]}" -gt 0 ]; then
+        kill "${FLEET_PIDS[@]}" 2>/dev/null || true
+    fi
+    rm -rf "$TRACEDIR" ${FLEETDIR:+"$FLEETDIR"}
+}
+trap cleanup EXIT
 go run ./cmd/blindbench -experiment setupbreakdown -fast \
     -setup-out "$TRACEDIR/BENCH_setup_breakdown.json" -trace-dir "$TRACEDIR"
 go run ./cmd/bbtrace -assemble -strict \
@@ -78,6 +86,53 @@ go run ./scripts/benchgate -scenarios BENCH_scenarios.json -design DESIGN.md
 step "observability overhead (obsoverhead + benchgate -obs)"
 go run ./cmd/blindbench -experiment obsoverhead -fast -obs-out BENCH_obs.json
 go run ./scripts/benchgate -obs BENCH_obs.json
+
+# Fleet observability plane over two layers. First the in-process e2e
+# under the race detector: three live workers, /cluster/metrics rollups
+# equal to the sum of per-worker Middlebox.Stats() to the digit, one
+# acyclic cross-worker trace, and a chaos-injected degradation flipping
+# the SLO verdict. Then the real binaries: one bbserver, three bbmb
+# workers with admin endpoints, bbclient traffic through each, and
+# `bbfleet -check -json` must exit 0 with all three workers up and the
+# fleet tokens_scanned_total equal to the sum of the per-worker totals.
+step "fleet observability (fleet e2e -race + bbfleet -check over live workers)"
+go test -race -run 'TestFleetObservabilityPlane' -timeout 5m .
+
+FLEETDIR="$(mktemp -d)"
+go build -o "$FLEETDIR" ./cmd/bbrulegen ./cmd/bbserver ./cmd/bbmb ./cmd/bbclient ./cmd/bbfleet
+"$FLEETDIR/bbrulegen" -dataset "Snort Emerging Threats (HTTP)" -n 20 -out "$FLEETDIR/fleet"
+"$FLEETDIR/bbserver" -listen 127.0.0.1:19600 -rgconfig "$FLEETDIR/fleet.endpoint.json" \
+    > "$FLEETDIR/server.log" 2>&1 &
+FLEET_PIDS+=($!)
+for i in 1 2 3; do
+    "$FLEETDIR/bbmb" -listen "127.0.0.1:1960$i" -forward 127.0.0.1:19600 \
+        -rules "$FLEETDIR/fleet.rules.json" -rgconfig "$FLEETDIR/fleet.rg.json" \
+        -admin "127.0.0.1:1961$i" -worker "w$i" > "$FLEETDIR/w$i.log" 2>&1 &
+    FLEET_PIDS+=($!)
+done
+# bbclient -retries rides out worker start-up; one session per worker so
+# every admin endpoint carries nonzero totals before the check.
+for i in 1 2 3; do
+    "$FLEETDIR/bbclient" -addr "127.0.0.1:1960$i" -rgconfig "$FLEETDIR/fleet.endpoint.json" \
+        -retries 5 > /dev/null
+done
+"$FLEETDIR/bbfleet" -check -json -retries 5 \
+    -workers w1=127.0.0.1:19611,w2=127.0.0.1:19612,w3=127.0.0.1:19613 \
+    > "$FLEETDIR/fleet-report.json"
+grep -q '"ok": true' "$FLEETDIR/fleet-report.json"
+[ "$(grep -c '"state": "up"' "$FLEETDIR/fleet-report.json")" -eq 3 ]
+# The report lists per-worker totals then the fleet rollup (last): the
+# rollup must equal the sum — the same exactness contract the e2e pins
+# against /cluster/metrics.
+awk -F': ' '/"tokens_scanned_total"/ { gsub(/,/, "", $2); v[n++] = $2 }
+    END {
+        if (n < 4) { printf "fleet check: %d tokens_scanned_total rows, want 4\n", n; exit 1 }
+        sum = 0; for (i = 0; i < n - 1; i++) sum += v[i]
+        if (sum == 0 || sum != v[n-1]) {
+            printf "fleet tokens_scanned_total %s != worker sum %d\n", v[n-1], sum; exit 1
+        }
+        printf "fleet tokens_scanned_total %d == sum of %d workers\n", v[n-1], n-1
+    }' "$FLEETDIR/fleet-report.json"
 
 # Fuzz smoke: each corpus gets a short budget. `go test -fuzz` accepts a
 # single fuzz target per invocation, so loop over every target explicitly.
